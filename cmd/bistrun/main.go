@@ -1,0 +1,105 @@
+// Command bistrun runs the permanent-fault built-in self-tests of §II-B:
+// the wire test (one design repeatedly partially reconfigured — Fig. 5),
+// the CLB pattern-register test, and the BRAM address-in-data test.
+// Optional stuck-at faults can be injected first to demonstrate isolation.
+//
+// Examples:
+//
+//	bistrun -all
+//	bistrun -wire -stuck 3,4,6:1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bist"
+	"repro/internal/device"
+	"repro/internal/fpga"
+)
+
+func main() {
+	var (
+		wire  = flag.Bool("wire", false, "run the wire test")
+		clb   = flag.Bool("clb", false, "run the CLB test")
+		bram  = flag.Bool("bram", false, "run the BRAM test")
+		all   = flag.Bool("all", false, "run every test")
+		geom  = flag.String("geom", "tiny", "device geometry: tiny|small|xqvr1000")
+		stuck = flag.String("stuck", "", "inject stuck-at faults first: r,c,slot:v;... (v 0 or 1)")
+	)
+	flag.Parse()
+	g := map[string]device.Geometry{
+		"tiny": device.Tiny(), "small": device.Small(), "xqvr1000": device.XQVR1000(),
+	}[*geom]
+	if g.Rows == 0 {
+		fmt.Fprintf(os.Stderr, "unknown geometry %q\n", *geom)
+		os.Exit(2)
+	}
+	f := fpga.New(g)
+	if err := f.FullConfigure(fpga.NewConfigBuilder(g).FullBitstream()); err != nil {
+		fail(err)
+	}
+	port := fpga.NewPort(f)
+
+	if *stuck != "" {
+		for _, spec := range strings.Split(*stuck, ";") {
+			parts := strings.SplitN(spec, ":", 2)
+			coords := strings.Split(parts[0], ",")
+			if len(coords) != 3 || len(parts) != 2 {
+				fail(fmt.Errorf("bad stuck spec %q (want r,c,slot:v)", spec))
+			}
+			r, _ := strconv.Atoi(coords[0])
+			c, _ := strconv.Atoi(coords[1])
+			s, _ := strconv.Atoi(coords[2])
+			f.SetStuck(device.Segment{R: r, C: c, S: s}, parts[1] == "1")
+			fmt.Printf("injected stuck-at-%s at seg(%d,%d)#%d\n", parts[1], r, c, s)
+		}
+	}
+
+	if *wire || *all {
+		rep, err := bist.WireTest(f, port)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+		for _, flt := range rep.Faults {
+			fmt.Printf("  %s\n", flt)
+		}
+	}
+	if *clb || *all {
+		rep, err := bist.CLBTest(f, port)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+		for _, flt := range rep.Faults {
+			fmt.Printf("  CLB (%d,%d) site %d faulty\n", flt.R, flt.C, flt.Site)
+		}
+	}
+	if *bram || *all {
+		rep, err := bist.BRAMTest(f, port)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+		for _, flt := range rep.Faults {
+			fmt.Printf("  BRAM col %d block %d word %d: got %04x want %04x\n",
+				flt.Col, flt.Block, flt.Word, flt.Got, flt.Want)
+		}
+	}
+	if !*wire && !*clb && !*bram && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	reads, writes := port.Stats()
+	fmt.Printf("configuration interface: %d frame reads, %d frame writes, %v virtual time\n",
+		reads, writes, port.Elapsed())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bistrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command raddrc runs the half-latch study of §III-C: a census of the
+// half-latch keepers a design depends on, the RadDRC mitigation pass
+// (rewriting hidden-keeper constants into scrubbable configuration
+// constants), and a before/after beam comparison (the paper measured ~100x
+// better failure resistance for mitigated designs).
+//
+// Example:
+//
+//	raddrc -design "LFSR 18" -obs 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func main() {
+	var (
+		design = flag.String("design", "LFSR 18", "catalogued design")
+		obs    = flag.Int("obs", 200, "beam observations per run")
+		geom   = flag.String("geom", "tiny", "device geometry: tiny|small|xqvr1000")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	g := map[string]device.Geometry{
+		"tiny": device.Tiny(), "small": device.Small(), "xqvr1000": device.XQVR1000(),
+	}[*geom]
+	if g.Rows == 0 {
+		fmt.Fprintf(os.Stderr, "unknown geometry %q\n", *geom)
+		os.Exit(2)
+	}
+	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1}
+	rep, err := core.HalfLatchStudy(cfg, *design, *obs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raddrc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("design %q on %s\n", *design, g)
+	fmt.Printf("  %s\n", rep.Census)
+	fmt.Printf("  RadDRC mitigated %d half-latch constants\n", rep.Mitigated)
+	fmt.Printf("  half-latch beam: %d output errors before, %d after\n", rep.ErrorsBefore, rep.ErrorsAfter)
+	if rep.ErrorsAfter == 0 {
+		fmt.Printf("  resistance improvement: >= %.0fx (no failures after mitigation; paper: ~100x)\n", rep.ResistanceRatio)
+	} else {
+		fmt.Printf("  resistance improvement: %.1fx (paper: ~100x)\n", rep.ResistanceRatio)
+	}
+}

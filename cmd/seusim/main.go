@@ -1,0 +1,96 @@
+// Command seusim runs the paper's SEU fault-injection experiments: per-design
+// sensitivity campaigns (Table I), persistence classification (Table II), and
+// the persistent-error trace of Fig. 7.
+//
+// Examples:
+//
+//	seusim -table 1 -sample 0.05
+//	seusim -table 2
+//	seusim -design "LFSR 72" -sample 0.1
+//	seusim -fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func geometryFlag(name string) device.Geometry {
+	switch name {
+	case "tiny":
+		return device.Tiny()
+	case "small":
+		return device.Small()
+	case "xqvr1000":
+		return device.XQVR1000()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown geometry %q (tiny|small|xqvr1000)\n", name)
+		os.Exit(2)
+	}
+	return device.Geometry{}
+}
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "reproduce paper table 1 or 2")
+		fig7   = flag.Bool("fig7", false, "reproduce the Fig. 7 persistent-error trace")
+		design = flag.String("design", "", "run a single catalogued design")
+		geom   = flag.String("geom", "small", "device geometry: tiny|small|xqvr1000")
+		sample = flag.Float64("sample", 0.05, "fraction of configuration bits to inject (1 = exhaustive)")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample}
+
+	switch {
+	case *table == 1:
+		fmt.Printf("Table I — SEU sensitivity (geometry %s, sample %.3f)\n", cfg.Geom, *sample)
+		fmt.Printf("%-16s %14s %9s %8s %8s %8s\n", "Design", "Slices", "Injects", "Failures", "Sens", "Norm")
+		rows, err := core.TableI(cfg)
+		check(err)
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	case *table == 2:
+		fmt.Printf("Table II — error persistence (geometry %s, sample %.3f)\n", cfg.Geom, *sample)
+		fmt.Printf("%-16s %6s %8s %8s\n", "Design", "Slices", "Sens", "Persist")
+		rows, err := core.TableII(cfg)
+		check(err)
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	case *fig7:
+		tr, bit, err := core.Fig7(cfg)
+		check(err)
+		fmt.Printf("Fig. 7 — persistent error trace (upset bit %d, frame %d)\n", bit, bit.Frame(cfg.Geom))
+		fmt.Printf("%8s %12s %12s %s\n", "cycle", "expected", "actual", "match")
+		for _, pt := range tr {
+			mark := ""
+			if !pt.Match {
+				mark = "  <-- diverged"
+			}
+			fmt.Printf("%8d %12d %12d %v%s\n", pt.Cycle, pt.Expected, pt.Actual, pt.Match, mark)
+		}
+	case *design != "":
+		rep, err := core.Sensitivity(cfg, *design, true)
+		check(err)
+		fmt.Println(rep)
+		fmt.Printf("simulated test time %v (%v per injection), wall time %v\n",
+			rep.SimulatedTime, board.InjectLoopTime, rep.WallTime)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seusim:", err)
+		os.Exit(1)
+	}
+}

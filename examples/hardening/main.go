@@ -1,0 +1,89 @@
+// Hardening: the mitigation flow the paper's analysis feeds — run RadDRC to
+// remove half-latch dependence, then apply triple-module redundancy, and
+// measure how each step changes the design's vulnerability.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/halflatch"
+	"repro/internal/place"
+	"repro/internal/radiation"
+	"repro/internal/seu"
+	"repro/internal/tmr"
+)
+
+func main() {
+	geom := device.Small()
+	c := designs.LFSRCluster("payload-lfsr", 2, 2, 8)
+	placed, err := place.Place(c, geom)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: half-latch census and RadDRC.
+	census, err := halflatch.Analyze(placed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(census)
+	mitigated, n, err := halflatch.RadDRC(placed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RadDRC rewrote %d hidden keepers into scrubbable configuration constants\n", n)
+
+	// A half-latch-only beam shows what that buys.
+	hlBeam := func(p *place.Placed) int {
+		bd, err := board.New(p, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := radiation.NewSource(2, radiation.CrossSection{HalfLatchWeight: 1}, 5)
+		rep, err := radiation.RunBeam(bd, src, nil, radiation.BeamOptions{
+			Observations: 150, Window: 500 * time.Millisecond,
+			CyclesPerObservation: 20, ResyncCycles: 10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep.OutputErrors
+	}
+	fmt.Printf("half-latch beam: %d errors unmitigated vs %d mitigated (paper: ~100x improvement)\n",
+		hlBeam(placed), hlBeam(mitigated))
+
+	// Step 2: TMR for the configuration cross-section.
+	trip, err := tmr.Triplicate(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sens := func(circuitName string, p *place.Placed) *seu.Report {
+		bd, err := board.New(p, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := seu.DefaultOptions()
+		opts.Sample = 0.25
+		opts.Seed = 5
+		opts.ClassifyPersistence = false
+		rep, err := seu.Run(bd, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+	tmrPlaced, err := place.Place(trip, geom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain := sens("plain", placed)
+	hard := sens("tmr", tmrPlaced)
+	fmt.Printf("SEU sensitivity: plain %.2f%% -> TMR %.2f%% (per-bit; single upsets voted out)\n",
+		100*plain.Sensitivity(), 100*hard.Sensitivity())
+	fmt.Printf("TMR area cost: %d -> %d slices\n", placed.SlicesUsed(), tmrPlaced.SlicesUsed())
+}

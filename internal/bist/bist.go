@@ -1,0 +1,213 @@
+// Package bist implements the paper's permanent-fault detection and
+// isolation strategy (§II-B, Fig. 5): coverage-optimized built-in self-test
+// configurations that exercise the fabric and are read out through the
+// configuration interface, with the wire test driven by repeated partial
+// reconfiguration of a single design. On the flight system these diagnostic
+// configurations share flash space with mission algorithms, so minimizing
+// the number of distinct configurations matters; the wire test needs one
+// design plus a sequence of partial reconfigurations.
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/fpga"
+)
+
+// WireFault is one isolated permanent routing fault.
+type WireFault struct {
+	Seg device.Segment
+	// StuckAt is the detected polarity.
+	StuckAt bool
+}
+
+func (w WireFault) String() string {
+	v := 0
+	if w.StuckAt {
+		v = 1
+	}
+	return fmt.Sprintf("%v stuck-at-%d", w.Seg, v)
+}
+
+// WireTestReport summarizes a wire-test campaign.
+type WireTestReport struct {
+	// WirDirections lists the slot groups tested.
+	SlotsTested []int
+	// Reconfigurations counts partial-reconfiguration steps (the paper's
+	// design needed 20 to cover its 80 output-mux wires).
+	Reconfigurations int
+	// Readbacks counts capture passes (paper: 40).
+	Readbacks int
+	// WiresTested counts distinct wire segments exercised.
+	WiresTested int
+	Faults      []WireFault
+}
+
+func (r *WireTestReport) String() string {
+	return fmt.Sprintf("wire BIST: %d slots x chains, %d partial reconfigurations, %d readbacks, %d wires tested, %d faults",
+		len(r.SlotsTested), r.Reconfigurations, r.Readbacks, r.WiresTested, len(r.Faults))
+}
+
+// wirePlan describes the chain orientation for one testable slot group:
+// west wires chain west-to-east along rows, east wires east-to-west, north
+// wires north-to-south along columns, south wires south-to-north.
+type wirePlan struct {
+	slot    int  // input-mux slot under test (per output o)
+	along   bool // true: chains run along rows; false: along columns
+	forward bool // true: index increases away from the source edge
+}
+
+// WireTest runs the paper's wire test on a device: one base design,
+// repeatedly partially reconfigured to select each wire of the tested
+// groups, with a clock step and a state capture per polarity. Detected
+// stuck-at faults are isolated to (CLB, slot) segments. The test loads its
+// own configurations; the caller reloads the mission design afterwards,
+// exactly as the flight procedure does.
+func WireTest(f *fpga.FPGA, port *fpga.Port) (*WireTestReport, error) {
+	rep := &WireTestReport{}
+	// Test the four neighbour-wire groups for each of the four CLB
+	// outputs: 16 wire classes, covering every single-length wire the
+	// fabric has (the analogue of the paper's 80-of-96 output-mux wires).
+	for _, plan := range []wirePlan{
+		{slot: 4, along: true, forward: true},   // west wires, chain W->E
+		{slot: 8, along: true, forward: false},  // east wires, chain E->W
+		{slot: 12, along: false, forward: true}, // north wires, chain N->S
+		{slot: 16, along: false, forward: false},
+	} {
+		for o := 0; o < device.OutputsPerCLB; o++ {
+			if err := wireTestOne(f, port, plan, o, rep); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// wireTestOne tests one (direction, output) wire class.
+func wireTestOne(f *fpga.FPGA, port *fpga.Port, plan wirePlan, o int, rep *WireTestReport) error {
+	g := f.Geometry()
+	slot := plan.slot + o
+	rep.SlotsTested = append(rep.SlotsTested, slot)
+
+	// Build the test configuration: source line holds a constant, every
+	// following line inverts its predecessor through the wire under test,
+	// with the FF capturing the chain value.
+	b := fpga.NewConfigBuilder(g)
+	lines, depth := g.Cols, g.Rows // row chains: line = row? see below
+	if plan.along {
+		lines, depth = g.Rows, g.Cols
+	}
+	for line := 0; line < lines; line++ {
+		for d := 0; d < depth; d++ {
+			pos := d
+			if !plan.forward {
+				pos = depth - 1 - d
+			}
+			r, c := line, pos
+			if !plan.along {
+				r, c = pos, line
+			}
+			if d == 0 {
+				b.SetLUT(r, c, o, fpga.TruthZero) // source constant
+			} else {
+				b.SetLUT(r, c, o, fpga.TruthNot)
+				for in := 0; in < device.LUTInputs; in++ {
+					b.RouteInput(r, c, o, in, slot)
+				}
+			}
+			b.SetFF(r, c, o, false, device.CEConstOne, 0, false)
+			// The FF samples the chain; output stays combinational so the
+			// chain itself is unregistered.
+		}
+	}
+	// First wire class loads the full design; each subsequent class is a
+	// partial reconfiguration touching only the frames that differ — the
+	// paper's "repeatedly partially reconfigured" single test design.
+	if rep.Reconfigurations == 0 {
+		if err := port.FullConfigure(b.FullBitstream()); err != nil {
+			return err
+		}
+	} else {
+		for _, fr := range f.ConfigMemory().DiffFrames(b.Memory()) {
+			if err := port.WriteFrame(b.Memory().Frame(fr)); err != nil {
+				return err
+			}
+		}
+		f.Reset() // re-init the capture FFs for the new wire selection
+	}
+	rep.Reconfigurations++ // configuration step for this wire selection
+
+	for _, sourceOne := range []bool{false, true} {
+		if sourceOne {
+			// Partial reconfiguration flips only the source line's LUTs to
+			// constant one — the "next polarity" step.
+			var frames []int
+			seen := map[int]bool{}
+			for line := 0; line < lines; line++ {
+				r, c := line, 0
+				if !plan.forward {
+					r, c = line, depth-1
+				}
+				if !plan.along {
+					r, c = c, r
+				}
+				for i := 0; i < device.LUTBits; i++ {
+					a := g.LUTBitAddr(r, c, o, i)
+					f.ConfigMemory().Set(a, true)
+					if fr := a.Frame(g); !seen[fr] {
+						seen[fr] = true
+						frames = append(frames, fr)
+					}
+				}
+			}
+			for _, fr := range frames {
+				if err := port.WriteFrame(f.ConfigMemory().Frame(fr)); err != nil {
+					return err
+				}
+			}
+			rep.Reconfigurations++
+		}
+		f.Step() // one clock: FFs capture the settled chain
+		rep.Readbacks++
+		// Capture and scan each chain for the first deviation.
+		for line := 0; line < lines; line++ {
+			for d := 1; d < depth; d++ {
+				pos := d
+				if !plan.forward {
+					pos = depth - 1 - d
+				}
+				r, c := line, pos
+				if !plan.along {
+					r, c = pos, line
+				}
+				got, err := port.CaptureFF(r, c, o)
+				if err != nil {
+					return err
+				}
+				want := expectedChainValue(d, sourceOne)
+				if got != want {
+					// The wire feeding this CLB is the faulty segment; the
+					// observed (wrong) input polarity names the stuck level.
+					rep.Faults = append(rep.Faults, WireFault{
+						Seg:     device.Segment{R: r, C: c, S: slot},
+						StuckAt: !got, // inverter: output got => input was !got
+					})
+					break // further deviations downstream are shadowed
+				}
+			}
+		}
+	}
+	rep.WiresTested += (depth - 1) * lines
+	return nil
+}
+
+// expectedChainValue returns the value at chain depth d for the given
+// source polarity: the source passes through d inverters.
+func expectedChainValue(d int, sourceOne bool) bool {
+	v := sourceOne
+	if d%2 == 1 {
+		v = !v
+	}
+	return v
+}

@@ -1,0 +1,207 @@
+package bist
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/fpga"
+)
+
+func freshDevice(t *testing.T) (*fpga.FPGA, *fpga.Port) {
+	t.Helper()
+	f := fpga.New(device.Tiny())
+	b := fpga.NewConfigBuilder(device.Tiny())
+	if err := f.FullConfigure(b.FullBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	return f, fpga.NewPort(f)
+}
+
+func TestWireTestCleanDevice(t *testing.T) {
+	f, port := freshDevice(t)
+	rep, err := WireTest(f, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Faults) != 0 {
+		t.Fatalf("clean device reported faults: %v", rep.Faults)
+	}
+	if len(rep.SlotsTested) != 16 {
+		t.Errorf("slots tested = %d, want 16", len(rep.SlotsTested))
+	}
+	// The paper's procedure: one design, a sequence of partial
+	// reconfigurations, two capture passes per wire selection.
+	if rep.Readbacks != 2*len(rep.SlotsTested) {
+		t.Errorf("readbacks = %d, want %d", rep.Readbacks, 2*len(rep.SlotsTested))
+	}
+	if rep.Reconfigurations < len(rep.SlotsTested) {
+		t.Errorf("reconfigurations = %d, want >= %d", rep.Reconfigurations, len(rep.SlotsTested))
+	}
+	g := device.Tiny()
+	wantWires := 16 * (g.Rows - 1) * g.Cols // per class: (depth-1)*lines
+	if rep.WiresTested != wantWires {
+		t.Errorf("wires tested = %d, want %d", rep.WiresTested, wantWires)
+	}
+	if rep.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestWireTestIsolatesStuckAt(t *testing.T) {
+	for _, stuck := range []bool{false, true} {
+		f, port := freshDevice(t)
+		seg := device.Segment{R: 3, C: 4, S: 6} // west wire, output 2
+		f.SetStuck(seg, stuck)
+		rep, err := WireTest(f, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, flt := range rep.Faults {
+			if flt.Seg == seg && flt.StuckAt == stuck {
+				found = true
+			}
+			if flt.Seg.S != seg.S {
+				t.Errorf("fault attributed to wrong slot: %v", flt)
+			}
+		}
+		if !found {
+			t.Fatalf("stuck-at-%v at %v not isolated; faults=%v", stuck, seg, rep.Faults)
+		}
+	}
+}
+
+func TestWireTestIsolatesVerticalWire(t *testing.T) {
+	f, port := freshDevice(t)
+	seg := device.Segment{R: 5, C: 2, S: 13} // north wire, output 1
+	f.SetStuck(seg, true)
+	rep, err := WireTest(f, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, flt := range rep.Faults {
+		if flt.Seg == seg {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vertical stuck wire not isolated: %v", rep.Faults)
+	}
+}
+
+func TestCLBTestCleanDevice(t *testing.T) {
+	f, port := freshDevice(t)
+	rep, err := CLBTest(f, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Faults) != 0 {
+		t.Fatalf("clean device reported CLB faults: %v", rep.Faults[:min(4, len(rep.Faults))])
+	}
+	g := device.Tiny()
+	if rep.SitesTested != g.CLBs()*4 {
+		t.Errorf("sites tested = %d", rep.SitesTested)
+	}
+	if rep.Captures != 2 {
+		t.Errorf("captures = %d, want 2", rep.Captures)
+	}
+}
+
+func TestCLBTestFindsBrokenCell(t *testing.T) {
+	f, port := freshDevice(t)
+	// A stuck local-feedback wire breaks one cell's toggle loop.
+	seg := device.Segment{R: 2, C: 5, S: 1}
+	f.SetStuck(seg, true)
+	rep, err := CLBTest(f, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, flt := range rep.Faults {
+		if flt.R == 2 && flt.C == 5 && flt.Site == 1 {
+			found = true
+		} else if flt.R != 2 || flt.C != 5 {
+			t.Errorf("unrelated CLB flagged: %+v", flt)
+		}
+	}
+	if !found {
+		t.Fatalf("broken cell not found: %v", rep.Faults)
+	}
+}
+
+func TestBRAMTestCleanAndCorrupt(t *testing.T) {
+	f, port := freshDevice(t)
+	rep, err := BRAMTest(f, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Faults) != 0 {
+		t.Fatalf("clean BRAM reported faults: %v", rep.Faults)
+	}
+	g := device.Tiny()
+	if rep.WordsTested != g.BRAMBlocks()*device.BRAMWords {
+		t.Errorf("words tested = %d", rep.WordsTested)
+	}
+
+	// A hard-failed cell: corrupt one content bit after configuration.
+	f2, port2 := freshDevice(t)
+	// BRAMTest reconfigures; to emulate a HARD fault we flip the bit after
+	// its internal configure step — easiest by running the test twice: the
+	// helper below wraps the corrupt-then-verify sequence.
+	rep2, err := bramTestWithFault(f2, port2, 0, 0, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Faults) != 1 || rep2.Faults[0].Word != 5 {
+		t.Fatalf("hard BRAM fault not isolated: %v", rep2.Faults)
+	}
+}
+
+// bramTestWithFault runs BRAMTest with a cell corruption injected after the
+// pattern load (emulating a cell that cannot hold its value).
+func bramTestWithFault(f *fpga.FPGA, port *fpga.Port, bc, blk, w, bit int) (*BRAMTestReport, error) {
+	g := f.Geometry()
+	b := fpga.NewConfigBuilder(g)
+	pattern := func(w int) uint16 { return uint16(w)<<8 | uint16(w) }
+	for col := 0; col < g.BRAMCols; col++ {
+		for bl := 0; bl < g.BRAMBlocksPerCol(); bl++ {
+			for word := 0; word < device.BRAMWords; word++ {
+				b.SetBRAMWord(col, bl, word, pattern(word))
+			}
+		}
+	}
+	if err := port.FullConfigure(b.FullBitstream()); err != nil {
+		return nil, err
+	}
+	f.InjectBit(g.BRAMContentBitAddr(bc, blk, w, bit))
+
+	wasRunning := port.ClockRunning
+	port.ClockRunning = false
+	defer func() { port.ClockRunning = wasRunning }()
+	rep := &BRAMTestReport{}
+	for col := 0; col < g.BRAMCols; col++ {
+		for bl := 0; bl < g.BRAMBlocksPerCol(); bl++ {
+			for word := 0; word < device.BRAMWords; word++ {
+				var got uint16
+				for i := 0; i < device.BRAMWidth; i++ {
+					if f.ConfigMemory().Get(g.BRAMContentBitAddr(col, bl, word, i)) {
+						got |= 1 << uint(i)
+					}
+				}
+				rep.WordsTested++
+				if got != pattern(word) {
+					rep.Faults = append(rep.Faults, BRAMFault{Col: col, Block: bl, Word: word, Got: got, Want: pattern(word)})
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

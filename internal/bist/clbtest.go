@@ -1,0 +1,162 @@
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/fpga"
+)
+
+// CLBFault names a faulty LUT/FF site found by the CLB test.
+type CLBFault struct {
+	R, C, Site int
+}
+
+// CLBTestReport summarizes a CLB self-test.
+type CLBTestReport struct {
+	SitesTested int
+	Captures    int
+	Faults      []CLBFault
+}
+
+func (r *CLBTestReport) String() string {
+	return fmt.Sprintf("CLB BIST: %d sites tested, %d captures, %d faults", r.SitesTested, r.Captures, len(r.Faults))
+}
+
+// CLBTest exercises every LUT/FF site of the device: each site is
+// configured as a self-toggling register (the scaled stand-in for the
+// paper's cascaded 34-bit LFSR pattern registers), every site's state is
+// captured on two consecutive clocks, and any site that fails to toggle —
+// or toggles out of phase — is reported. Sampling two phases covers both
+// stuck-at polarities on the local feedback wires and the register path.
+func CLBTest(f *fpga.FPGA, port *fpga.Port) (*CLBTestReport, error) {
+	g := f.Geometry()
+	b := fpga.NewConfigBuilder(g)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			for o := 0; o < device.OutputsPerCLB; o++ {
+				// Toggle cell: LUT = NOT(own registered output o).
+				b.SetLUT(r, c, o, fpga.TruthNot)
+				for in := 0; in < device.LUTInputs; in++ {
+					b.RouteInput(r, c, o, in, o) // own-output slot
+				}
+				b.SetFF(r, c, o, false, device.CEConstOne, 0, false)
+				b.SetOutMux(r, c, o, true)
+			}
+		}
+	}
+	if err := port.FullConfigure(b.FullBitstream()); err != nil {
+		return nil, err
+	}
+	rep := &CLBTestReport{SitesTested: g.CLBs() * device.OutputsPerCLB}
+
+	// Two captures, one clock apart: a healthy cell reads (1, 0) — it
+	// toggles from init 0 to 1, then back.
+	snap := func() ([][]bool, error) {
+		rep.Captures++
+		out := make([][]bool, g.Cols)
+		for c := 0; c < g.Cols; c++ {
+			out[c] = make([]bool, g.Rows*device.FFsPerCLB)
+			for k := 0; k < device.FFsPerCLB; k++ {
+				col, err := port.CaptureColumn(c, k)
+				if err != nil {
+					return nil, err
+				}
+				for r := 0; r < g.Rows; r++ {
+					out[c][r*device.FFsPerCLB+k] = col[r]
+				}
+			}
+		}
+		return out, nil
+	}
+	f.Step()
+	s1, err := snap()
+	if err != nil {
+		return nil, err
+	}
+	f.Step()
+	s2, err := snap()
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < g.Cols; c++ {
+		for r := 0; r < g.Rows; r++ {
+			for k := 0; k < device.FFsPerCLB; k++ {
+				v1 := s1[c][r*device.FFsPerCLB+k]
+				v2 := s2[c][r*device.FFsPerCLB+k]
+				if !(v1 && !v2) {
+					rep.Faults = append(rep.Faults, CLBFault{R: r, C: c, Site: k})
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// BRAMFault names a failed block-RAM word.
+type BRAMFault struct {
+	Col, Block, Word int
+	Got, Want        uint16
+}
+
+// BRAMTestReport summarizes the BRAM test.
+type BRAMTestReport struct {
+	WordsTested int
+	Faults      []BRAMFault
+}
+
+func (r *BRAMTestReport) String() string {
+	return fmt.Sprintf("BRAM BIST: %d words tested, %d faults", r.WordsTested, len(r.Faults))
+}
+
+// BRAMTest loads every block with the paper's address-in-data pattern
+// ("each location contains its own address in both upper and lower byte"),
+// reads the content back with the clock stopped, and reports mismatches.
+func BRAMTest(f *fpga.FPGA, port *fpga.Port) (*BRAMTestReport, error) {
+	g := f.Geometry()
+	b := fpga.NewConfigBuilder(g)
+	pattern := func(w int) uint16 { return uint16(w)<<8 | uint16(w) }
+	for bc := 0; bc < g.BRAMCols; bc++ {
+		for blk := 0; blk < g.BRAMBlocksPerCol(); blk++ {
+			for w := 0; w < device.BRAMWords; w++ {
+				b.SetBRAMWord(bc, blk, w, pattern(w))
+			}
+		}
+	}
+	if err := port.FullConfigure(b.FullBitstream()); err != nil {
+		return nil, err
+	}
+	wasRunning := port.ClockRunning
+	port.ClockRunning = false // §II-C: BRAM readback needs the clock stopped
+	defer func() { port.ClockRunning = wasRunning }()
+
+	rep := &BRAMTestReport{}
+	for bc := 0; bc < g.BRAMCols; bc++ {
+		for blk := 0; blk < g.BRAMBlocksPerCol(); blk++ {
+			// Read the content frames back and reassemble each word.
+			seen := map[int]bool{}
+			for w := 0; w < device.BRAMWords; w++ {
+				fr := g.BRAMContentBitAddr(bc, blk, w, 0).Frame(g)
+				if !seen[fr] {
+					seen[fr] = true
+					if _, err := port.ReadFrame(fr); err != nil {
+						return nil, err
+					}
+				}
+			}
+			for w := 0; w < device.BRAMWords; w++ {
+				var got uint16
+				for i := 0; i < device.BRAMWidth; i++ {
+					if f.ConfigMemory().Get(g.BRAMContentBitAddr(bc, blk, w, i)) {
+						got |= 1 << uint(i)
+					}
+				}
+				rep.WordsTested++
+				if got != pattern(w) {
+					rep.Faults = append(rep.Faults, BRAMFault{Col: bc, Block: blk, Word: w, Got: got, Want: pattern(w)})
+				}
+			}
+		}
+	}
+	return rep, nil
+}

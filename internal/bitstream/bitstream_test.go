@@ -1,0 +1,301 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func randomized(g device.Geometry, seed int64) *Memory {
+	m := NewMemory(g)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 2000; i++ {
+		m.Set(device.BitAddr(rng.Int63n(g.TotalBits())), true)
+	}
+	return m
+}
+
+func TestMemoryGetSetFlip(t *testing.T) {
+	g := device.Tiny()
+	m := NewMemory(g)
+	a := device.BitAddr(12345 % g.TotalBits())
+	if m.Get(a) {
+		t.Fatal("fresh memory should be zero")
+	}
+	m.Set(a, true)
+	if !m.Get(a) {
+		t.Fatal("Set(true) not visible")
+	}
+	if v := m.Flip(a); v {
+		t.Fatal("Flip should have cleared the bit")
+	}
+	if v := m.Flip(a); !v {
+		t.Fatal("Flip should have set the bit")
+	}
+	if m.PopCount() != 1 {
+		t.Fatalf("PopCount = %d, want 1", m.PopCount())
+	}
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	g := device.Tiny()
+	m := NewMemory(g)
+	f := func(raw uint16, pos uint32) bool {
+		a := device.BitAddr(int64(pos) % (g.TotalBits() - 16))
+		m.SetField(a, 16, uint64(raw))
+		return m.Field(a, 16) == uint64(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	g := device.Tiny()
+	m := randomized(g, 1)
+	for idx := 0; idx < g.TotalFrames(); idx += 7 {
+		f := m.Frame(idx)
+		if len(f.Data) != g.FrameBytes() {
+			t.Fatalf("frame %d has %d bytes, want %d", idx, len(f.Data), g.FrameBytes())
+		}
+		m2 := NewMemory(g)
+		if err := m2.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		back := m2.Frame(idx)
+		for i := range f.Data {
+			if f.Data[i] != back.Data[i] {
+				t.Fatalf("frame %d byte %d mismatch", idx, i)
+			}
+		}
+	}
+}
+
+func TestWriteFrameValidation(t *testing.T) {
+	g := device.Tiny()
+	m := NewMemory(g)
+	if err := m.WriteFrame(Frame{Index: -1, Data: make([]byte, g.FrameBytes())}); err == nil {
+		t.Error("negative frame index accepted")
+	}
+	if err := m.WriteFrame(Frame{Index: g.TotalFrames(), Data: make([]byte, g.FrameBytes())}); err == nil {
+		t.Error("out-of-range frame index accepted")
+	}
+	if err := m.WriteFrame(Frame{Index: 0, Data: make([]byte, 3)}); err == nil {
+		t.Error("short frame payload accepted")
+	}
+}
+
+func TestCloneAndEqualAndDiff(t *testing.T) {
+	g := device.Tiny()
+	m := randomized(g, 2)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	a := device.BitAddr(999 % g.TotalBits())
+	c.Flip(a)
+	if m.Equal(c) {
+		t.Fatal("flip not detected by Equal")
+	}
+	diffs := m.DiffBits(c, 0)
+	if len(diffs) != 1 || diffs[0] != a {
+		t.Fatalf("DiffBits = %v, want [%d]", diffs, a)
+	}
+	frames := m.DiffFrames(c)
+	if len(frames) != 1 || frames[0] != a.Frame(g) {
+		t.Fatalf("DiffFrames = %v, want [%d]", frames, a.Frame(g))
+	}
+	c.CopyFrom(m)
+	if !m.Equal(c) {
+		t.Fatal("CopyFrom did not restore equality")
+	}
+}
+
+func TestDiffBitsMax(t *testing.T) {
+	g := device.Tiny()
+	m := NewMemory(g)
+	o := NewMemory(g)
+	for i := int64(0); i < 10; i++ {
+		o.Set(device.BitAddr(i*100), true)
+	}
+	if got := m.DiffBits(o, 3); len(got) != 3 {
+		t.Fatalf("DiffBits(max=3) returned %d", len(got))
+	}
+	if got := m.DiffBits(o, 0); len(got) != 10 {
+		t.Fatalf("DiffBits(max=0) returned %d, want 10", len(got))
+	}
+}
+
+func TestCodebookDetectsSingleBitUpsets(t *testing.T) {
+	g := device.Tiny()
+	golden := randomized(g, 3)
+	cb := BuildCodebook(golden, nil)
+	if cb.Frames() != g.TotalFrames() {
+		t.Fatalf("codebook has %d frames, want %d", cb.Frames(), g.TotalFrames())
+	}
+	// Clean frames pass.
+	for idx := 0; idx < g.TotalFrames(); idx += 11 {
+		if !cb.Check(golden.Frame(idx)) {
+			t.Fatalf("clean frame %d failed CRC", idx)
+		}
+	}
+	// Any single-bit flip in any sampled frame is caught.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		a := device.BitAddr(rng.Int63n(g.TotalBits()))
+		corrupted := golden.Clone()
+		corrupted.Flip(a)
+		if cb.Check(corrupted.Frame(a.Frame(g))) {
+			t.Fatalf("flip at %d not detected", a)
+		}
+	}
+	if cb.Check(Frame{Index: -1}) || cb.Check(Frame{Index: cb.Frames()}) {
+		t.Error("out-of-range frame index passed Check")
+	}
+}
+
+func TestMaskedCRCIgnoresMaskedBits(t *testing.T) {
+	g := device.Tiny()
+	golden := randomized(g, 5)
+	// Mask one "LUT-RAM" bit; changes there must not trip the codebook,
+	// changes elsewhere in the same frame must.
+	dynamic := g.LUTBitAddr(2, 3, 1, 7)
+	mask := NewMask(g)
+	mask.MaskBit(dynamic)
+	if !mask.Covers(dynamic) {
+		t.Fatal("mask does not cover its own bit")
+	}
+	if mask.Covers(dynamic + 1) {
+		t.Fatal("mask covers unmasked bit")
+	}
+	cb := BuildCodebook(golden, mask)
+
+	live := golden.Clone()
+	live.Flip(dynamic)
+	if !cb.Check(live.Frame(dynamic.Frame(g))) {
+		t.Error("masked dynamic bit tripped the CRC")
+	}
+	live.Flip(g.LUTBitAddr(2, 3, 1, 8)) // neighbouring, unmasked
+	if cb.Check(live.Frame(dynamic.Frame(g))) {
+		t.Error("unmasked upset went undetected in a masked frame")
+	}
+}
+
+func TestNilMaskBehaviour(t *testing.T) {
+	var m *Mask
+	if m.Covers(0) {
+		t.Error("nil mask covers bits")
+	}
+	if m.MaskedFrames() != 0 {
+		t.Error("nil mask has frames")
+	}
+	f := Frame{Index: 0, Data: []byte{1, 2, 3}}
+	if f.MaskedCRC(nil) != f.CRC() {
+		t.Error("nil frame mask changed CRC")
+	}
+}
+
+func TestFullBitstreamRoundTrip(t *testing.T) {
+	g := device.Tiny()
+	m := randomized(g, 6)
+	bs := Full(m)
+	if !bs.IsFull() {
+		t.Fatal("Full() bitstream not marked full")
+	}
+	if bs.FrameCount() != g.TotalFrames() {
+		t.Fatalf("full bitstream has %d frames, want %d", bs.FrameCount(), g.TotalFrames())
+	}
+	raw := bs.Marshal()
+	back, err := Unmarshal(g, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMemory(g)
+	startup, err := back.Apply(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !startup {
+		t.Error("full bitstream did not signal startup")
+	}
+	if !m.Equal(m2) {
+		t.Error("memory after full configuration differs from source")
+	}
+}
+
+func TestPartialBitstreamTouchesOnlyItsFrames(t *testing.T) {
+	g := device.Tiny()
+	m := randomized(g, 7)
+	target := NewMemory(g)
+	frames := []int{0, 5, 9}
+	bs := Partial(m, frames)
+	if bs.IsFull() {
+		t.Fatal("partial bitstream marked full")
+	}
+	startup, err := bs.Apply(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if startup {
+		t.Error("partial bitstream must not run start-up")
+	}
+	diff := target.DiffFrames(m)
+	for _, f := range frames {
+		for _, d := range diff {
+			if d == f {
+				t.Fatalf("frame %d was written but still differs", f)
+			}
+		}
+	}
+	if want := g.TotalFrames() - len(frames); len(diff) < want-2000 { // most frames still zero vs randomized
+		t.Fatalf("unexpected diff count %d", len(diff))
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	g := device.Tiny()
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX\x00\x00\x00\x10"),
+		append([]byte("RCFG"), 0, 0, 0, 99), // wrong frame size
+	}
+	for i, raw := range cases {
+		if _, err := Unmarshal(g, raw); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated packet.
+	bs := Full(randomized(g, 8))
+	raw := bs.Marshal()
+	if _, err := Unmarshal(g, raw[:len(raw)-5]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Unknown opcode.
+	bad := append([]byte{}, raw[:8]...)
+	bad = append(bad, 0x77, 0, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := Unmarshal(g, bad); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+}
+
+func TestMarshalUnmarshalQuick(t *testing.T) {
+	g := device.Tiny()
+	f := func(seed int64, nFrames uint8) bool {
+		m := randomized(g, seed)
+		var frames []int
+		for i := 0; i < int(nFrames%16); i++ {
+			frames = append(frames, (i*7)%g.TotalFrames())
+		}
+		bs := Partial(m, frames)
+		back, err := Unmarshal(g, bs.Marshal())
+		if err != nil {
+			return false
+		}
+		return back.FrameCount() == bs.FrameCount() && back.IsFull() == bs.IsFull()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

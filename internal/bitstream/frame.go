@@ -1,0 +1,140 @@
+package bitstream
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/device"
+)
+
+// Frame is one configuration frame: the smallest unit of readback and
+// partial reconfiguration, exactly as on Virtex. For the paper's XQVR1000
+// geometry a frame is 156 bytes.
+type Frame struct {
+	Index int
+	Data  []byte
+}
+
+// Clone returns a deep copy of the frame.
+func (f Frame) Clone() Frame {
+	d := make([]byte, len(f.Data))
+	copy(d, f.Data)
+	return Frame{Index: f.Index, Data: d}
+}
+
+// CRC returns the frame's CRC-32 (IEEE), the check the Actel fault manager
+// computes during its continuous readback scan.
+func (f Frame) CRC() uint32 { return crc32.ChecksumIEEE(f.Data) }
+
+// MaskedCRC returns the CRC computed with masked bit positions forced to
+// zero. The fault manager uses masked CRCs for frames that contain live
+// LUT-RAM or BRAM content, which legitimately changes while the design runs
+// (paper §II-C, §IV-A).
+func (f Frame) MaskedCRC(mask []byte) uint32 {
+	if mask == nil {
+		return f.CRC()
+	}
+	buf := make([]byte, len(f.Data))
+	for i, b := range f.Data {
+		var m byte
+		if i < len(mask) {
+			m = mask[i]
+		}
+		buf[i] = b &^ m
+	}
+	return crc32.ChecksumIEEE(buf)
+}
+
+// Codebook stores the expected per-frame CRCs of a golden configuration.
+// On the flight system the codebook is loaded from flash into the Actel's
+// local SRAM.
+type Codebook struct {
+	geom device.Geometry
+	crcs []uint32
+	mask *Mask // optional readback mask applied before CRC
+}
+
+// BuildCodebook computes the per-frame CRC table of a golden memory. If
+// mask is non-nil, masked frames use masked CRCs.
+func BuildCodebook(golden *Memory, mask *Mask) *Codebook {
+	g := golden.Geometry()
+	cb := &Codebook{geom: g, crcs: make([]uint32, g.TotalFrames()), mask: mask}
+	for i := 0; i < g.TotalFrames(); i++ {
+		f := golden.Frame(i)
+		cb.crcs[i] = f.MaskedCRC(mask.frameMask(i))
+	}
+	return cb
+}
+
+// Frames returns the number of entries in the codebook.
+func (cb *Codebook) Frames() int { return len(cb.crcs) }
+
+// Check verifies a read-back frame against the codebook; it reports true
+// when the frame is clean.
+func (cb *Codebook) Check(f Frame) bool {
+	if f.Index < 0 || f.Index >= len(cb.crcs) {
+		return false
+	}
+	return f.MaskedCRC(cb.mask.frameMask(f.Index)) == cb.crcs[f.Index]
+}
+
+// Expected returns the stored CRC for frame idx.
+func (cb *Codebook) Expected(idx int) uint32 { return cb.crcs[idx] }
+
+// Mask marks configuration bits that must be ignored during readback
+// comparison because the design legitimately modifies them at run time
+// (LUTs used as RAM/shift registers, BRAM content). The paper discusses why
+// such masking — or stopping the clock — is mandatory (§II-C).
+type Mask struct {
+	geom   device.Geometry
+	frames map[int][]byte
+}
+
+// NewMask returns an empty mask for geometry g.
+func NewMask(g device.Geometry) *Mask {
+	return &Mask{geom: g, frames: make(map[int][]byte)}
+}
+
+// MaskBit marks a single configuration bit as dynamic.
+func (m *Mask) MaskBit(a device.BitAddr) {
+	idx := a.Frame(m.geom)
+	off := a.Offset(m.geom)
+	fm, ok := m.frames[idx]
+	if !ok {
+		fm = make([]byte, m.geom.FrameBytes())
+		m.frames[idx] = fm
+	}
+	fm[off>>3] |= 1 << (uint(off) & 7)
+}
+
+// MaskedFrames returns the number of frames with at least one masked bit.
+func (m *Mask) MaskedFrames() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.frames)
+}
+
+// Covers reports whether bit a is masked.
+func (m *Mask) Covers(a device.BitAddr) bool {
+	if m == nil {
+		return false
+	}
+	fm, ok := m.frames[a.Frame(m.geom)]
+	if !ok {
+		return false
+	}
+	off := a.Offset(m.geom)
+	return fm[off>>3]&(1<<(uint(off)&7)) != 0
+}
+
+func (m *Mask) frameMask(idx int) []byte {
+	if m == nil {
+		return nil
+	}
+	return m.frames[idx]
+}
+
+func (f Frame) String() string {
+	return fmt.Sprintf("frame %d (%d bytes, crc %08x)", f.Index, len(f.Data), f.CRC())
+}

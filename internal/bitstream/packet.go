@@ -1,0 +1,175 @@
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// The packetized bitstream format. It is a simplified stand-in for the
+// Virtex configuration packet protocol: a sync word, frame-address/data
+// write packets, and a start-up command. The distinction the paper leans on
+// is preserved exactly: only a FULL configuration ends with OpStartup, and
+// only the start-up sequence initializes half-latches; a PARTIAL
+// configuration writes frames without start-up and therefore cannot restore
+// half-latch state (§III-C).
+
+// Op is a bitstream packet opcode.
+type Op uint8
+
+const (
+	// OpSync begins a configuration session.
+	OpSync Op = 0xAA
+	// OpWriteFrame carries one frame of configuration data.
+	OpWriteFrame Op = 0x01
+	// OpStartup ends a full configuration: FFs load their init values and
+	// half-latches are initialized.
+	OpStartup Op = 0x02
+	// OpNop is ignored.
+	OpNop Op = 0x00
+)
+
+// Packet is one bitstream command.
+type Packet struct {
+	Op    Op
+	Frame int    // for OpWriteFrame
+	Data  []byte // for OpWriteFrame
+}
+
+// Bitstream is an ordered packet sequence plus the geometry it targets.
+type Bitstream struct {
+	Geom    device.Geometry
+	Packets []Packet
+}
+
+// Full assembles a complete configuration bitstream for memory m: sync,
+// every frame in order, start-up.
+func Full(m *Memory) *Bitstream {
+	g := m.Geometry()
+	bs := &Bitstream{Geom: g}
+	bs.Packets = append(bs.Packets, Packet{Op: OpSync})
+	for i := 0; i < g.TotalFrames(); i++ {
+		f := m.Frame(i)
+		bs.Packets = append(bs.Packets, Packet{Op: OpWriteFrame, Frame: i, Data: f.Data})
+	}
+	bs.Packets = append(bs.Packets, Packet{Op: OpStartup})
+	return bs
+}
+
+// Partial assembles a partial-reconfiguration bitstream carrying only the
+// given frames of m. No start-up command is included.
+func Partial(m *Memory, frames []int) *Bitstream {
+	g := m.Geometry()
+	bs := &Bitstream{Geom: g}
+	bs.Packets = append(bs.Packets, Packet{Op: OpSync})
+	for _, i := range frames {
+		f := m.Frame(i)
+		bs.Packets = append(bs.Packets, Packet{Op: OpWriteFrame, Frame: i, Data: f.Data})
+	}
+	return bs
+}
+
+// IsFull reports whether the bitstream ends with a start-up command.
+func (bs *Bitstream) IsFull() bool {
+	return len(bs.Packets) > 0 && bs.Packets[len(bs.Packets)-1].Op == OpStartup
+}
+
+// FrameCount returns the number of frame-write packets.
+func (bs *Bitstream) FrameCount() int {
+	n := 0
+	for _, p := range bs.Packets {
+		if p.Op == OpWriteFrame {
+			n++
+		}
+	}
+	return n
+}
+
+// Wire format: magic "RCFG", u32 frameBytes, then packets as
+// [op u8][frame u32][len u32][data]. This is what the simulated flash
+// module stores and the 10 Mbit spacecraft link uploads.
+
+var magic = []byte("RCFG")
+
+// Marshal serializes the bitstream.
+func (bs *Bitstream) Marshal() []byte {
+	out := make([]byte, 0, 8+len(bs.Packets)*(9+bs.Geom.FrameBytes()))
+	out = append(out, magic...)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(bs.Geom.FrameBytes()))
+	out = append(out, u32[:]...)
+	for _, p := range bs.Packets {
+		out = append(out, byte(p.Op))
+		binary.BigEndian.PutUint32(u32[:], uint32(p.Frame))
+		out = append(out, u32[:]...)
+		binary.BigEndian.PutUint32(u32[:], uint32(len(p.Data)))
+		out = append(out, u32[:]...)
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// Unmarshal parses a serialized bitstream targeting geometry g.
+func Unmarshal(g device.Geometry, raw []byte) (*Bitstream, error) {
+	if len(raw) < 8 || string(raw[:4]) != string(magic) {
+		return nil, fmt.Errorf("bitstream: bad magic")
+	}
+	fb := int(binary.BigEndian.Uint32(raw[4:8]))
+	if fb != g.FrameBytes() {
+		return nil, fmt.Errorf("bitstream: frame size %d does not match geometry (%d)", fb, g.FrameBytes())
+	}
+	bs := &Bitstream{Geom: g}
+	p := raw[8:]
+	for len(p) > 0 {
+		if len(p) < 9 {
+			return nil, fmt.Errorf("bitstream: truncated packet header")
+		}
+		op := Op(p[0])
+		frame := int(binary.BigEndian.Uint32(p[1:5]))
+		n := int(binary.BigEndian.Uint32(p[5:9]))
+		p = p[9:]
+		if n > len(p) {
+			return nil, fmt.Errorf("bitstream: truncated packet payload (%d > %d)", n, len(p))
+		}
+		var data []byte
+		if n > 0 {
+			data = make([]byte, n)
+			copy(data, p[:n])
+			p = p[n:]
+		}
+		switch op {
+		case OpSync, OpStartup, OpNop:
+			if n != 0 {
+				return nil, fmt.Errorf("bitstream: op %#x must not carry data", op)
+			}
+		case OpWriteFrame:
+			if frame < 0 || frame >= g.TotalFrames() {
+				return nil, fmt.Errorf("bitstream: frame %d out of range", frame)
+			}
+			if n != g.FrameBytes() {
+				return nil, fmt.Errorf("bitstream: frame %d payload %d bytes, want %d", frame, n, g.FrameBytes())
+			}
+		default:
+			return nil, fmt.Errorf("bitstream: unknown op %#x", op)
+		}
+		bs.Packets = append(bs.Packets, Packet{Op: op, Frame: frame, Data: data})
+	}
+	return bs, nil
+}
+
+// Apply writes every frame packet into memory m and reports whether the
+// stream ended with a start-up command.
+func (bs *Bitstream) Apply(m *Memory) (startup bool, err error) {
+	for _, p := range bs.Packets {
+		switch p.Op {
+		case OpWriteFrame:
+			if err := m.WriteFrame(Frame{Index: p.Frame, Data: p.Data}); err != nil {
+				return false, err
+			}
+		case OpStartup:
+			startup = true
+		}
+	}
+	return startup, nil
+}

@@ -1,0 +1,178 @@
+// Package board models the SLAAC-1V PCI testbed the paper's SEU simulator
+// runs on: two identical FPGAs (X1 = golden, X2 = device under test)
+// executing the same design from the same stimulus, a comparator (X0 on the
+// real board) checking their outputs on every clock, and a dedicated
+// configuration controller providing high-speed partial reconfiguration and
+// readback of the DUT.
+package board
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/fpga"
+	"repro/internal/place"
+)
+
+// Timing constants from the paper's testbed description.
+const (
+	// BitInjectTime: "a single bit can be modified and loaded in 100 us"
+	// over SLAAC-1V's PCI configuration mode.
+	BitInjectTime = 100 * time.Microsecond
+	// InjectLoopTime: one full corrupt/observe/repair iteration of the
+	// simulator loop takes 214 us.
+	InjectLoopTime = 214 * time.Microsecond
+	// AcceleratorLoopTime: one iteration of the accelerator test loop
+	// (Fig. 12) takes about 430 us.
+	AcceleratorLoopTime = 430 * time.Microsecond
+	// ClockRate is the design clock used during testing ("up to 20 MHz").
+	ClockRate = 20_000_000
+)
+
+// SLAAC1V is the two-FPGA lock-step harness.
+type SLAAC1V struct {
+	Placed *place.Placed
+	Golden *fpga.FPGA // X1
+	DUT    *fpga.FPGA // X2
+	// Port is the configuration controller attached to the DUT (the
+	// XCV100 on the real board).
+	Port *fpga.Port
+
+	rng     *rand.Rand
+	inPins  []int
+	outNets []int
+	cycle   int64
+}
+
+// New builds the testbed: both devices are fully configured with the placed
+// design and a seeded stimulus source is attached.
+func New(p *place.Placed, seed int64) (*SLAAC1V, error) {
+	golden := fpga.New(p.Geom)
+	dut := fpga.New(p.Geom)
+	bs := p.Bitstream()
+	if err := golden.FullConfigure(bs); err != nil {
+		return nil, fmt.Errorf("board: configuring golden: %w", err)
+	}
+	if err := dut.FullConfigure(bs); err != nil {
+		return nil, fmt.Errorf("board: configuring DUT: %w", err)
+	}
+	b := &SLAAC1V{
+		Placed: p,
+		Golden: golden,
+		DUT:    dut,
+		Port:   fpga.NewPort(dut),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	for _, port := range p.Circuit.Inputs {
+		for _, pin := range p.InputPins[port.Name] {
+			if pin >= 0 {
+				b.inPins = append(b.inPins, pin)
+			}
+		}
+	}
+	for _, port := range p.Circuit.Outputs {
+		for _, ref := range p.OutputNets[port.Name] {
+			b.outNets = append(b.outNets, p.Geom.NetID(ref))
+		}
+	}
+	return b, nil
+}
+
+// Cycle returns the number of comparison clocks executed.
+func (b *SLAAC1V) Cycle() int64 { return b.cycle }
+
+// OutputWidth returns the number of compared output bits.
+func (b *SLAAC1V) OutputWidth() int { return len(b.outNets) }
+
+// Step drives one clock of fresh random stimulus into both devices and
+// compares every design output, returning true when they match (the X0
+// comparator's per-clock verdict).
+func (b *SLAAC1V) Step() bool {
+	for _, pin := range b.inPins {
+		v := b.rng.Intn(2) == 1
+		b.Golden.SetPin(pin, v)
+		b.DUT.SetPin(pin, v)
+	}
+	b.Golden.Step()
+	b.DUT.Step()
+	b.cycle++
+	return b.Match()
+}
+
+// Match compares the settled outputs of both devices.
+func (b *SLAAC1V) Match() bool {
+	for _, id := range b.outNets {
+		if b.Golden.NetValue(id) != b.DUT.NetValue(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// StepN steps n clocks and returns the number of mismatching clocks and the
+// first mismatching cycle index (-1 if none).
+func (b *SLAAC1V) StepN(n int) (mismatches int, first int64) {
+	first = -1
+	for i := 0; i < n; i++ {
+		if !b.Step() {
+			mismatches++
+			if first < 0 {
+				first = b.cycle
+			}
+		}
+	}
+	return mismatches, first
+}
+
+// RunUntilMismatch steps at most n clocks, stopping early at the first
+// mismatch; it reports whether a mismatch occurred.
+func (b *SLAAC1V) RunUntilMismatch(n int) bool {
+	for i := 0; i < n; i++ {
+		if !b.Step() {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetBoth resets user state in both devices (the "reset designs" step of
+// Figs. 8 and 12). Configuration memory and half-latches are untouched.
+func (b *SLAAC1V) ResetBoth() {
+	b.Golden.Reset()
+	b.DUT.Reset()
+}
+
+// Geometry returns the device geometry.
+func (b *SLAAC1V) Geometry() device.Geometry { return b.Placed.Geom }
+
+// Outputs packs the first 64 compared output bits of the golden device and
+// the DUT (LSB-first), for trace-style experiments like the paper's Fig. 7.
+func (b *SLAAC1V) Outputs() (golden, dut uint64) {
+	for i, id := range b.outNets {
+		if i >= 64 {
+			break
+		}
+		if b.Golden.NetValue(id) {
+			golden |= 1 << uint(i)
+		}
+		if b.DUT.NetValue(id) {
+			dut |= 1 << uint(i)
+		}
+	}
+	return golden, dut
+}
+
+// MismatchBits returns the indices (into the flattened compared-output
+// vector) currently disagreeing between golden and DUT — the raw material
+// of the paper's bit-to-output correlation table (§III-A).
+func (b *SLAAC1V) MismatchBits() []int {
+	var out []int
+	for i, id := range b.outNets {
+		if b.Golden.NetValue(id) != b.DUT.NetValue(id) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package board
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/fpga"
+	"repro/internal/place"
+)
+
+func testbed(t *testing.T) *SLAAC1V {
+	t.Helper()
+	spec, err := designs.ByName("LFSR 18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(spec.Build(), device.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := New(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bd
+}
+
+func TestLockStepAndOutputs(t *testing.T) {
+	bd := testbed(t)
+	if !bd.Match() {
+		t.Fatal("fresh board mismatched")
+	}
+	for i := 0; i < 100; i++ {
+		if !bd.Step() {
+			t.Fatalf("mismatch at cycle %d on a clean board", i)
+		}
+	}
+	g, d := bd.Outputs()
+	if g != d {
+		t.Fatal("Outputs disagree on a clean board")
+	}
+	if bd.OutputWidth() != 3 {
+		t.Errorf("output width = %d, want 3 (LFSR 18 scaled: 3 clusters)", bd.OutputWidth())
+	}
+}
+
+func TestResetBothResynchronizes(t *testing.T) {
+	bd := testbed(t)
+	bd.StepN(37)
+	// Knock the DUT's state sideways.
+	bd.DUT.SetFFValue(2, 2, 0, !bd.DUT.FFValue(2, 2, 0))
+	bd.DUT.Settle()
+	bd.ResetBoth()
+	if mism, _ := bd.StepN(50); mism != 0 {
+		t.Fatal("reset did not re-synchronize the pair")
+	}
+}
+
+func TestRunUntilMismatch(t *testing.T) {
+	bd := testbed(t)
+	if bd.RunUntilMismatch(50) {
+		t.Fatal("clean board mismatched")
+	}
+	// Freeze one used FF's clock enable via its half-latch keeper: the
+	// paper's canonical invisible upset — the comparator still catches it.
+	var hit bool
+	for _, s := range bd.Placed.Sites {
+		if s.Registered {
+			bd.DUT.FlipHalfLatch(fpga.HalfLatchSite{Kind: fpga.HLCE, R: s.R, C: s.C, FF: s.O})
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		t.Fatal("no registered site")
+	}
+	if !bd.RunUntilMismatch(300) {
+		t.Fatal("comparator missed a frozen flip-flop")
+	}
+}
+
+func TestTimingConstantsMatchPaper(t *testing.T) {
+	if BitInjectTime.Microseconds() != 100 {
+		t.Error("bit inject time should be 100us")
+	}
+	if InjectLoopTime.Microseconds() != 214 {
+		t.Error("inject loop time should be 214us")
+	}
+	if AcceleratorLoopTime.Microseconds() != 430 {
+		t.Error("accelerator loop should be 430us")
+	}
+}

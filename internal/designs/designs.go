@@ -1,0 +1,304 @@
+// Package designs generates the benchmark circuits of the paper's SEU
+// study: the feed-forward, data-path-dominated designs (array multipliers,
+// vector multipliers, pipelined multiply-add trees, filter preprocessor)
+// and the feedback-dominated designs (LFSR clusters, counter/adder,
+// LFSR-multiplier) whose contrasting configuration sensitivity and error
+// persistence the paper's Tables I and II report.
+//
+// The paper's designs target an XQVR1000 (12288 slices); ours are scaled to
+// route on the simulated fabric's default experiment geometry while
+// preserving what the experiments measure: the family (feedback vs
+// feed-forward), the relative area progression within each family, and the
+// resource mix per slice. EXPERIMENTS.md records the scaling.
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// LFSR builds one Fibonacci linear feedback shift register of the given
+// width, seeded non-zero, and returns its stage outputs. Each stage is a
+// flip-flop fed through a LUT (buffer or the feedback XOR), matching the
+// Virtex slice structure.
+func LFSR(b *netlist.Builder, width int, seed uint64) []netlist.SignalID {
+	if width < 2 {
+		panic("designs: LFSR width must be >= 2")
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	q := make([]netlist.SignalID, width)
+	for i := range q {
+		q[i] = b.NewSignal()
+	}
+	// Feedback taps (width-1, width-4): primitive for the widths the
+	// catalogue uses (e.g. x^10 + x^7 + 1, x^20 + x^17 + 1), giving
+	// long-period sequences.
+	tap := width - 4
+	if tap < 0 {
+		tap = 0
+	}
+	fb := b.Xor(q[width-1], q[tap])
+	b.BindFF(fb, q[0], seed&1 != 0)
+	for i := 1; i < width; i++ {
+		d := b.Buf(q[i-1])
+		b.BindFF(d, q[i], seed&(1<<uint(i)) != 0)
+	}
+	return q
+}
+
+// LFSRCluster builds the paper's Fig. 10 structure: `clusters` clusters,
+// each containing `perCluster` LFSRs of `width` bits whose final stages are
+// XOR'ed into one output bit.
+func LFSRCluster(name string, clusters, perCluster, width int) *netlist.Circuit {
+	b := netlist.NewBuilder(name)
+	out := make([]netlist.SignalID, clusters)
+	for cl := 0; cl < clusters; cl++ {
+		var last []netlist.SignalID
+		for k := 0; k < perCluster; k++ {
+			q := LFSR(b, width, uint64(cl*perCluster+k+1))
+			last = append(last, q[width-1])
+		}
+		out[cl] = b.XorTree(last)
+	}
+	b.Output("O", out)
+	return b.MustBuild()
+}
+
+// Mult builds a registered array multiplier: inputs A and B of the given
+// width are captured in input registers, multiplied combinationally, and
+// the product is registered — the paper's MULT design class.
+func Mult(name string, width int) *netlist.Circuit {
+	b := netlist.NewBuilder(name)
+	a := b.Input("A", width)
+	c := b.Input("B", width)
+	ar := synth.Register(b, bufBus(b, a))
+	br := synth.Register(b, bufBus(b, c))
+	p := synth.Multiply(b, ar, br)
+	b.Output("O", synth.Register(b, p))
+	return b.MustBuild()
+}
+
+// VMult builds the paper's VMULT design class: a vector of lane multipliers
+// fed from shared A/B buses. The operand buses are pipelined systolically
+// from lane to lane (each lane registers the remaining tail of the bus and
+// hands it to the next), which keeps every connection local — the layout
+// discipline a real Virtex implementation of a wide vector unit uses. Lane
+// i multiplies A[i*w:(i+1)*w] by B[i*w:(i+1)*w], with lane outputs skewed
+// by the pipeline depth.
+func VMult(name string, lanes, width int) *netlist.Circuit {
+	b := netlist.NewBuilder(name)
+	a := b.Input("A", lanes*width)
+	c := b.Input("B", lanes*width)
+	arem := synth.Register(b, bufBus(b, a))
+	brem := synth.Register(b, bufBus(b, c))
+	var out []netlist.SignalID
+	for l := 0; l < lanes; l++ {
+		p := synth.Multiply(b, arem[:width], brem[:width])
+		out = append(out, synth.Register(b, p)...)
+		if l < lanes-1 {
+			arem = synth.Register(b, bufBus(b, arem[width:]))
+			brem = synth.Register(b, bufBus(b, brem[width:]))
+		}
+	}
+	b.Output("O", out)
+	return b.MustBuild()
+}
+
+// MultAdd builds the paper's Fig. 9 pipelined multiply-and-add tree: the A
+// and B inputs are split into halves, the four cross products are computed
+// by parallel multipliers, and a pipelined adder tree reduces them. Pure
+// feed-forward: the paper found zero persistent configuration bits in this
+// design class.
+func MultAdd(name string, width int) *netlist.Circuit {
+	if width%2 != 0 {
+		panic("designs: MultAdd width must be even")
+	}
+	h := width / 2
+	b := netlist.NewBuilder(name)
+	a := b.Input("A", width)
+	c := b.Input("B", width)
+	// Operand registers travel with the pipeline: each accumulation stage
+	// re-registers the operand buses it still needs, so all connections stay
+	// local (the layout discipline of the real pipelined tree). With
+	// steady-state inputs the output equals alo*blo + alo*bhi + ahi*blo +
+	// ahi*bhi; under changing inputs stages see skewed epochs, which is
+	// irrelevant to (and faithfully modelled by) the lock-step SEU harness.
+	ar := synth.Register(b, bufBus(b, a))
+	br := synth.Register(b, bufBus(b, c))
+	sel := [][2]bool{{false, false}, {false, true}, {true, false}, {true, true}}
+	var acc []netlist.SignalID
+	for i, sv := range sel {
+		ah := ar[:h]
+		if sv[0] {
+			ah = ar[h:]
+		}
+		bh := br[:h]
+		if sv[1] {
+			bh = br[h:]
+		}
+		p := synth.Register(b, synth.Multiply(b, ah, bh))
+		if acc == nil {
+			acc = p
+		} else {
+			sum, cout := synth.Add(b, acc, p, netlist.Invalid)
+			acc = synth.Register(b, append(sum, cout))
+		}
+		if i < len(sel)-1 {
+			ar = synth.Register(b, bufBus(b, ar))
+			br = synth.Register(b, bufBus(b, br))
+		}
+	}
+	b.Output("O", synth.Register(b, acc))
+	return b.MustBuild()
+}
+
+// CounterAdder builds the paper's counter/adder design: a free-running
+// binary counter added to the registered A input. The counter's state
+// feedback is what produces the design's persistent configuration bits
+// (and the paper's Fig. 7 trace).
+func CounterAdder(name string, width int) *netlist.Circuit {
+	b := netlist.NewBuilder(name)
+	a := b.Input("A", width)
+	cnt := synth.Counter(b, width)
+	ar := synth.Register(b, bufBus(b, a))
+	sum, cout := synth.Add(b, cnt, ar, netlist.Invalid)
+	b.Output("O", synth.Register(b, append(sum, cout)))
+	return b.MustBuild()
+}
+
+// LFSRMult builds the paper's LFSR-multiplier: an on-chip LFSR provides one
+// multiplicand, the A input the other, mixing feedback state (persistent)
+// with a feed-forward datapath (non-persistent).
+func LFSRMult(name string, width int) *netlist.Circuit {
+	b := netlist.NewBuilder(name)
+	a := b.Input("A", width)
+	q := LFSR(b, width*2, 0x2D)
+	ar := synth.Register(b, bufBus(b, a))
+	p := synth.Multiply(b, q[:width], ar)
+	b.Output("O", synth.Register(b, p))
+	return b.MustBuild()
+}
+
+// FilterPreproc builds the paper's filter preprocessor: an input delay line
+// feeding a small constant-coefficient FIR computed with shift-and-add.
+// Almost entirely feed-forward; its shallow delay line flushes transient
+// errors, giving the low persistence the paper reports (1.2%).
+func FilterPreproc(name string, width, taps int) *netlist.Circuit {
+	b := netlist.NewBuilder(name)
+	x := b.Input("A", width)
+	// Delay line.
+	stage := synth.Register(b, bufBus(b, x))
+	delays := [][]netlist.SignalID{stage}
+	for t := 1; t < taps; t++ {
+		stage = synth.Register(b, bufBus(b, stage))
+		delays = append(delays, stage)
+	}
+	// Coefficients 1, 2, 3, 1, 2, 3, ... via shift-and-add.
+	zero := b.Const(false)
+	shifted := func(bus []netlist.SignalID, k int) []netlist.SignalID {
+		out := make([]netlist.SignalID, 0, len(bus)+k)
+		for i := 0; i < k; i++ {
+			out = append(out, zero)
+		}
+		return append(out, bus...)
+	}
+	var acc []netlist.SignalID
+	for t, d := range delays {
+		var term []netlist.SignalID
+		switch t % 3 {
+		case 0: // x1
+			term = bufBus(b, d)
+		case 1: // x2
+			term = shifted(d, 1)
+		default: // x3 = x + x<<1
+			s, c := synth.Add(b, d, shifted(d, 1), netlist.Invalid)
+			term = append(s, c)
+		}
+		if acc == nil {
+			acc = term
+		} else {
+			s, c := synth.Add(b, acc, term, netlist.Invalid)
+			acc = append(s, c)
+		}
+	}
+	b.Output("O", synth.Register(b, acc))
+	return b.MustBuild()
+}
+
+// bufBus buffers each bit of a bus through a LUT. Input-port signals must
+// pass through fabric logic before registers/outputs can bind to them.
+func bufBus(b *netlist.Builder, bus []netlist.SignalID) []netlist.SignalID {
+	out := make([]netlist.SignalID, len(bus))
+	for i, s := range bus {
+		out[i] = b.Buf(s)
+	}
+	return out
+}
+
+// Spec names one catalogued benchmark design.
+type Spec struct {
+	// Name is the paper's label (e.g. "LFSR 72").
+	Name string
+	// Class is "feedback" or "feedforward" (drives persistence
+	// expectations).
+	Class string
+	// Table lists which paper tables the design appears in (1, 2).
+	Tables []int
+	// Build generates the scaled circuit.
+	Build func() *netlist.Circuit
+}
+
+// Catalog returns every paper benchmark, scaled for the default experiment
+// geometry (device.Small). The scaling preserves each family's area
+// progression: LFSR 18..72 quadruple in area, MULT 12..48 likewise.
+func Catalog() []Spec {
+	specs := []Spec{
+		{Name: "LFSR 18", Class: "feedback", Tables: []int{1},
+			Build: func() *netlist.Circuit { return LFSRCluster("LFSR 18", 3, 2, 10) }},
+		{Name: "LFSR 36", Class: "feedback", Tables: []int{1},
+			Build: func() *netlist.Circuit { return LFSRCluster("LFSR 36", 6, 2, 10) }},
+		{Name: "LFSR 54", Class: "feedback", Tables: []int{1},
+			Build: func() *netlist.Circuit { return LFSRCluster("LFSR 54", 9, 2, 10) }},
+		{Name: "LFSR 72", Class: "feedback", Tables: []int{1, 2},
+			Build: func() *netlist.Circuit { return LFSRCluster("LFSR 72", 12, 2, 10) }},
+		{Name: "VMULT 18", Class: "feedforward", Tables: []int{1},
+			Build: func() *netlist.Circuit { return VMult("VMULT 18", 1, 3) }},
+		{Name: "VMULT 36", Class: "feedforward", Tables: []int{1},
+			Build: func() *netlist.Circuit { return VMult("VMULT 36", 2, 3) }},
+		{Name: "VMULT 54", Class: "feedforward", Tables: []int{1},
+			Build: func() *netlist.Circuit { return VMult("VMULT 54", 3, 3) }},
+		{Name: "VMULT 72", Class: "feedforward", Tables: []int{1},
+			Build: func() *netlist.Circuit { return VMult("VMULT 72", 4, 3) }},
+		{Name: "MULT 12", Class: "feedforward", Tables: []int{1},
+			Build: func() *netlist.Circuit { return Mult("MULT 12", 3) }},
+		{Name: "MULT 24", Class: "feedforward", Tables: []int{1},
+			Build: func() *netlist.Circuit { return Mult("MULT 24", 4) }},
+		{Name: "MULT 36", Class: "feedforward", Tables: []int{1},
+			Build: func() *netlist.Circuit { return Mult("MULT 36", 5) }},
+		{Name: "MULT 48", Class: "feedforward", Tables: []int{1},
+			Build: func() *netlist.Circuit { return Mult("MULT 48", 6) }},
+		{Name: "54 Multiply-Add", Class: "feedforward", Tables: []int{2},
+			Build: func() *netlist.Circuit { return MultAdd("54 Multiply-Add", 6) }},
+		{Name: "36 Counter/Adder", Class: "feedback", Tables: []int{2},
+			Build: func() *netlist.Circuit { return CounterAdder("36 Counter/Adder", 9) }},
+		{Name: "LFSR Multiplier", Class: "mixed", Tables: []int{2},
+			Build: func() *netlist.Circuit { return LFSRMult("LFSR Multiplier", 4) }},
+		{Name: "Filter Preproc.", Class: "feedforward", Tables: []int{2},
+			Build: func() *netlist.Circuit { return FilterPreproc("Filter Preproc.", 4, 5) }},
+	}
+	return specs
+}
+
+// ByName returns the catalogued design with the given paper label.
+func ByName(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("designs: no catalogued design %q", name)
+}

@@ -1,0 +1,191 @@
+package designs
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+func TestCatalogBuildsAndValidates(t *testing.T) {
+	for _, spec := range Catalog() {
+		c := spec.Build()
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if c.Name != spec.Name {
+			t.Errorf("%s: circuit named %q", spec.Name, c.Name)
+		}
+	}
+}
+
+func TestCatalogPlacesAndVerifiesOnSmall(t *testing.T) {
+	g := device.Small()
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := place.Place(spec.Build(), g)
+			if err != nil {
+				t.Fatalf("place: %v", err)
+			}
+			if err := place.Verify(p, 40, 42); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLFSRFamilyAreaProgression(t *testing.T) {
+	g := device.Small()
+	var prev int
+	for _, name := range []string{"LFSR 18", "LFSR 36", "LFSR 54", "LFSR 72"} {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := place.Place(spec.Build(), g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := p.SlicesUsed()
+		if s <= prev {
+			t.Errorf("%s: slices %d not larger than previous %d", name, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestLFSRSequenceIsNonTrivial(t *testing.T) {
+	b := netlist.NewBuilder("lfsr")
+	q := LFSR(b, 10, 1)
+	b.Output("O", q)
+	sim, err := netlist.NewSimulator(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		v, _ := sim.Output("O")
+		if v == 0 {
+			t.Fatal("LFSR reached the all-zero lock-up state")
+		}
+		seen[v] = true
+		sim.Step()
+	}
+	if len(seen) < 50 {
+		t.Errorf("LFSR visited only %d states in 200 cycles", len(seen))
+	}
+}
+
+func TestMultComputesProducts(t *testing.T) {
+	c := Mult("m", 4)
+	sim, err := netlist.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInput("A", 13)
+	sim.SetInput("B", 11)
+	sim.StepN(2) // input register + output register
+	if v, _ := sim.Output("O"); v != 143 {
+		t.Errorf("13*11 = %d, want 143", v)
+	}
+}
+
+func TestVMultLanesAreIndependent(t *testing.T) {
+	c := VMult("v", 2, 3)
+	sim, err := netlist.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lane 0: 5*7=35; lane 1: 3*2=6. Lanes are systolically skewed, so run
+	// enough cycles for the deepest lane to fill with the constant inputs.
+	sim.SetInput("A", 5|3<<3)
+	sim.SetInput("B", 7|2<<3)
+	sim.StepN(10)
+	v, _ := sim.Output("O")
+	if lane0 := v & 63; lane0 != 35 {
+		t.Errorf("lane0 = %d, want 35", lane0)
+	}
+	if lane1 := (v >> 6) & 63; lane1 != 6 {
+		t.Errorf("lane1 = %d, want 6", lane1)
+	}
+}
+
+func TestMultAddComputes(t *testing.T) {
+	c := MultAdd("ma", 6)
+	sim, err := netlist.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const a, b = 45, 37
+	sim.SetInput("A", a)
+	sim.SetInput("B", b)
+	sim.StepN(16) // fill the skewed accumulation pipeline
+	// al*bl + al*bh + ah*bl + ah*bh for 3-bit halves.
+	al, ah := uint64(a&7), uint64(a>>3)
+	bl, bh := uint64(b&7), uint64(b>>3)
+	want := al*bl + al*bh + ah*bl + ah*bh
+	if v, _ := sim.Output("O"); v != want {
+		t.Errorf("multiply-add tree = %d, want %d", v, want)
+	}
+}
+
+func TestCounterAdderCounts(t *testing.T) {
+	c := CounterAdder("ca", 6)
+	sim, err := netlist.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInput("A", 5)
+	// After k cycles the output register holds counter(k-1)+5 (one cycle of
+	// register latency on both A and the sum).
+	sim.StepN(4)
+	if v, _ := sim.Output("O"); v != 3+5 {
+		t.Errorf("counter+5 after 4 cycles = %d, want 8", v)
+	}
+}
+
+func TestFilterPreprocImpulseResponse(t *testing.T) {
+	c := FilterPreproc("fir", 4, 5)
+	sim, err := netlist.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive an impulse and observe coefficients 1,2,3,1,2 marching out.
+	sim.SetInput("A", 1)
+	sim.Step()
+	sim.SetInput("A", 0)
+	var got []uint64
+	for i := 0; i < 8; i++ {
+		v, _ := sim.Output("O")
+		got = append(got, v)
+		sim.Step()
+	}
+	want := []uint64{0, 1, 2, 3, 1, 2, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("impulse response = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("GHOST 99"); err == nil {
+		t.Error("ByName accepted a ghost design")
+	}
+}
+
+func TestClassesAssigned(t *testing.T) {
+	for _, s := range Catalog() {
+		switch s.Class {
+		case "feedback", "feedforward", "mixed":
+		default:
+			t.Errorf("%s: unknown class %q", s.Name, s.Class)
+		}
+		if len(s.Tables) == 0 {
+			t.Errorf("%s: no table assignment", s.Name)
+		}
+	}
+}

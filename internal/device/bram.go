@@ -1,0 +1,86 @@
+package device
+
+// Block RAM model. Each BRAM column holds Rows/BRAMRowsPerBlock blocks of
+// BRAMWords x BRAMWidth bits. Content lives in the first BRAMContentFrames
+// frames of the column; port routing configuration lives in the remaining
+// frames. As on the real part, BRAM content is part of configuration memory
+// (it is read back and scrubbed), which is exactly what makes readback of a
+// live RAM hazardous — see internal/fpga's masking support.
+const (
+	// BRAMContentFrames is the number of frames per BRAM column that hold
+	// memory content.
+	BRAMContentFrames = 16
+	// BRAMWords is the depth of one block.
+	BRAMWords = 64
+	// BRAMWidth is the word width of one block.
+	BRAMWidth = 16
+	// BRAMAddrBits is the address width of one block.
+	BRAMAddrBits = 6
+	// BRAMPortInBits is the width of one port-input source field:
+	// valid(1) + row-offset(3) + output(2), selecting a CLB output in the
+	// adjacent CLB column within the block's row span.
+	BRAMPortInBits = 6
+	// BRAMDoutLLBits is the width of one dout long-line driver field:
+	// enable(1) + 4-bit dout bit select.
+	BRAMDoutLLBits = 5
+	// BRAMPortBits is the total port configuration per block:
+	// 6 addr + 16 din + we + en source fields, then 4 dout drivers.
+	BRAMPortBits = (BRAMAddrBits+BRAMWidth+2)*BRAMPortInBits + LongLinesPerCol*BRAMDoutLLBits
+)
+
+// Port-field offsets within a block's BRAMPortBits space.
+const (
+	BRAMPortAddrBase = 0                                              // 6 fields
+	BRAMPortDinBase  = BRAMPortAddrBase + BRAMAddrBits*BRAMPortInBits // 16 fields
+	BRAMPortWEBase   = BRAMPortDinBase + BRAMWidth*BRAMPortInBits
+	BRAMPortENBase   = BRAMPortWEBase + BRAMPortInBits
+	BRAMPortDoutBase = BRAMPortENBase + BRAMPortInBits // 4 fields of BRAMDoutLLBits
+)
+
+// bramRegionBits is the per-block bit region reserved inside each BRAM frame.
+const bramRegionBits = BRAMRowsPerBlock * BitsPerCLBRow // 144
+
+// BRAMAdjCol returns the CLB column whose outputs feed BRAM column bc's
+// ports and whose column long lines carry its dout.
+func (g Geometry) BRAMAdjCol(bc int) int {
+	c := (bc + 1) * g.Cols / (g.BRAMCols + 1)
+	if c >= g.Cols {
+		c = g.Cols - 1
+	}
+	return c
+}
+
+// BRAMRowBase returns the first CLB row of block blk's span.
+func (g Geometry) BRAMRowBase(blk int) int { return blk * BRAMRowsPerBlock }
+
+// bramFrame returns the absolute frame index of frame f of BRAM column bc.
+func (g Geometry) bramFrame(bc, f int) int {
+	return g.CLBFrames() + bc*BRAMFramesPerCol + f
+}
+
+// BRAMContentBitAddr returns the bit address holding bit i of word w of
+// block blk in BRAM column bc.
+func (g Geometry) BRAMContentBitAddr(bc, blk, w, i int) BitAddr {
+	idx := w*BRAMWidth + i // 0..1023
+	f := idx % BRAMContentFrames
+	pos := blk*bramRegionBits + idx/BRAMContentFrames
+	return BitAddr(int64(g.bramFrame(bc, f))*int64(g.FrameLength()) + int64(pos))
+}
+
+// BRAMPortBitAddr returns the bit address of port configuration bit k
+// (0..BRAMPortBits-1) of block blk in BRAM column bc.
+func (g Geometry) BRAMPortBitAddr(bc, blk, k int) BitAddr {
+	portFrames := BRAMFramesPerCol - BRAMContentFrames
+	f := BRAMContentFrames + k%portFrames
+	pos := blk*bramRegionBits + k/portFrames
+	return BitAddr(int64(g.bramFrame(bc, f))*int64(g.FrameLength()) + int64(pos))
+}
+
+// blockOfBRAMOffset recovers the block index from an in-frame offset.
+func blockOfBRAMOffset(g Geometry, off int) int {
+	blk := off / bramRegionBits
+	if max := g.BRAMBlocksPerCol() - 1; blk > max {
+		blk = max
+	}
+	return blk
+}

@@ -1,0 +1,131 @@
+// Package device models the architecture of a Virtex-like SRAM FPGA: the
+// CLB array, the column-oriented frame-addressed configuration memory, the
+// per-CLB configuration field layout, and the routing fabric (input muxes,
+// neighbour wires, long lines, I/O pins).
+//
+// The model is deliberately configuration-driven: every behavioural property
+// of a configured device (LUT truth tables, routing selections, flip-flop
+// modes) is decoded from configuration memory bits whose addresses this
+// package defines. Corrupting a bit therefore genuinely changes behaviour,
+// which is the property the paper's SEU simulator depends on.
+package device
+
+import "fmt"
+
+// Architectural constants shared by every geometry. They mirror the Virtex
+// numbers the paper quotes: 48 frames per CLB column and a frame length of
+// 18 bits per CLB row plus 96 pad bits, which yields the paper's 156-byte
+// (1248-bit) frame for the 64-row XQVR1000.
+const (
+	// FramesPerCLBCol is the number of configuration frames that together
+	// configure one column of CLBs.
+	FramesPerCLBCol = 48
+	// BitsPerCLBRow is the number of bits each frame contributes to one CLB
+	// row slot.
+	BitsPerCLBRow = 18
+	// FramePadBits is the number of trailing bits in each frame reserved for
+	// IOB/clock configuration, which this model treats as padding.
+	FramePadBits = 96
+	// BRAMFramesPerCol is the number of frames in one block-RAM column.
+	BRAMFramesPerCol = 24
+)
+
+// Geometry describes one device size. The zero value is not usable; use one
+// of the constructors or fill Rows/Cols explicitly.
+type Geometry struct {
+	// Rows and Cols give the CLB array size.
+	Rows, Cols int
+	// BRAMCols is the number of block-RAM columns appended after the CLB
+	// columns in frame address order.
+	BRAMCols int
+	// ExtraFrames is a count of additional unmodelled frames appended after
+	// all CLB and BRAM frames (clock spine, configuration options, ...).
+	ExtraFrames int
+}
+
+// XQVR1000 returns the full-size geometry used by the paper's flight system:
+// a 64x96 CLB array whose configuration store totals ~5.81 million bits with
+// 1248-bit (156-byte) frames.
+func XQVR1000() Geometry {
+	return Geometry{Rows: 64, Cols: 96, BRAMCols: 2}
+}
+
+// Small returns a scaled geometry suitable for unit tests and exhaustive
+// fault-injection campaigns that must finish in seconds.
+func Small() Geometry {
+	return Geometry{Rows: 16, Cols: 24, BRAMCols: 1}
+}
+
+// Tiny returns the smallest geometry that still exercises every routing
+// resource class; useful for property-based tests.
+func Tiny() Geometry {
+	return Geometry{Rows: 8, Cols: 8, BRAMCols: 1}
+}
+
+// Validate reports an error if the geometry is degenerate.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Rows < 2 || g.Cols < 2:
+		return fmt.Errorf("device: geometry %dx%d too small (need at least 2x2)", g.Rows, g.Cols)
+	case g.BRAMCols < 0 || g.ExtraFrames < 0:
+		return fmt.Errorf("device: negative BRAMCols/ExtraFrames")
+	default:
+		return nil
+	}
+}
+
+// FrameLength returns the number of bits in one configuration frame.
+func (g Geometry) FrameLength() int { return g.Rows*BitsPerCLBRow + FramePadBits }
+
+// FrameBytes returns the frame length in bytes (frames are byte-padded).
+func (g Geometry) FrameBytes() int { return (g.FrameLength() + 7) / 8 }
+
+// CLBFrames returns the number of frames configuring the CLB array.
+func (g Geometry) CLBFrames() int { return g.Cols * FramesPerCLBCol }
+
+// BRAMFrames returns the number of frames configuring block RAM columns.
+func (g Geometry) BRAMFrames() int { return g.BRAMCols * BRAMFramesPerCol }
+
+// TotalFrames returns the total number of configuration frames.
+func (g Geometry) TotalFrames() int { return g.CLBFrames() + g.BRAMFrames() + g.ExtraFrames }
+
+// TotalBits returns the total number of configuration bits in the device.
+func (g Geometry) TotalBits() int64 {
+	return int64(g.TotalFrames()) * int64(g.FrameLength())
+}
+
+// CLBs returns the number of CLBs in the array.
+func (g Geometry) CLBs() int { return g.Rows * g.Cols }
+
+// Slices returns the number of logic slices (2 per CLB, as in Virtex).
+func (g Geometry) Slices() int { return g.CLBs() * SlicesPerCLB }
+
+// LUTs returns the number of 4-input LUTs (2 per slice).
+func (g Geometry) LUTs() int { return g.CLBs() * LUTsPerCLB }
+
+// BRAMBlocks returns the number of block RAMs (one per 8 rows per column).
+func (g Geometry) BRAMBlocks() int {
+	perCol := g.Rows / BRAMRowsPerBlock
+	if perCol < 1 {
+		perCol = 1
+	}
+	return g.BRAMCols * perCol
+}
+
+// BRAMBlocksPerCol returns the number of block RAMs in one BRAM column.
+func (g Geometry) BRAMBlocksPerCol() int {
+	perCol := g.Rows / BRAMRowsPerBlock
+	if perCol < 1 {
+		perCol = 1
+	}
+	return perCol
+}
+
+// Pins returns the number of device I/O pins: 4 per row on the west and east
+// edges plus 4 per column on the north and south edges.
+func (g Geometry) Pins() int { return 4 * (2*g.Rows + 2*g.Cols) }
+
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dx%d CLBs, %d BRAM cols, %d frames x %d bits = %d config bits",
+		g.Rows, g.Cols, g.BRAMCols, g.TotalFrames(), g.FrameLength(), g.TotalBits())
+}

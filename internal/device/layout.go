@@ -1,0 +1,262 @@
+package device
+
+import "fmt"
+
+// Per-CLB logic resources, mirroring the Virtex slice organisation the paper
+// relies on: each CLB holds two slices, each slice two 4-input LUTs and two
+// flip-flops.
+const (
+	SlicesPerCLB  = 2
+	LUTsPerSlice  = 2
+	FFsPerSlice   = 2
+	LUTsPerCLB    = SlicesPerCLB * LUTsPerSlice // 4
+	FFsPerCLB     = SlicesPerCLB * FFsPerSlice  // 4
+	LUTInputs     = 4
+	LUTBits       = 1 << LUTInputs // 16 truth-table bits
+	OutputsPerCLB = 4              // one per LUT/FF pair
+	// InputsPerCLB is the number of LUT input pins that must each be routed
+	// through a 32-way input multiplexer.
+	InputsPerCLB = LUTsPerCLB * LUTInputs // 16
+	// InMuxWays is the fan-in of every CLB input multiplexer; its select
+	// field is InMuxSelBits wide.
+	InMuxWays    = 32
+	InMuxSelBits = 5
+	// LongLinesPerRow and LongLinesPerCol are the number of long-line
+	// channels spanning each row and column.
+	LongLinesPerRow = 4
+	LongLinesPerCol = 4
+	// LLDriversPerCLB is the number of long lines a CLB can drive: the four
+	// row channels of its row and the four column channels of its column.
+	LLDriversPerCLB = LongLinesPerRow + LongLinesPerCol
+	// BRAMRowsPerBlock is the number of CLB rows a block RAM spans.
+	BRAMRowsPerBlock = 8
+)
+
+// Per-CLB configuration field layout. Each CLB owns CLBConfigBits = 864 bits
+// of configuration memory (48 frames x 18 bits). The modelled behavioural
+// fields occupy the first CBModeledBits of that space; the remainder is
+// padding that corresponds to fabric features outside this model (carry
+// chains, tristate buffers, extra PIPs). Padding bits are still injected and
+// scrubbed — they are simply never behaviour-relevant, exactly like unused
+// fabric bits on the real part.
+const (
+	// LUT truth tables: 4 LUTs x 16 bits.
+	CBLUTBase = 0
+	// Input mux selects: 16 inputs x 5 bits.
+	CBInMuxBase = CBLUTBase + LUTsPerCLB*LUTBits // 64
+	// Flip-flop configuration: 4 FFs x FFCfgBits bits.
+	CBFFBase = CBInMuxBase + InputsPerCLB*InMuxSelBits // 144
+	// Output multiplexers: 4 outputs x 1 bit (0 = LUT, 1 = FF).
+	CBOutMuxBase = CBFFBase + FFsPerCLB*FFCfgBits // 180
+	// Long-line drivers: 8 lines x 3 bits (enable + 2-bit source select).
+	CBLLBase = CBOutMuxBase + OutputsPerCLB // 184
+	// LUT mode: 4 bits, one per LUT. When set the LUT operates as a 16-bit
+	// shift register (SRL16): its truth-table configuration bits become live
+	// design state that shifts on every enabled clock. This is the feature
+	// that makes configuration readback hazardous for designs that use LUTs
+	// as memories (paper §II-C).
+	CBLUTModeBase = CBLLBase + LLDriversPerCLB*LLDrvBits // 208
+	// CBModeledBits is the count of behaviour-relevant bits per CLB.
+	CBModeledBits = CBLUTModeBase + LUTsPerCLB // 212
+	// CLBConfigBits is the full per-CLB configuration budget.
+	CLBConfigBits = FramesPerCLBCol * BitsPerCLBRow // 864
+)
+
+// Flip-flop configuration sub-fields (FFCfgBits bits per FF).
+const (
+	FFInitBit   = 0 // initial value loaded by the full-configuration start-up
+	FFCEModeLo  = 1 // clock-enable mode, low bit
+	FFCEModeHi  = 2 // clock-enable mode, high bit
+	FFCESelBase = 3 // 5-bit routed clock-enable source select
+	FFDInvBit   = 8 // invert the D input
+	FFCfgBits   = 9
+)
+
+// Clock-enable modes. CEHalfLatch is the pathological default the paper's
+// half-latch study revolves around: an unconnected CE input picks up a
+// constant 1 from a hidden weak keeper that readback cannot see.
+type CEMode uint8
+
+const (
+	// CEHalfLatch: CE input unconnected; value supplied by the hidden
+	// half-latch keeper (normally 1 = always enabled).
+	CEHalfLatch CEMode = 0
+	// CERouted: CE driven by the routed source in the FFCESel field.
+	CERouted CEMode = 1
+	// CEConstZero: FF never loads (holds its init value forever).
+	CEConstZero CEMode = 2
+	// CEConstOne: always enabled via a configuration-memory constant (the
+	// RadDRC-mitigated form: scrubbable, no hidden state).
+	CEConstOne CEMode = 3
+)
+
+func (m CEMode) String() string {
+	switch m {
+	case CEHalfLatch:
+		return "half-latch"
+	case CERouted:
+		return "routed"
+	case CEConstZero:
+		return "const0"
+	case CEConstOne:
+		return "const1"
+	}
+	return fmt.Sprintf("CEMode(%d)", uint8(m))
+}
+
+// Long-line driver sub-fields (LLDrvBits bits per driver).
+const (
+	LLEnableBit = 0
+	LLSrcBase   = 1 // 2-bit select of which CLB output drives the line
+	LLDrvBits   = 3
+)
+
+// CLBBitOf returns the absolute bit address of configuration bit cb
+// (0..CLBConfigBits-1) of the CLB at (row r, column c).
+func (g Geometry) CLBBitOf(r, c, cb int) BitAddr {
+	f := cb / BitsPerCLBRow
+	b := cb % BitsPerCLBRow
+	frame := c*FramesPerCLBCol + f
+	return BitAddr(int64(frame)*int64(g.FrameLength()) + int64(r*BitsPerCLBRow+b))
+}
+
+// LUTBitAddr returns the bit address of truth-table bit i of LUT l in the
+// CLB at (r, c).
+func (g Geometry) LUTBitAddr(r, c, l, i int) BitAddr {
+	return g.CLBBitOf(r, c, CBLUTBase+l*LUTBits+i)
+}
+
+// InMuxBitAddr returns the bit address of select bit k of input mux in
+// (0..15) of the CLB at (r, c).
+func (g Geometry) InMuxBitAddr(r, c, in, k int) BitAddr {
+	return g.CLBBitOf(r, c, CBInMuxBase+in*InMuxSelBits+k)
+}
+
+// FFBitAddr returns the bit address of configuration bit k (an FF* constant)
+// of flip-flop ff in the CLB at (r, c).
+func (g Geometry) FFBitAddr(r, c, ff, k int) BitAddr {
+	return g.CLBBitOf(r, c, CBFFBase+ff*FFCfgBits+k)
+}
+
+// OutMuxBitAddr returns the bit address of the output-mux select for output
+// o of the CLB at (r, c).
+func (g Geometry) OutMuxBitAddr(r, c, o int) BitAddr {
+	return g.CLBBitOf(r, c, CBOutMuxBase+o)
+}
+
+// LUTModeBitAddr returns the bit address of the SRL-mode bit of LUT l in
+// the CLB at (r, c).
+func (g Geometry) LUTModeBitAddr(r, c, l int) BitAddr {
+	return g.CLBBitOf(r, c, CBLUTModeBase+l)
+}
+
+// LLDrvBitAddr returns the bit address of configuration bit k of long-line
+// driver d (0..7) of the CLB at (r, c).
+func (g Geometry) LLDrvBitAddr(r, c, d, k int) BitAddr {
+	return g.CLBBitOf(r, c, CBLLBase+d*LLDrvBits+k)
+}
+
+// BitAddr is an absolute configuration-memory bit address:
+// frame*FrameLength + offset.
+type BitAddr int64
+
+// Frame returns the frame index of the address under geometry g.
+func (a BitAddr) Frame(g Geometry) int { return int(int64(a) / int64(g.FrameLength())) }
+
+// Offset returns the in-frame bit offset of the address under geometry g.
+func (a BitAddr) Offset(g Geometry) int { return int(int64(a) % int64(g.FrameLength())) }
+
+// BitKind classifies what a configuration bit controls.
+type BitKind uint8
+
+const (
+	KindPad BitKind = iota // unmodelled fabric / frame padding
+	KindLUT
+	KindInMux
+	KindFF
+	KindOutMux
+	KindLongLine
+	KindBRAMContent
+	KindBRAMPort
+	KindExtra // frames beyond CLB+BRAM columns
+)
+
+func (k BitKind) String() string {
+	switch k {
+	case KindPad:
+		return "pad"
+	case KindLUT:
+		return "lut"
+	case KindInMux:
+		return "inmux"
+	case KindFF:
+		return "ff"
+	case KindOutMux:
+		return "outmux"
+	case KindLongLine:
+		return "longline"
+	case KindBRAMContent:
+		return "bram-content"
+	case KindBRAMPort:
+		return "bram-port"
+	case KindExtra:
+		return "extra"
+	}
+	return "unknown"
+}
+
+// BitInfo describes the resource a configuration bit belongs to.
+type BitInfo struct {
+	Kind BitKind
+	// R, C locate the CLB for CLB-kind bits; for BRAM kinds C is the BRAM
+	// column index and R the block index.
+	R, C int
+	// CB is the per-CLB configuration bit index (0..CLBConfigBits-1) for CLB
+	// kinds.
+	CB int
+}
+
+// Classify maps an absolute bit address to the resource it configures.
+func (g Geometry) Classify(a BitAddr) BitInfo {
+	frame := a.Frame(g)
+	off := a.Offset(g)
+	switch {
+	case frame < g.CLBFrames():
+		c := frame / FramesPerCLBCol
+		f := frame % FramesPerCLBCol
+		if off >= g.Rows*BitsPerCLBRow {
+			return BitInfo{Kind: KindPad, C: c}
+		}
+		r := off / BitsPerCLBRow
+		b := off % BitsPerCLBRow
+		cb := f*BitsPerCLBRow + b
+		info := BitInfo{R: r, C: c, CB: cb}
+		switch {
+		case cb < CBInMuxBase:
+			info.Kind = KindLUT
+		case cb < CBFFBase:
+			info.Kind = KindInMux
+		case cb < CBOutMuxBase:
+			info.Kind = KindFF
+		case cb < CBLLBase:
+			info.Kind = KindOutMux
+		case cb < CBLUTModeBase:
+			info.Kind = KindLongLine
+		case cb < CBModeledBits:
+			info.Kind = KindLUT // LUT mode bits travel with the LUT resource
+		default:
+			info.Kind = KindPad
+		}
+		return info
+	case frame < g.CLBFrames()+g.BRAMFrames():
+		bf := frame - g.CLBFrames()
+		bc := bf / BRAMFramesPerCol
+		f := bf % BRAMFramesPerCol
+		if f < BRAMContentFrames {
+			return BitInfo{Kind: KindBRAMContent, C: bc, R: blockOfBRAMOffset(g, off)}
+		}
+		return BitInfo{Kind: KindBRAMPort, C: bc, R: blockOfBRAMOffset(g, off)}
+	default:
+		return BitInfo{Kind: KindExtra}
+	}
+}

@@ -1,0 +1,187 @@
+package device
+
+import "fmt"
+
+// NetKind identifies the class of a routing net.
+type NetKind uint8
+
+const (
+	// NetUndriven marks a routing wire with no driver. Reading it returns
+	// the value of a hidden half-latch keeper (see internal/fpga).
+	NetUndriven NetKind = iota
+	// NetCLBOut is output O of the CLB at (R, C).
+	NetCLBOut
+	// NetRowLL is row long-line channel O of row R.
+	NetRowLL
+	// NetColLL is column long-line channel O of column C.
+	NetColLL
+	// NetPin is device I/O pin O (see Pin* helpers for indexing).
+	NetPin
+)
+
+func (k NetKind) String() string {
+	switch k {
+	case NetUndriven:
+		return "undriven"
+	case NetCLBOut:
+		return "clbout"
+	case NetRowLL:
+		return "rowll"
+	case NetColLL:
+		return "colll"
+	case NetPin:
+		return "pin"
+	}
+	return "unknown"
+}
+
+// NetRef names one routing net. Field use depends on Kind:
+// NetCLBOut uses R, C, O; NetRowLL uses R, O; NetColLL uses C, O; NetPin
+// uses O as the global pin index.
+type NetRef struct {
+	Kind    NetKind
+	R, C, O int
+}
+
+func (n NetRef) String() string {
+	switch n.Kind {
+	case NetCLBOut:
+		return fmt.Sprintf("clb(%d,%d).out%d", n.R, n.C, n.O)
+	case NetRowLL:
+		return fmt.Sprintf("rowll(%d).ch%d", n.R, n.O)
+	case NetColLL:
+		return fmt.Sprintf("colll(%d).ch%d", n.C, n.O)
+	case NetPin:
+		return fmt.Sprintf("pin%d", n.O)
+	}
+	return "undriven"
+}
+
+// HexDistance is the reach of the "hex" vertical wires (slots 20..23).
+const HexDistance = 6
+
+// InputCandidate returns the net that input-mux slot s (0..InMuxWays-1) of
+// the CLB at (r, c) taps. The slot plan per CLB is:
+//
+//	 0.. 3  own outputs 0..3 (local feedback)
+//	 4.. 7  west neighbour outputs (device input pins on the west edge)
+//	 8..11  east neighbour outputs (device input pins on the east edge)
+//	12..15  north neighbour outputs (device input pins on the north edge)
+//	16..19  south neighbour outputs (device input pins on the south edge)
+//	20..23  hex wires from the CLB HexDistance rows north (undriven near the
+//	        top edge — these taps read half-latches)
+//	24..27  row long lines, channels 0..3
+//	28..31  column long lines, channels 0..3
+func (g Geometry) InputCandidate(r, c, s int) NetRef {
+	o := s & 3
+	switch {
+	case s < 4:
+		return NetRef{Kind: NetCLBOut, R: r, C: c, O: o}
+	case s < 8:
+		if c == 0 {
+			return NetRef{Kind: NetPin, O: g.PinWest(r, o)}
+		}
+		return NetRef{Kind: NetCLBOut, R: r, C: c - 1, O: o}
+	case s < 12:
+		if c == g.Cols-1 {
+			return NetRef{Kind: NetPin, O: g.PinEast(r, o)}
+		}
+		return NetRef{Kind: NetCLBOut, R: r, C: c + 1, O: o}
+	case s < 16:
+		if r == 0 {
+			return NetRef{Kind: NetPin, O: g.PinNorth(c, o)}
+		}
+		return NetRef{Kind: NetCLBOut, R: r - 1, C: c, O: o}
+	case s < 20:
+		if r == g.Rows-1 {
+			return NetRef{Kind: NetPin, O: g.PinSouth(c, o)}
+		}
+		return NetRef{Kind: NetCLBOut, R: r + 1, C: c, O: o}
+	case s < 24:
+		if r < HexDistance {
+			return NetRef{Kind: NetUndriven}
+		}
+		return NetRef{Kind: NetCLBOut, R: r - HexDistance, C: c, O: o}
+	case s < 28:
+		return NetRef{Kind: NetRowLL, R: r, O: s - 24}
+	default:
+		return NetRef{Kind: NetColLL, C: c, O: s - 28}
+	}
+}
+
+// Pin indexing: west and east edges expose 4 pins per row; north and south
+// edges 4 pins per column. Pin indices are global and dense in
+// [0, g.Pins()).
+
+// PinWest returns the global pin index of west-edge pin o of row r.
+func (g Geometry) PinWest(r, o int) int { return r*4 + o }
+
+// PinEast returns the global pin index of east-edge pin o of row r.
+func (g Geometry) PinEast(r, o int) int { return 4*g.Rows + r*4 + o }
+
+// PinNorth returns the global pin index of north-edge pin o of column c.
+func (g Geometry) PinNorth(c, o int) int { return 8*g.Rows + c*4 + o }
+
+// PinSouth returns the global pin index of south-edge pin o of column c.
+func (g Geometry) PinSouth(c, o int) int { return 8*g.Rows + 4*g.Cols + c*4 + o }
+
+// Dense net-ID space for simulator state arrays. IDs are laid out as:
+// CLB outputs, row long lines, column long lines, pins.
+
+// NumNets returns the size of the dense net-ID space.
+func (g Geometry) NumNets() int {
+	return 4*g.CLBs() + LongLinesPerRow*g.Rows + LongLinesPerCol*g.Cols + g.Pins()
+}
+
+// NetID maps a NetRef to its dense ID, or -1 for undriven.
+func (g Geometry) NetID(n NetRef) int {
+	switch n.Kind {
+	case NetCLBOut:
+		return (n.R*g.Cols+n.C)*4 + n.O
+	case NetRowLL:
+		return 4*g.CLBs() + n.R*LongLinesPerRow + n.O
+	case NetColLL:
+		return 4*g.CLBs() + LongLinesPerRow*g.Rows + n.C*LongLinesPerCol + n.O
+	case NetPin:
+		return 4*g.CLBs() + LongLinesPerRow*g.Rows + LongLinesPerCol*g.Cols + n.O
+	default:
+		return -1
+	}
+}
+
+// NetOf is the inverse of NetID.
+func (g Geometry) NetOf(id int) NetRef {
+	if id < 0 {
+		return NetRef{Kind: NetUndriven}
+	}
+	clbOuts := 4 * g.CLBs()
+	if id < clbOuts {
+		return NetRef{Kind: NetCLBOut, R: id / 4 / g.Cols, C: (id / 4) % g.Cols, O: id & 3}
+	}
+	id -= clbOuts
+	rowLLs := LongLinesPerRow * g.Rows
+	if id < rowLLs {
+		return NetRef{Kind: NetRowLL, R: id / LongLinesPerRow, O: id % LongLinesPerRow}
+	}
+	id -= rowLLs
+	colLLs := LongLinesPerCol * g.Cols
+	if id < colLLs {
+		return NetRef{Kind: NetColLL, C: id / LongLinesPerCol, O: id % LongLinesPerCol}
+	}
+	id -= colLLs
+	return NetRef{Kind: NetPin, O: id}
+}
+
+// Segment identifies one incoming routing wire tap of a CLB: the physical
+// wire that slot S of the input muxes of CLB (R, C) listens to. Stuck-at
+// faults for the permanent-fault (BIST) study attach to segments.
+type Segment struct {
+	R, C int
+	S    int // slot, 0..InMuxWays-1
+}
+
+func (s Segment) String() string { return fmt.Sprintf("seg(%d,%d)#%d", s.R, s.C, s.S) }
+
+// SegmentsPerCLB is the number of distinct incoming wires per CLB. It plays
+// the role of the paper's "96 wires per CLB" (scaled to this fabric).
+const SegmentsPerCLB = InMuxWays

@@ -1,0 +1,86 @@
+package device
+
+// Virtex vs Virtex-II readback-masking analysis (§IV-A). On the real
+// Virtex, the frame layout interleaves LUT truth-table bits one per frame,
+// so a LUT used as a RAM or shift register forces 16 of its CLB column's 48
+// frames out of the CRC-checkable set ("16 out of the 48 configuration data
+// frames for that CLB column", 32 of 48 when both slices hold LUT
+// memories). Virtex-II concentrates a column's LUT data into two frames,
+// so "most of the bitstream data for that column ... can be read back
+// during design execution without disturbing the circuit".
+//
+// This model's layout keeps each LUT's truth bits in adjacent per-CLB
+// configuration slots, which lands between the two: MaskableFramesModel
+// computes the exact per-column cost for this fabric, while CompareLayouts
+// also reports the documented real-Virtex and Virtex-II arithmetic so the
+// §IV-A argument can be made quantitatively.
+
+// Real-part constants from the paper's §IV-A discussion.
+const (
+	// VirtexFramesPerLiveLUT is the real Virtex masking cost per live LUT
+	// position in a column.
+	VirtexFramesPerLiveLUT = 16
+	// VirtexIIFramesPerColumn is the flat Virtex-II cost when any LUT in
+	// the column holds live content.
+	VirtexIIFramesPerColumn = 2
+)
+
+// MaskableFramesModel returns the distinct frames (within a CLB column's
+// 48) that must be masked under THIS model's layout when LUT position l
+// (0..3) holds live content anywhere in the column.
+func (g Geometry) MaskableFramesModel(l int) []int {
+	frames := map[int]bool{}
+	for i := 0; i < LUTBits; i++ {
+		cb := CBLUTBase + l*LUTBits + i
+		frames[cb/BitsPerCLBRow] = true
+	}
+	out := make([]int, 0, len(frames))
+	for f := range frames {
+		out = append(out, f)
+	}
+	return out
+}
+
+// LayoutMaskCost summarizes the per-column readback-masking overhead of a
+// set of live LUT positions under three layouts.
+type LayoutMaskCost struct {
+	// LiveLUTs is the number of distinct LUT positions (0..3) holding live
+	// content in the column.
+	LiveLUTs int
+	// VirtexFrames is the real Virtex cost (paper's arithmetic: 16 frames
+	// per live LUT position, capped at the column's 48).
+	VirtexFrames int
+	// ModelFrames is this fabric's exact cost.
+	ModelFrames int
+	// VirtexIIFrames is the Virtex-II cost (two frames flat).
+	VirtexIIFrames int
+	// ColumnFrames is the column's total frame count.
+	ColumnFrames int
+}
+
+// CompareLayouts computes the §IV-A comparison for a column in which the
+// given LUT positions hold live (RAM/SRL) content.
+func (g Geometry) CompareLayouts(liveLUTs []int) LayoutMaskCost {
+	cost := LayoutMaskCost{ColumnFrames: FramesPerCLBCol}
+	modelFrames := map[int]bool{}
+	seen := map[int]bool{}
+	for _, l := range liveLUTs {
+		if l < 0 || l >= LUTsPerCLB || seen[l] {
+			continue
+		}
+		seen[l] = true
+		cost.LiveLUTs++
+		for _, f := range g.MaskableFramesModel(l) {
+			modelFrames[f] = true
+		}
+	}
+	cost.ModelFrames = len(modelFrames)
+	cost.VirtexFrames = cost.LiveLUTs * VirtexFramesPerLiveLUT
+	if cost.VirtexFrames > FramesPerCLBCol {
+		cost.VirtexFrames = FramesPerCLBCol
+	}
+	if cost.LiveLUTs > 0 {
+		cost.VirtexIIFrames = VirtexIIFramesPerColumn
+	}
+	return cost
+}

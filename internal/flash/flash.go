@@ -1,0 +1,234 @@
+// Package flash models the payload's nonvolatile configuration storage
+// (§II): the 16 MB flash module holding "more than twenty configuration bit
+// streams for the Xilinx FPGAs (without compression)", protected by error
+// control coding against SEUs that occur while the memory is being
+// accessed, plus a directory layer the microprocessor uses to fetch golden
+// frames during scrubbing.
+package flash
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+)
+
+// FlightFlashBytes is the flight module's capacity.
+const FlightFlashBytes = 16 << 20
+
+// Stats counts ECC activity.
+type Stats struct {
+	Reads            int64
+	CorrectedSingles int64
+	DetectedDoubles  int64
+}
+
+// Device is an ECC-protected word-addressable memory: every 64-bit word
+// carries a SECDED (single-error-correct, double-error-detect) Hamming
+// code, the "error control coding ... to mitigate SEUs that might occur
+// while the memory is being accessed".
+type Device struct {
+	words []uint64
+	ecc   []uint8
+	stats Stats
+}
+
+// New returns a zeroed device of the given byte capacity.
+func New(capacityBytes int) *Device {
+	n := (capacityBytes + 7) / 8
+	d := &Device{words: make([]uint64, n), ecc: make([]uint8, n)}
+	for i := range d.words {
+		d.ecc[i] = secded(0)
+	}
+	return d
+}
+
+// Capacity returns the device capacity in bytes.
+func (d *Device) Capacity() int { return len(d.words) * 8 }
+
+// Stats returns ECC activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Extended Hamming(72,64): data bits occupy codeword positions 1..72,
+// skipping the power-of-two positions reserved for the seven parity bits;
+// an eighth overall-parity bit upgrades single-error correction to
+// double-error detection.
+var (
+	dataPos [64]int // codeword position of data bit i
+	posData [73]int // codeword position -> data bit index, or -1
+)
+
+func init() {
+	for i := range posData {
+		posData[i] = -1
+	}
+	i := 0
+	for pos := 1; pos <= 72 && i < 64; pos++ {
+		if pos&(pos-1) == 0 { // power of two: parity position
+			continue
+		}
+		dataPos[i] = pos
+		posData[pos] = i
+		i++
+	}
+}
+
+// secded computes the 8-bit SECDED code for a 64-bit word.
+func secded(w uint64) uint8 {
+	var code uint8
+	for p := 0; p < 7; p++ {
+		var parity uint8
+		for i := 0; i < 64; i++ {
+			if w&(1<<uint(i)) != 0 && dataPos[i]&(1<<uint(p)) != 0 {
+				parity ^= 1
+			}
+		}
+		code |= parity << uint(p)
+	}
+	overall := uint8(bits.OnesCount64(w)&1) ^ uint8(bits.OnesCount8(code&0x7F)&1)
+	return code | overall<<7
+}
+
+// writeWord stores a word with fresh ECC.
+func (d *Device) writeWord(i int, w uint64) {
+	d.words[i] = w
+	d.ecc[i] = secded(w)
+}
+
+// readWord fetches a word, correcting a single bit error and detecting
+// (but not correcting) double errors.
+func (d *Device) readWord(i int) (uint64, error) {
+	d.stats.Reads++
+	w := d.words[i]
+	stored := d.ecc[i]
+	fresh := secded(w)
+	if fresh == stored {
+		return w, nil
+	}
+	synd := int((fresh ^ stored) & 0x7F)
+	// Overall parity of the received codeword (data + stored check bits):
+	// even when clean, odd for any single physical bit flip.
+	overallBad := (bits.OnesCount64(w)+bits.OnesCount8(stored))&1 != 0
+	switch {
+	case synd != 0 && overallBad:
+		// Single-bit error: the syndrome names the codeword position.
+		if synd <= 72 && posData[synd] >= 0 {
+			// Data bit.
+			w ^= 1 << uint(posData[synd])
+			d.stats.CorrectedSingles++
+			d.writeWord(i, w) // scrub the corrected word back
+			return w, nil
+		}
+		// A stored parity bit flipped; the data is fine.
+		d.stats.CorrectedSingles++
+		d.ecc[i] = secded(w)
+		return w, nil
+	case synd == 0 && overallBad:
+		// The overall parity bit itself flipped: data is fine.
+		d.stats.CorrectedSingles++
+		d.ecc[i] = fresh
+		return w, nil
+	default:
+		// Non-zero syndrome without an overall-parity flip: double error.
+		d.stats.DetectedDoubles++
+		return 0, fmt.Errorf("flash: double-bit error detected at word %d", i)
+	}
+}
+
+// Write stores bytes at a byte offset (offset and data need not be
+// word-aligned).
+func (d *Device) Write(offset int64, data []byte) error {
+	if offset < 0 || offset+int64(len(data)) > int64(d.Capacity()) {
+		return fmt.Errorf("flash: write [%d,%d) out of capacity %d", offset, offset+int64(len(data)), d.Capacity())
+	}
+	for k, b := range data {
+		pos := offset + int64(k)
+		i := int(pos >> 3)
+		sh := uint(pos&7) * 8
+		w := d.words[i] // raw read: we are overwriting, ECC refreshed below
+		w = (w &^ (0xFF << sh)) | uint64(b)<<sh
+		d.writeWord(i, w)
+	}
+	return nil
+}
+
+// Read fetches n bytes from a byte offset through the ECC path.
+func (d *Device) Read(offset int64, n int) ([]byte, error) {
+	if offset < 0 || offset+int64(n) > int64(d.Capacity()) {
+		return nil, fmt.Errorf("flash: read [%d,%d) out of capacity %d", offset, offset+int64(n), d.Capacity())
+	}
+	out := make([]byte, n)
+	for k := 0; k < n; k++ {
+		pos := offset + int64(k)
+		w, err := d.readWord(int(pos >> 3))
+		if err != nil {
+			return nil, err
+		}
+		out[k] = byte(w >> (uint(pos&7) * 8))
+	}
+	return out, nil
+}
+
+// UpsetBit flips one stored bit (a radiation strike on the flash array).
+// ECC corrects it on the next read.
+func (d *Device) UpsetBit(bitPos int64) {
+	d.words[bitPos>>6] ^= 1 << (uint(bitPos) & 63)
+}
+
+// Store is the bitstream directory the microprocessor uses: named
+// configuration bitstreams packed into the flash.
+type Store struct {
+	dev  *Device
+	next int64
+	dir  map[string]extent
+}
+
+type extent struct{ off, n int64 }
+
+// NewStore wraps a device with a directory.
+func NewStore(dev *Device) *Store {
+	return &Store{dev: dev, dir: make(map[string]extent)}
+}
+
+// Put stores a serialized bitstream under a name.
+func (s *Store) Put(name string, bs *bitstream.Bitstream) error {
+	raw := bs.Marshal()
+	if _, dup := s.dir[name]; dup {
+		return fmt.Errorf("flash: %q already stored", name)
+	}
+	if err := s.dev.Write(s.next, raw); err != nil {
+		return fmt.Errorf("flash: storing %q: %w", name, err)
+	}
+	s.dir[name] = extent{off: s.next, n: int64(len(raw))}
+	s.next += int64(len(raw))
+	return nil
+}
+
+// Get fetches and parses a stored bitstream through the ECC read path.
+func (s *Store) Get(name string, g device.Geometry) (*bitstream.Bitstream, error) {
+	e, ok := s.dir[name]
+	if !ok {
+		return nil, fmt.Errorf("flash: no bitstream %q", name)
+	}
+	raw, err := s.dev.Read(e.off, int(e.n))
+	if err != nil {
+		return nil, err
+	}
+	return bitstream.Unmarshal(g, raw)
+}
+
+// Names lists stored bitstreams.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.dir))
+	for n := range s.dir {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Used returns consumed bytes.
+func (s *Store) Used() int64 { return s.next }
+
+// Free returns remaining capacity in bytes.
+func (s *Store) Free() int64 { return int64(s.dev.Capacity()) - s.next }

@@ -1,0 +1,179 @@
+package flash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/fpga"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := New(4096)
+	data := []byte("the golden configuration frame data for device 1")
+	if err := d.Write(13, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Read(13, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(data) {
+		t.Fatalf("round trip mismatch: %q", back)
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	d := New(64)
+	if err := d.Write(60, make([]byte, 8)); err == nil {
+		t.Error("overflowing write accepted")
+	}
+	if err := d.Write(-1, []byte{1}); err == nil {
+		t.Error("negative write accepted")
+	}
+	if _, err := d.Read(60, 8); err == nil {
+		t.Error("overflowing read accepted")
+	}
+}
+
+func TestECCCorrectsSingleBitUpsets(t *testing.T) {
+	d := New(1 << 12)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 512)
+	rng.Read(data)
+	if err := d.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	// 40 separate single-bit upsets in distinct words, each corrected on
+	// read.
+	for i := 0; i < 40; i++ {
+		word := int64(i * 8)
+		d.UpsetBit(word*8 + int64(rng.Intn(64)))
+	}
+	back, err := d.Read(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("byte %d not corrected", i)
+		}
+	}
+	if d.Stats().CorrectedSingles < 40 {
+		t.Errorf("corrected %d singles, want >= 40", d.Stats().CorrectedSingles)
+	}
+	// Scrub-on-read: a second read needs no corrections.
+	before := d.Stats().CorrectedSingles
+	if _, err := d.Read(0, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().CorrectedSingles != before {
+		t.Error("corrected word was not scrubbed back")
+	}
+}
+
+func TestECCDetectsDoubleBitUpsets(t *testing.T) {
+	d := New(256)
+	if err := d.Write(0, []byte{0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	d.UpsetBit(3)
+	d.UpsetBit(17)
+	if _, err := d.Read(0, 8); err == nil {
+		t.Fatal("double-bit error not detected")
+	}
+	if d.Stats().DetectedDoubles == 0 {
+		t.Error("double error not counted")
+	}
+}
+
+func TestSECDEDProperty(t *testing.T) {
+	// Any single-bit flip of any word is corrected exactly.
+	f := func(w uint64, pos uint8) bool {
+		d := New(64)
+		d.writeWord(0, w)
+		d.words[0] ^= 1 << uint(pos%64)
+		got, err := d.readWord(0)
+		return err == nil && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreHoldsTwentyConfigurations(t *testing.T) {
+	// The flight module stores "more than twenty configuration bit streams"
+	// — check the capacity arithmetic holds for the flight geometry.
+	g := device.XQVR1000()
+	perBS := int64(len(fpga.NewConfigBuilder(g).FullBitstream().Marshal()))
+	if n := int64(FlightFlashBytes) / perBS; n < 20 {
+		t.Errorf("flight flash holds only %d full bitstreams (each %d bytes)", n, perBS)
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	g := device.Tiny()
+	dev := New(1 << 20)
+	s := NewStore(dev)
+	b := fpga.NewConfigBuilder(g)
+	b.SetLUT(2, 2, 0, fpga.TruthNot)
+	bs := b.FullBitstream()
+	if err := s.Put("radio-v1", bs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("radio-v1", bs); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	back, err := s.Get("radio-v1", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := bitstream.NewMemory(g)
+	m2 := bitstream.NewMemory(g)
+	if _, err := bs.Apply(m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.Apply(m2); err != nil {
+		t.Fatal(err)
+	}
+	if !m1.Equal(m2) {
+		t.Fatal("stored bitstream corrupted")
+	}
+	if _, err := s.Get("ghost", g); err == nil {
+		t.Error("ghost lookup succeeded")
+	}
+	if len(s.Names()) != 1 || s.Used() <= 0 || s.Free() <= 0 {
+		t.Error("directory accounting broken")
+	}
+}
+
+func TestStoreSurvivesFlashUpset(t *testing.T) {
+	// An SEU in the flash while a golden bitstream is stored: ECC corrects
+	// it transparently on fetch — the §II design intent.
+	g := device.Tiny()
+	dev := New(1 << 20)
+	s := NewStore(dev)
+	b := fpga.NewConfigBuilder(g)
+	b.SetLUT(1, 1, 1, fpga.TruthXor2)
+	if err := s.Put("golden", b.FullBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	dev.UpsetBit(int64(1000)) // inside the stored stream
+	back, err := s.Get("golden", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := bitstream.NewMemory(g)
+	if _, err := back.Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	want := b.Memory()
+	if !m.Equal(want) {
+		t.Fatal("flash upset leaked into the fetched bitstream")
+	}
+	if dev.Stats().CorrectedSingles == 0 {
+		t.Error("ECC correction not recorded")
+	}
+}

@@ -1,0 +1,167 @@
+package fpga
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/device"
+)
+
+// ConfigBuilder composes a configuration memory field by field. The
+// placement/routing flow and the BIST design generators use it to emit
+// bitstreams; tests use it to build small hand-crafted circuits.
+type ConfigBuilder struct {
+	g device.Geometry
+	m *bitstream.Memory
+}
+
+// NewConfigBuilder returns a builder over an all-zero configuration.
+func NewConfigBuilder(g device.Geometry) *ConfigBuilder {
+	return &ConfigBuilder{g: g, m: bitstream.NewMemory(g)}
+}
+
+// Geometry returns the target geometry.
+func (b *ConfigBuilder) Geometry() device.Geometry { return b.g }
+
+// Memory returns the underlying configuration memory.
+func (b *ConfigBuilder) Memory() *bitstream.Memory { return b.m }
+
+// SetLUT writes the 16-bit truth table of LUT l of CLB (r, c).
+func (b *ConfigBuilder) SetLUT(r, c, l int, truth uint16) {
+	b.m.Scatter(device.LUTBits, uint64(truth), func(i int) device.BitAddr {
+		return b.g.LUTBitAddr(r, c, l, i)
+	})
+}
+
+// SetSRL puts LUT l of CLB (r, c) into shift-register mode.
+func (b *ConfigBuilder) SetSRL(r, c, l int, on bool) {
+	b.m.Set(b.g.LUTModeBitAddr(r, c, l), on)
+}
+
+// RouteInput points input in (0..3) of LUT l of CLB (r, c) at input-mux
+// slot s (0..31).
+func (b *ConfigBuilder) RouteInput(r, c, l, in, s int) {
+	b.m.Scatter(device.InMuxSelBits, uint64(s), func(i int) device.BitAddr {
+		return b.g.InMuxBitAddr(r, c, l*device.LUTInputs+in, i)
+	})
+}
+
+// SetFF configures flip-flop k of CLB (r, c).
+func (b *ConfigBuilder) SetFF(r, c, k int, init bool, ce device.CEMode, ceSel int, dInv bool) {
+	b.m.Set(b.g.FFBitAddr(r, c, k, device.FFInitBit), init)
+	b.m.Set(b.g.FFBitAddr(r, c, k, device.FFCEModeLo), uint8(ce)&1 != 0)
+	b.m.Set(b.g.FFBitAddr(r, c, k, device.FFCEModeHi), uint8(ce)&2 != 0)
+	b.m.Scatter(device.InMuxSelBits, uint64(ceSel), func(i int) device.BitAddr {
+		return b.g.FFBitAddr(r, c, k, device.FFCESelBase+i)
+	})
+	b.m.Set(b.g.FFBitAddr(r, c, k, device.FFDInvBit), dInv)
+}
+
+// SetOutMux selects the registered (ff=true) or combinational source for
+// output o of CLB (r, c).
+func (b *ConfigBuilder) SetOutMux(r, c, o int, ff bool) {
+	b.m.Set(b.g.OutMuxBitAddr(r, c, o), ff)
+}
+
+// DriveLL enables long-line driver d (0..3 row channels, 4..7 column
+// channels) of CLB (r, c) with CLB output src.
+func (b *ConfigBuilder) DriveLL(r, c, d, src int) {
+	b.m.Set(b.g.LLDrvBitAddr(r, c, d, device.LLEnableBit), true)
+	b.m.Scatter(2, uint64(src), func(i int) device.BitAddr {
+		return b.g.LLDrvBitAddr(r, c, d, device.LLSrcBase+i)
+	})
+}
+
+// BRAM configuration ---------------------------------------------------------
+
+// SetBRAMWord writes initial content word w of block blk in BRAM column bc.
+func (b *ConfigBuilder) SetBRAMWord(bc, blk, w int, v uint16) {
+	for i := 0; i < device.BRAMWidth; i++ {
+		b.m.Set(b.g.BRAMContentBitAddr(bc, blk, w, i), v&(1<<uint(i)) != 0)
+	}
+}
+
+// bramSel packs a port-input source field.
+func bramSel(valid bool, rowOff, out int) uint64 {
+	v := uint64(rowOff&7)<<1 | uint64(out&3)<<4
+	if valid {
+		v |= 1
+	}
+	return v
+}
+
+// BindBRAMAddr connects address bit j of block (bc, blk) to output out of
+// the CLB rowOff rows below the block base in the adjacent column.
+func (b *ConfigBuilder) BindBRAMAddr(bc, blk, j, rowOff, out int) {
+	b.scatterBRAMPort(bc, blk, device.BRAMPortAddrBase+j*device.BRAMPortInBits,
+		device.BRAMPortInBits, bramSel(true, rowOff, out))
+}
+
+// scatterBRAMPort writes a port field through the per-bit address map.
+func (b *ConfigBuilder) scatterBRAMPort(bc, blk, base, w int, v uint64) {
+	b.m.Scatter(w, v, func(i int) device.BitAddr {
+		return b.g.BRAMPortBitAddr(bc, blk, base+i)
+	})
+}
+
+// BindBRAMDin connects data-in bit j analogously.
+func (b *ConfigBuilder) BindBRAMDin(bc, blk, j, rowOff, out int) {
+	b.scatterBRAMPort(bc, blk, device.BRAMPortDinBase+j*device.BRAMPortInBits,
+		device.BRAMPortInBits, bramSel(true, rowOff, out))
+}
+
+// BindBRAMWE connects the write enable.
+func (b *ConfigBuilder) BindBRAMWE(bc, blk, rowOff, out int) {
+	b.scatterBRAMPort(bc, blk, device.BRAMPortWEBase, device.BRAMPortInBits, bramSel(true, rowOff, out))
+}
+
+// BindBRAMEN connects the port enable.
+func (b *ConfigBuilder) BindBRAMEN(bc, blk, rowOff, out int) {
+	b.scatterBRAMPort(bc, blk, device.BRAMPortENBase, device.BRAMPortInBits, bramSel(true, rowOff, out))
+}
+
+// DriveBRAMDout drives column long-line channel ch of the adjacent column
+// with dout bit `bit` of block (bc, blk).
+func (b *ConfigBuilder) DriveBRAMDout(bc, blk, ch, bit int) {
+	b.scatterBRAMPort(bc, blk, device.BRAMPortDoutBase+ch*device.BRAMDoutLLBits,
+		device.BRAMDoutLLBits, uint64(bit&15)<<1|1)
+}
+
+// Bitstreams ------------------------------------------------------------------
+
+// FullBitstream assembles the complete configuration (with start-up).
+func (b *ConfigBuilder) FullBitstream() *bitstream.Bitstream {
+	return bitstream.Full(b.m)
+}
+
+// PartialBitstream assembles a partial bitstream of the given frames.
+func (b *ConfigBuilder) PartialBitstream(frames []int) *bitstream.Bitstream {
+	return bitstream.Partial(b.m, frames)
+}
+
+// Common LUT truth tables (inputs are indexed LSB-first: bit i of the
+// table index is LUT input i).
+const (
+	// TruthBuf passes input 0 through (unused inputs at any value).
+	TruthBuf uint16 = 0xAAAA
+	// TruthNot inverts input 0.
+	TruthNot uint16 = 0x5555
+	// TruthXor2 XORs inputs 0 and 1.
+	TruthXor2 uint16 = 0x6666
+	// TruthAnd2 ANDs inputs 0 and 1.
+	TruthAnd2 uint16 = 0x8888
+	// TruthOr2 ORs inputs 0 and 1.
+	TruthOr2 uint16 = 0xEEEE
+	// TruthXor3 XORs inputs 0..2.
+	TruthXor3 uint16 = 0x9696
+	// TruthXor4 XORs all four inputs.
+	TruthXor4 uint16 = 0x6996
+	// TruthMaj3 is the 2-of-3 majority of inputs 0..2 (the TMR voter).
+	TruthMaj3 uint16 = 0xE8E8
+	// TruthZero and TruthOne are constants.
+	TruthZero uint16 = 0x0000
+	TruthOne  uint16 = 0xFFFF
+	// TruthMux selects input 0 (sel=0) or input 1 (sel=1) with select on
+	// input 2.
+	TruthMux uint16 = 0xCACA
+	// TruthAndNot2 is input0 AND NOT input1.
+	TruthAndNot2 uint16 = 0x2222
+)

@@ -1,0 +1,740 @@
+package fpga
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+)
+
+// configure builds a device from a builder's full bitstream.
+func configure(t *testing.T, b *ConfigBuilder) *FPGA {
+	t.Helper()
+	f := New(b.Geometry())
+	if err := f.FullConfigure(b.FullBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestUnconfiguredDeviceIsUnprogrammed(t *testing.T) {
+	f := New(device.Tiny())
+	if !f.Unprogrammed() {
+		t.Fatal("fresh device should be unprogrammed")
+	}
+	if f.NetValue(0) {
+		t.Fatal("unprogrammed device must read zero")
+	}
+}
+
+func TestFullConfigureRequiresStartup(t *testing.T) {
+	g := device.Tiny()
+	f := New(g)
+	b := NewConfigBuilder(g)
+	if err := f.FullConfigure(b.PartialBitstream([]int{0})); err == nil {
+		t.Fatal("FullConfigure accepted a partial bitstream")
+	}
+	if err := f.PartialConfigure(b.FullBitstream()); err == nil {
+		t.Fatal("PartialConfigure accepted a full bitstream")
+	}
+}
+
+func TestInverterReadsPin(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// CLB (2,0): LUT0 = NOT(input0), input0 from slot 4 = west pin (2,0).
+	b.SetLUT(2, 0, 0, TruthNot)
+	b.RouteInput(2, 0, 0, 0, 4)
+	f := configure(t, b)
+
+	f.SetPin(g.PinWest(2, 0), false)
+	f.Settle()
+	if !f.OutValue(2, 0, 0) {
+		t.Error("NOT(0) should be 1")
+	}
+	f.SetPin(g.PinWest(2, 0), true)
+	f.Settle()
+	if f.OutValue(2, 0, 0) {
+		t.Error("NOT(1) should be 0")
+	}
+}
+
+func TestBufferChainSettlesQuickly(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// Row 0: CLB (0,c) buffers its west neighbour's output 0.
+	for c := 0; c < g.Cols; c++ {
+		b.SetLUT(0, c, 0, TruthBuf)
+		b.RouteInput(0, c, 0, 0, 4) // west
+	}
+	f := configure(t, b)
+	f.SetPin(g.PinWest(0, 0), true)
+	sweeps := f.Settle()
+	if !f.OutValue(0, g.Cols-1, 0) {
+		t.Fatal("value did not propagate along the buffer chain")
+	}
+	if sweeps > 3 {
+		t.Errorf("topo-ordered settle took %d sweeps for a forward chain", sweeps)
+	}
+	f.SetPin(g.PinWest(0, 0), false)
+	f.Settle()
+	if f.OutValue(0, g.Cols-1, 0) {
+		t.Fatal("0 did not propagate")
+	}
+}
+
+func TestFlipFlopPipeline(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// Two-stage pipeline in row 3: pin -> FF(3,0) -> FF(3,1).
+	b.SetLUT(3, 0, 0, TruthBuf)
+	b.RouteInput(3, 0, 0, 0, 4) // west pin
+	b.SetFF(3, 0, 0, false, device.CEConstOne, 0, false)
+	b.SetOutMux(3, 0, 0, true)
+	b.SetLUT(3, 1, 0, TruthBuf)
+	b.RouteInput(3, 1, 0, 0, 4) // west neighbour = (3,0)
+	b.SetFF(3, 1, 0, false, device.CEConstOne, 0, false)
+	b.SetOutMux(3, 1, 0, true)
+	f := configure(t, b)
+
+	pin := g.PinWest(3, 0)
+	f.SetPin(pin, true)
+	if f.OutValue(3, 1, 0) {
+		t.Fatal("pipeline output should be 0 before any clock")
+	}
+	f.Step()
+	if f.OutValue(3, 1, 0) {
+		t.Fatal("value arrived one cycle early")
+	}
+	if !f.OutValue(3, 0, 0) {
+		t.Fatal("stage 1 did not capture")
+	}
+	f.Step()
+	if !f.OutValue(3, 1, 0) {
+		t.Fatal("value did not arrive after two cycles")
+	}
+	if f.Cycle() != 2 {
+		t.Errorf("cycle counter = %d, want 2", f.Cycle())
+	}
+}
+
+func TestFFInitAndReset(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// FF with init=1, CE=const0: holds its init value forever.
+	b.SetLUT(1, 1, 0, TruthZero)
+	b.SetFF(1, 1, 0, true, device.CEConstZero, 0, false)
+	b.SetOutMux(1, 1, 0, true)
+	f := configure(t, b)
+	if !f.OutValue(1, 1, 0) {
+		t.Fatal("FF init value not loaded at start-up")
+	}
+	f.StepN(3)
+	if !f.OutValue(1, 1, 0) {
+		t.Fatal("CE=const0 FF changed state")
+	}
+	f.SetFFValue(1, 1, 0, false)
+	f.Settle()
+	if f.OutValue(1, 1, 0) {
+		t.Fatal("direct FF poke not visible")
+	}
+	f.Reset()
+	if !f.OutValue(1, 1, 0) {
+		t.Fatal("Reset did not restore FF init value")
+	}
+}
+
+func TestDInvert(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	b.SetLUT(2, 2, 1, TruthZero) // D = 0
+	b.SetFF(2, 2, 1, false, device.CEConstOne, 0, true)
+	b.SetOutMux(2, 2, 1, true)
+	f := configure(t, b)
+	f.Step()
+	if !f.OutValue(2, 2, 1) {
+		t.Fatal("dInv FF should load NOT(0) = 1")
+	}
+}
+
+func TestLongLineRouting(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// (5,0) computes NOT(pin) and drives row long line 0 of row 5.
+	b.SetLUT(5, 0, 0, TruthNot)
+	b.RouteInput(5, 0, 0, 0, 4)
+	b.DriveLL(5, 0, 0, 0) // row channel 0, source = output 0
+	// (5,7) buffers row long line channel 0 (slot 24).
+	b.SetLUT(5, 7, 0, TruthBuf)
+	b.RouteInput(5, 7, 0, 0, 24)
+	f := configure(t, b)
+
+	f.SetPin(g.PinWest(5, 0), false)
+	f.Settle()
+	if !f.OutValue(5, 7, 0) {
+		t.Fatal("long line did not carry 1 across the row")
+	}
+	f.SetPin(g.PinWest(5, 0), true)
+	f.Settle()
+	if f.OutValue(5, 7, 0) {
+		t.Fatal("long line did not carry 0")
+	}
+}
+
+func TestLongLineWiredAND(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// Two drivers on row line (6, ch1): (6,0) drives NOT(pinA), (6,3)
+	// drives NOT(pinB). Reader at (6,6).
+	for _, c := range []int{0, 3} {
+		b.SetLUT(6, c, 0, TruthNot)
+		b.DriveLL(6, c, 1, 0)
+	}
+	b.RouteInput(6, 0, 0, 0, 4)  // west pin
+	b.RouteInput(6, 3, 0, 0, 12) // north neighbour (5,3) out0 = const 0
+	b.SetLUT(6, 6, 0, TruthBuf)
+	b.RouteInput(6, 6, 0, 0, 25) // row LL ch 1
+	f := configure(t, b)
+
+	f.SetPin(g.PinWest(6, 0), false) // driver A = 1, driver B = NOT(0)=1
+	f.Settle()
+	if !f.OutValue(6, 6, 0) {
+		t.Fatal("wired-AND of 1,1 should be 1")
+	}
+	f.SetPin(g.PinWest(6, 0), true) // driver A = 0
+	f.Settle()
+	if f.OutValue(6, 6, 0) {
+		t.Fatal("wired-AND of 0,1 should be 0")
+	}
+}
+
+func TestUndrivenInputReadsHalfLatchOne(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// CLB (2,2): slot 20 (hex north, r<6) is undriven -> half-latch 1.
+	b.SetLUT(2, 2, 0, TruthBuf)
+	b.RouteInput(2, 2, 0, 0, 20)
+	f := configure(t, b)
+	f.Settle()
+	if !f.OutValue(2, 2, 0) {
+		t.Fatal("undriven input should read half-latch constant 1")
+	}
+	// Upset the keeper: the constant becomes 0. Readback sees nothing.
+	before := f.ConfigMemory().Clone()
+	f.FlipHalfLatch(HalfLatchSite{Kind: HLInput, R: 2, C: 2, Slot: 20})
+	f.Settle()
+	if f.OutValue(2, 2, 0) {
+		t.Fatal("half-latch upset had no effect")
+	}
+	if !f.ConfigMemory().Equal(before) {
+		t.Fatal("half-latch upset disturbed configuration memory (readback would see it)")
+	}
+}
+
+func TestHalfLatchCENotRestoredByPartialConfig(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// Toggle FF: D = NOT(own out0). CE from half-latch (the paper's Fig. 14
+	// scenario).
+	b.SetLUT(4, 4, 0, TruthNot)
+	b.RouteInput(4, 4, 0, 0, 0) // own output 0 (registered)
+	b.SetFF(4, 4, 0, false, device.CEHalfLatch, 0, false)
+	b.SetOutMux(4, 4, 0, true)
+	f := configure(t, b)
+
+	f.Step()
+	if !f.OutValue(4, 4, 0) {
+		t.Fatal("toggle FF did not toggle")
+	}
+	// Proton upsets the CE keeper: the FF freezes.
+	site := HalfLatchSite{Kind: HLCE, R: 4, C: 4, FF: 0}
+	f.FlipHalfLatch(site)
+	v := f.OutValue(4, 4, 0)
+	f.StepN(5)
+	if f.OutValue(4, 4, 0) != v {
+		t.Fatal("FF with upset CE keeper should be frozen")
+	}
+	// Partial reconfiguration of the CLB's frames does NOT recover it.
+	var frames []int
+	for cb := 0; cb < device.CLBConfigBits; cb += device.BitsPerCLBRow {
+		frames = append(frames, g.CLBBitOf(4, 4, cb).Frame(g))
+	}
+	if err := f.PartialConfigure(bitstream.Partial(f.ConfigMemory(), frames)); err != nil {
+		t.Fatal(err)
+	}
+	f.StepN(2)
+	if f.OutValue(4, 4, 0) != v {
+		t.Fatal("partial reconfiguration must not restore half-latches")
+	}
+	// Full reconfiguration (start-up sequence) recovers.
+	if err := f.FullConfigure(b.FullBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	f.Step()
+	if !f.OutValue(4, 4, 0) {
+		t.Fatal("full reconfiguration did not restore the half-latch")
+	}
+	// RestoreHalfLatch models spontaneous recovery.
+	f.FlipHalfLatch(site)
+	f.RestoreHalfLatch(site)
+	if !f.HalfLatchValue(site) {
+		t.Fatal("RestoreHalfLatch did not restore the keeper")
+	}
+}
+
+func TestHalfLatchSitesCensus(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	b.SetFF(0, 0, 0, false, device.CERouted, 4, false)
+	b.SetFF(0, 0, 1, false, device.CEConstOne, 0, false)
+	// FF (0,0,2) stays in default CEHalfLatch mode.
+	f := configure(t, b)
+	sites := f.HalfLatchSites()
+	var ce, in, ll int
+	for _, s := range sites {
+		switch s.Kind {
+		case HLCE:
+			ce++
+		case HLInput:
+			in++
+		case HLLongLine:
+			ll++
+		}
+	}
+	// Every FF not explicitly moved off half-latch CE contributes one site.
+	wantCE := g.CLBs()*device.FFsPerCLB - 2
+	if ce != wantCE {
+		t.Errorf("CE keeper census = %d, want %d", ce, wantCE)
+	}
+	// Hex-north taps of rows 0..5 are undriven.
+	wantIn := device.HexDistance * g.Cols * 4
+	if in != wantIn {
+		t.Errorf("input keeper census = %d, want %d", in, wantIn)
+	}
+	// No long line is driven in this design.
+	wantLL := device.LongLinesPerRow*g.Rows + device.LongLinesPerCol*g.Cols
+	if ll != wantLL {
+		t.Errorf("long-line keeper census = %d, want %d", ll, wantLL)
+	}
+}
+
+func TestInjectBitChangesBehaviourAndRepairRestoresIt(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	b.SetLUT(2, 0, 0, TruthNot)
+	b.RouteInput(2, 0, 0, 0, 4)
+	// Tie the unused inputs to a stable 0 (north neighbour's constant-0
+	// output) so the injected truth bit cannot form a feedback oscillation.
+	b.RouteInput(2, 0, 0, 1, 12)
+	b.RouteInput(2, 0, 0, 2, 12)
+	b.RouteInput(2, 0, 0, 3, 12)
+	f := configure(t, b)
+	golden := f.ConfigMemory().Clone()
+
+	f.SetPin(g.PinWest(2, 0), true)
+	f.Settle()
+	if f.OutValue(2, 0, 0) {
+		t.Fatal("precondition: NOT(1) = 0")
+	}
+	// Flip the truth-table bit the current input addresses. Input 0 = 1,
+	// inputs 1..3 read a constant 0, so the index is 1.
+	a := g.LUTBitAddr(2, 0, 0, 1)
+	f.InjectBit(a)
+	f.Settle()
+	if !f.OutValue(2, 0, 0) {
+		t.Fatal("injected LUT bit did not change behaviour")
+	}
+	// Repair via partial reconfiguration of the damaged frame, as the
+	// scrubber would.
+	port := NewPort(f)
+	if err := port.WriteFrame(golden.Frame(a.Frame(g))); err != nil {
+		t.Fatal(err)
+	}
+	f.Settle()
+	if f.OutValue(2, 0, 0) {
+		t.Fatal("frame repair did not restore behaviour")
+	}
+	if !f.ConfigMemory().Equal(golden) {
+		t.Fatal("configuration memory not restored")
+	}
+}
+
+func TestInjectPadBitIsBehaviourNeutral(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	b.SetLUT(2, 0, 0, TruthNot)
+	b.RouteInput(2, 0, 0, 0, 4)
+	f := configure(t, b)
+	f.SetPin(g.PinWest(2, 0), true)
+	f.Settle()
+	// A padding bit inside the same CLB: flips must not change behaviour
+	// but must be visible to readback (frame CRC).
+	a := g.CLBBitOf(2, 0, device.CBModeledBits+5)
+	port := NewPort(f)
+	before, _ := port.ReadFrame(a.Frame(g))
+	f.InjectBit(a)
+	f.Settle()
+	if f.OutValue(2, 0, 0) {
+		t.Fatal("pad bit changed behaviour")
+	}
+	after, _ := port.ReadFrame(a.Frame(g))
+	if before.CRC() == after.CRC() {
+		t.Fatal("pad-bit upset invisible to readback CRC")
+	}
+}
+
+func TestReadbackDoesNotSeeFFState(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	b.SetLUT(3, 3, 0, TruthNot)
+	b.RouteInput(3, 3, 0, 0, 0)
+	b.SetFF(3, 3, 0, false, device.CEConstOne, 0, false)
+	b.SetOutMux(3, 3, 0, true)
+	f := configure(t, b)
+	port := NewPort(f)
+	frames1, err := port.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.StepN(3) // toggle FF changes user state
+	frames2, err := port.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frames1 {
+		if frames1[i].CRC() != frames2[i].CRC() {
+			t.Fatalf("frame %d readback changed with FF state", i)
+		}
+	}
+}
+
+func TestStuckAtFault(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	b.SetLUT(2, 0, 0, TruthBuf)
+	b.RouteInput(2, 0, 0, 0, 4)
+	f := configure(t, b)
+	f.SetPin(g.PinWest(2, 0), false)
+	f.Settle()
+	if f.OutValue(2, 0, 0) {
+		t.Fatal("precondition failed")
+	}
+	seg := device.Segment{R: 2, C: 0, S: 4}
+	f.SetStuck(seg, true)
+	f.Settle()
+	if !f.OutValue(2, 0, 0) {
+		t.Fatal("stuck-at-1 not observed")
+	}
+	if got := f.StuckFaults(); len(got) != 1 || !got[seg] {
+		t.Fatalf("StuckFaults = %v", got)
+	}
+	f.ClearStuck(seg)
+	f.Settle()
+	if f.OutValue(2, 0, 0) {
+		t.Fatal("ClearStuck did not remove the fault")
+	}
+	f.SetStuck(seg, false)
+	f.SetPin(g.PinWest(2, 0), true)
+	f.Settle()
+	if f.OutValue(2, 0, 0) {
+		t.Fatal("stuck-at-0 not observed")
+	}
+	f.ClearAllStuck()
+	f.Settle()
+	if !f.OutValue(2, 0, 0) {
+		t.Fatal("ClearAllStuck did not remove the fault")
+	}
+}
+
+func TestUnprogrammedUpsetAndRecovery(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	b.SetLUT(2, 0, 0, TruthNot)
+	b.RouteInput(2, 0, 0, 0, 4)
+	f := configure(t, b)
+	f.Settle()
+	if !f.OutValue(2, 0, 0) {
+		t.Fatal("precondition")
+	}
+	f.UpsetControlLogic()
+	if f.OutValue(2, 0, 0) {
+		t.Fatal("unprogrammed device should read 0")
+	}
+	port := NewPort(f)
+	fr, err := port.ReadFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Data[0] != 0xFF {
+		t.Fatal("unprogrammed readback should return junk")
+	}
+	if err := port.WriteFrame(bitstream.Frame{Index: 0, Data: make([]byte, g.FrameBytes())}); err == nil {
+		t.Fatal("partial configuration of an unprogrammed device should fail")
+	}
+	if err := port.FullConfigure(b.FullBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	f.Settle()
+	if !f.OutValue(2, 0, 0) {
+		t.Fatal("full reconfiguration did not recover the device")
+	}
+}
+
+func TestSRLShiftAndReadbackHazard(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// SRL at (7,0): shift-in from west pin (input 3), tap addressed by
+	// inputs 0..2 which read own output 0; initial content zero. Route
+	// inputs 0..2 to slot 16 (south neighbour... row 7 is the last row:
+	// slot 16 is a south pin held at 0) so the tap reads address 0: the
+	// most recent shift-in.
+	b.SetLUT(7, 0, 0, TruthZero)
+	b.SetSRL(7, 0, 0, true)
+	b.RouteInput(7, 0, 0, 3, 4)  // din = west pin
+	b.RouteInput(7, 0, 0, 0, 16) // south pin (0)
+	b.RouteInput(7, 0, 0, 1, 16)
+	b.RouteInput(7, 0, 0, 2, 16)
+	b.SetFF(7, 0, 0, false, device.CEConstOne, 0, false)
+	f := configure(t, b)
+
+	f.SetPin(g.PinWest(7, 0), true)
+	f.Step()
+	if !f.OutValue(7, 0, 0) {
+		t.Fatal("SRL did not shift in a 1")
+	}
+	// The shift is visible in configuration memory (live design state).
+	if f.ConfigMemory().Field(g.LUTBitAddr(7, 0, 0, 0), 1) != 1 {
+		t.Fatal("SRL state not reflected in configuration memory")
+	}
+	// Readback of the truth-table frame while the clock runs corrupts the
+	// shift register (paper §II-C).
+	port := NewPort(f)
+	port.ClockRunning = true
+	port.HazardousReadback = true
+	frame := g.LUTBitAddr(7, 0, 0, 0).Frame(g)
+	if _, err := port.ReadFrame(frame); err != nil {
+		t.Fatal(err)
+	}
+	haz := port.Hazards()
+	if len(haz) == 0 || haz[0].Kind != HazardSRLCorrupted {
+		t.Fatalf("expected SRL hazard, got %v", haz)
+	}
+	f.Settle()
+	if f.OutValue(7, 0, 0) {
+		t.Fatal("hazard should have corrupted the SRL tap value")
+	}
+	// With the clock stopped, readback is safe.
+	port.ClockRunning = false
+	f.SetPin(g.PinWest(7, 0), true)
+	f.Step() // shift back in a 1
+	if _, err := port.ReadFrame(frame); err != nil {
+		t.Fatal(err)
+	}
+	if len(port.Hazards()) != 0 {
+		t.Fatal("clock-stopped readback should be hazard-free")
+	}
+	if !f.OutValue(7, 0, 0) {
+		t.Fatal("clock-stopped readback disturbed the SRL")
+	}
+}
+
+func TestBRAMReadWriteAndInterference(t *testing.T) {
+	g := device.Tiny() // 8 rows, 1 BRAM col, 1 block, adjacent CLB col 4
+	b := NewConfigBuilder(g)
+	adj := g.BRAMAdjCol(0)
+	// Enable: CLB (0,adj) out0 = const 1.
+	b.SetLUT(0, adj, 0, TruthOne)
+	b.BindBRAMEN(0, 0, 0, 0)
+	// Address and WE default to 0 (unbound addr bits are invalid -> 0);
+	// read-only port at address 0.
+	b.SetBRAMWord(0, 0, 0, 0xBEEF)
+	// dout bit 0 drives column long line ch 0; reader at (2,adj) slot 28.
+	b.DriveBRAMDout(0, 0, 0, 0)
+	b.SetLUT(2, adj, 0, TruthBuf)
+	b.RouteInput(2, adj, 0, 0, 28)
+	f := configure(t, b)
+
+	f.Step()
+	if f.BRAMOut(0) != 0xBEEF {
+		t.Fatalf("BRAM dout = %#x, want 0xBEEF", f.BRAMOut(0))
+	}
+	if !f.OutValue(2, adj, 0) {
+		t.Fatal("BRAM dout bit 0 did not reach the fabric via the long line")
+	}
+	if f.BRAMWord(0, 0) != 0xBEEF {
+		t.Fatal("BRAM content cache wrong")
+	}
+
+	// Reading a content frame back while the clock runs corrupts the output
+	// register on the next access.
+	port := NewPort(f)
+	contentFrame := g.BRAMContentBitAddr(0, 0, 0, 0).Frame(g)
+	if _, err := port.ReadFrame(contentFrame); err != nil {
+		t.Fatal(err)
+	}
+	haz := port.Hazards()
+	if len(haz) != 1 || haz[0].Kind != HazardBRAMInterference {
+		t.Fatalf("expected BRAM interference hazard, got %v", haz)
+	}
+	f.Step()
+	if f.BRAMOut(0) != 0 {
+		t.Fatal("interference should corrupt the BRAM output register")
+	}
+	f.Step()
+	if f.BRAMOut(0) != 0xBEEF {
+		t.Fatal("BRAM should recover on the following access")
+	}
+}
+
+func TestBRAMWritePath(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	adj := g.BRAMAdjCol(0)
+	b.SetLUT(0, adj, 0, TruthOne) // en = 1
+	b.BindBRAMEN(0, 0, 0, 0)
+	// WE from CLB (1,adj) out0 = buffered west pin... row 1, col 4 reads
+	// west neighbour (1,3) which is const 0 unless configured; use a
+	// LUT-one to write always.
+	b.SetLUT(1, adj, 0, TruthOne)
+	b.BindBRAMWE(0, 0, 1, 0)
+	// din bit 0 from CLB (3,adj) out0 = const 1.
+	b.SetLUT(3, adj, 0, TruthOne)
+	b.BindBRAMDin(0, 0, 0, 3, 0)
+	f := configure(t, b)
+
+	f.Step()
+	if f.BRAMWord(0, 0) != 1 {
+		t.Fatalf("BRAM write-through failed: word0 = %#x", f.BRAMWord(0, 0))
+	}
+	if f.BRAMOut(0) != 1 {
+		t.Fatalf("BRAM dout after write = %#x, want 1 (write-first then register)", f.BRAMOut(0))
+	}
+	// The write landed in configuration memory too — the §IV-B
+	// read-modify-write problem: scrub repair with the original frame would
+	// wipe live state.
+	if f.ConfigMemory().Field(g.BRAMContentBitAddr(0, 0, 0, 0), 1) != 1 {
+		t.Fatal("BRAM write not reflected in configuration memory")
+	}
+}
+
+func TestPortTimingAccounting(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	f := configure(t, b)
+	port := NewPort(f)
+	if _, err := port.ReadFrame(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := port.WriteFrame(f.ConfigMemory().Frame(1)); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultFrameReadTime + DefaultFrameWriteTime
+	if port.Elapsed() != want {
+		t.Errorf("elapsed = %v, want %v", port.Elapsed(), want)
+	}
+	r, w := port.Stats()
+	if r != 1 || w != 1 {
+		t.Errorf("stats = (%d,%d), want (1,1)", r, w)
+	}
+	port.ResetElapsed()
+	if port.Elapsed() != 0 {
+		t.Error("ResetElapsed failed")
+	}
+	if _, err := port.ReadFrame(-1); err == nil {
+		t.Error("out-of-range readback accepted")
+	}
+}
+
+func TestMuxAndMajorityTruthTables(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// Majority voter at (6,2): inputs 0,1,2 from west/north/south
+	// neighbours' out0. Configure neighbours as constants.
+	b.SetLUT(6, 1, 0, TruthOne) // west = 1
+	b.SetLUT(5, 2, 0, TruthOne) // north = 1
+	b.SetLUT(7, 2, 0, TruthZero)
+	b.SetLUT(6, 2, 0, TruthMaj3)
+	b.RouteInput(6, 2, 0, 0, 4)  // west
+	b.RouteInput(6, 2, 0, 1, 12) // north
+	b.RouteInput(6, 2, 0, 2, 16) // south
+	f := configure(t, b)
+	f.Settle()
+	if !f.OutValue(6, 2, 0) {
+		t.Fatal("maj(1,1,0) should be 1")
+	}
+	// Break the north input to 0: maj(1,0,0) = 0.
+	for i := 0; i < device.LUTBits; i++ {
+		f.ConfigMemory().Set(g.LUTBitAddr(5, 2, 0, i), false)
+	}
+	f.reDecodeBit(g.LUTBitAddr(5, 2, 0, 0))
+	f.Settle()
+	if f.OutValue(6, 2, 0) {
+		t.Fatal("maj(1,0,0) should be 0")
+	}
+}
+
+func TestRMWRepairPreservesLiveSRLState(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// SRL shift register at (7,0): live state in configuration memory.
+	b.SetLUT(7, 0, 0, TruthZero)
+	b.SetSRL(7, 0, 0, true)
+	b.RouteInput(7, 0, 0, 3, 4)  // din = west pin
+	b.RouteInput(7, 0, 0, 0, 16) // tap address 0 (south pin, constant 0)
+	b.RouteInput(7, 0, 0, 1, 16)
+	b.RouteInput(7, 0, 0, 2, 16)
+	b.SetFF(7, 0, 0, false, device.CEConstOne, 0, false)
+	// A plain LUT in the same COLUMN (same configuration frames) to take
+	// an SEU.
+	b.SetLUT(6, 0, 0, TruthNot)
+	b.RouteInput(6, 0, 0, 0, 16) // south neighbour = the SRL's output
+	f := configure(t, b)
+	golden := f.ConfigMemory().Clone()
+
+	// Run: shift a 1 in, so live SRL state differs from the init value.
+	f.SetPin(g.PinWest(7, 0), true)
+	f.Step()
+	if !f.OutValue(7, 0, 0) {
+		t.Fatal("precondition: SRL should hold a 1")
+	}
+	// An SEU hits the neighbouring LUT's truth bits — same frame as the
+	// SRL's live content bit.
+	hit := g.LUTBitAddr(6, 0, 0, 0)
+	f.InjectBit(hit)
+	frameIdx := hit.Frame(g)
+
+	// Plain repair would clobber the SRL's live content back to zero.
+	// RMW repair with a mask over the SRL's truth bits preserves it.
+	mask := make([]byte, g.FrameBytes())
+	for i := 0; i < device.LUTBits; i++ {
+		a := g.LUTBitAddr(7, 0, 0, i)
+		if a.Frame(g) == frameIdx {
+			off := a.Offset(g)
+			mask[off>>3] |= 1 << (uint(off) & 7)
+		}
+	}
+	port := NewPort(f)
+	port.ClockRunning = false // stop the clock for the RMW, per §II-C
+	if err := port.RepairFrameRMW(golden.Frame(frameIdx), mask); err != nil {
+		t.Fatal(err)
+	}
+	// The SEU is repaired...
+	if f.ConfigMemory().Get(hit) != golden.Get(hit) {
+		t.Fatal("RMW did not repair the upset bit")
+	}
+	// ...and the live SRL state survived.
+	f.Settle()
+	if !f.OutValue(7, 0, 0) {
+		t.Fatal("RMW repair clobbered live SRL state")
+	}
+
+	// Contrast: plain frame repair resets the SRL to its init value.
+	f.InjectBit(hit)
+	if err := port.WriteFrame(golden.Frame(frameIdx)); err != nil {
+		t.Fatal(err)
+	}
+	f.Settle()
+	if f.OutValue(7, 0, 0) {
+		t.Fatal("plain repair should have clobbered the SRL (that is the §IV-B problem)")
+	}
+}

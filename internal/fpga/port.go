@@ -1,0 +1,306 @@
+package fpga
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+)
+
+// Port timing defaults, calibrated to the paper's measurements:
+//
+//   - the Actel fault manager reads every configuration of three XQVR1000s
+//     in ~180 ms, i.e. ~12.9 µs per 156-byte frame;
+//   - "a single bit can be modified and loaded in 100 µs" over SLAAC-1V's
+//     high-speed PCI configuration mode.
+const (
+	DefaultFrameReadTime  = 12900 * time.Nanosecond
+	DefaultFrameWriteTime = 100 * time.Microsecond
+	// DefaultFullConfigTime approximates a complete device load plus
+	// start-up over SelectMAP.
+	DefaultFullConfigTime = 120 * time.Millisecond
+)
+
+// HazardKind classifies a readback hazard event.
+type HazardKind uint8
+
+const (
+	// HazardSRLCorrupted: readback raced a live LUT shift register and
+	// corrupted its content.
+	HazardSRLCorrupted HazardKind = iota
+	// HazardBRAMInterference: readback took over a live BRAM's address
+	// lines; the next access is lost and its output register corrupted.
+	HazardBRAMInterference
+)
+
+func (k HazardKind) String() string {
+	switch k {
+	case HazardSRLCorrupted:
+		return "srl-corrupted"
+	case HazardBRAMInterference:
+		return "bram-interference"
+	}
+	return "unknown"
+}
+
+// HazardEvent records one readback hazard occurrence.
+type HazardEvent struct {
+	Kind  HazardKind
+	Frame int
+	// R, C, L locate the affected LUT for SRL hazards; Block the affected
+	// BRAM for interference hazards.
+	R, C, L int
+	Block   int
+}
+
+// Port is the device's configuration interface — the stand-in for Virtex
+// SelectMAP. All configuration traffic of the scrubber, the SEU injector,
+// and the BIST harness flows through a Port, which accounts virtual time
+// so paper-style throughput numbers (scan cycles, injection rates) can be
+// reproduced.
+type Port struct {
+	f *FPGA
+
+	// Timing model.
+	FrameReadTime  time.Duration
+	FrameWriteTime time.Duration
+	FullConfigTime time.Duration
+
+	// ClockRunning marks that the design clock keeps toggling while port
+	// operations execute (the normal on-orbit case: "there is no
+	// interruption of service required to perform readback").
+	ClockRunning bool
+	// HazardousReadback enables modelling of the paper's §II-C readback
+	// hazards for designs with live LUT-RAM/SRL or BRAM state. With the
+	// clock stopped the hazards never fire.
+	HazardousReadback bool
+
+	elapsed time.Duration
+	hazards []HazardEvent
+	reads   int64
+	writes  int64
+}
+
+// NewPort returns a configuration port for device f with default timing.
+func NewPort(f *FPGA) *Port {
+	return &Port{
+		f:                 f,
+		FrameReadTime:     DefaultFrameReadTime,
+		FrameWriteTime:    DefaultFrameWriteTime,
+		FullConfigTime:    DefaultFullConfigTime,
+		ClockRunning:      true,
+		HazardousReadback: true,
+	}
+}
+
+// Device returns the attached device.
+func (p *Port) Device() *FPGA { return p.f }
+
+// Elapsed returns accumulated virtual configuration-interface time.
+func (p *Port) Elapsed() time.Duration { return p.elapsed }
+
+// ResetElapsed zeroes the virtual clock (campaign bookkeeping).
+func (p *Port) ResetElapsed() { p.elapsed = 0 }
+
+// Stats returns the number of frame reads and writes performed.
+func (p *Port) Stats() (reads, writes int64) { return p.reads, p.writes }
+
+// Hazards drains the recorded hazard events.
+func (p *Port) Hazards() []HazardEvent {
+	h := p.hazards
+	p.hazards = nil
+	return h
+}
+
+// ReadFrame reads configuration frame idx back from the device. Readback
+// sees only configuration memory: flip-flop state and half-latch keepers
+// are invisible, exactly as on the real part. If the design clock is
+// running and the frame holds live LUT-SRL or BRAM content, the read
+// triggers the corresponding hazard.
+func (p *Port) ReadFrame(idx int) (bitstream.Frame, error) {
+	g := p.f.geom
+	if idx < 0 || idx >= g.TotalFrames() {
+		return bitstream.Frame{}, fmt.Errorf("fpga: readback frame %d out of range", idx)
+	}
+	p.elapsed += p.FrameReadTime
+	p.reads++
+	if p.f.unprogrammed {
+		// An unprogrammed device returns junk; all-ones is distinguishable
+		// from any CRC-clean frame.
+		junk := make([]byte, g.FrameBytes())
+		for i := range junk {
+			junk[i] = 0xFF
+		}
+		return bitstream.Frame{Index: idx, Data: junk}, nil
+	}
+	frame := p.f.cm.Frame(idx)
+	if p.ClockRunning && p.HazardousReadback {
+		p.applyReadbackHazards(idx)
+	}
+	return frame, nil
+}
+
+// applyReadbackHazards models the §II-C races for frame idx.
+func (p *Port) applyReadbackHazards(idx int) {
+	g := p.f.geom
+	switch {
+	case idx < g.CLBFrames():
+		c := idx / device.FramesPerCLBCol
+		fr := idx % device.FramesPerCLBCol
+		// Which LUT truth-table bits does this frame carry? Frame fr covers
+		// per-CLB configuration bits [fr*18, fr*18+18).
+		lo, hi := fr*device.BitsPerCLBRow, fr*device.BitsPerCLBRow+device.BitsPerCLBRow
+		for l := 0; l < device.LUTsPerCLB; l++ {
+			lutLo := device.CBLUTBase + l*device.LUTBits
+			lutHi := lutLo + device.LUTBits
+			if hi <= lutLo || lo >= lutHi {
+				continue
+			}
+			for r := 0; r < g.Rows; r++ {
+				clb := &p.f.clbs[r*g.Cols+c]
+				if !clb.lut[l].srl {
+					continue
+				}
+				// The race corrupts the shift register's live content.
+				clb.lut[l].truth ^= 1
+				p.f.cm.Flip(g.LUTBitAddr(r, c, l, 0))
+				p.hazards = append(p.hazards, HazardEvent{
+					Kind: HazardSRLCorrupted, Frame: idx, R: r, C: c, L: l,
+				})
+			}
+		}
+	case idx < g.CLBFrames()+g.BRAMFrames():
+		bf := idx - g.CLBFrames()
+		bc := bf / device.BRAMFramesPerCol
+		if bf%device.BRAMFramesPerCol >= device.BRAMContentFrames {
+			return // port-config frames are static; no hazard
+		}
+		for blk := 0; blk < g.BRAMBlocksPerCol(); blk++ {
+			bi := p.f.bramIndex(bc, blk)
+			if !p.f.brams[bi].en.valid {
+				continue
+			}
+			p.f.bramInterference[bi] = true
+			p.hazards = append(p.hazards, HazardEvent{
+				Kind: HazardBRAMInterference, Frame: idx, Block: bi,
+			})
+		}
+	}
+}
+
+// ReadAll reads back every frame (one full readback pass).
+func (p *Port) ReadAll() ([]bitstream.Frame, error) {
+	g := p.f.geom
+	out := make([]bitstream.Frame, 0, g.TotalFrames())
+	for i := 0; i < g.TotalFrames(); i++ {
+		fr, err := p.ReadFrame(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+// WriteFrame partially reconfigures a single frame while the design runs.
+// Flip-flop state is untouched; half-latches are not restored.
+func (p *Port) WriteFrame(fr bitstream.Frame) error {
+	if p.f.unprogrammed {
+		return fmt.Errorf("fpga: device unprogrammed; partial configuration impossible")
+	}
+	p.elapsed += p.FrameWriteTime
+	p.writes++
+	if err := p.f.cm.WriteFrame(fr); err != nil {
+		return err
+	}
+	p.f.redecodeFrame(fr.Index)
+	return nil
+}
+
+// PartialConfigure applies a partial bitstream frame by frame.
+func (p *Port) PartialConfigure(bs *bitstream.Bitstream) error {
+	if bs.IsFull() {
+		return fmt.Errorf("fpga: partial configuration given a full bitstream")
+	}
+	for _, pk := range bs.Packets {
+		if pk.Op != bitstream.OpWriteFrame {
+			continue
+		}
+		if err := p.WriteFrame(bitstream.Frame{Index: pk.Frame, Data: pk.Data}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FullConfigure loads a complete bitstream with start-up: the only
+// operation that recovers an unprogrammed device and re-initializes
+// half-latches.
+func (p *Port) FullConfigure(bs *bitstream.Bitstream) error {
+	p.elapsed += p.FullConfigTime
+	p.writes += int64(bs.FrameCount())
+	return p.f.FullConfigure(bs)
+}
+
+// CaptureFF reads the current state of flip-flop k of CLB (r, c) through
+// the configuration interface — the Virtex CAPTURE feature, which snapshots
+// user state into readback frames. The BIST harness uses it to examine
+// test-pattern registers; it costs one frame-read time.
+func (p *Port) CaptureFF(r, c, k int) (bool, error) {
+	g := p.f.geom
+	if r < 0 || r >= g.Rows || c < 0 || c >= g.Cols || k < 0 || k >= device.FFsPerCLB {
+		return false, fmt.Errorf("fpga: capture target (%d,%d,%d) out of range", r, c, k)
+	}
+	p.elapsed += p.FrameReadTime
+	p.reads++
+	if p.f.unprogrammed {
+		return false, nil
+	}
+	return p.f.FFValue(r, c, k), nil
+}
+
+// CaptureColumn snapshots flip-flop k of every CLB in column c in one
+// readback pass (one frame-read time, as the state capture of a column
+// shares a frame).
+func (p *Port) CaptureColumn(c, k int) ([]bool, error) {
+	g := p.f.geom
+	if c < 0 || c >= g.Cols || k < 0 || k >= device.FFsPerCLB {
+		return nil, fmt.Errorf("fpga: capture column %d/%d out of range", c, k)
+	}
+	p.elapsed += p.FrameReadTime
+	p.reads++
+	out := make([]bool, g.Rows)
+	if p.f.unprogrammed {
+		return out, nil
+	}
+	for r := 0; r < g.Rows; r++ {
+		out[r] = p.f.FFValue(r, c, k)
+	}
+	return out, nil
+}
+
+// RepairFrameRMW repairs frame golden.Index with a read-modify-write
+// (§IV-B): the frame's current contents are read back, the bits covered by
+// mask (live LUT-RAM/SRL or BRAM state) are preserved, everything else is
+// restored from the golden frame, and the spliced frame is written back.
+// Plain WriteFrame would overwrite live memory contents with their
+// initialization values and disturb the running design; RMW is the paper's
+// workaround for frame-granularity configuration access. The caveat the
+// paper raises — that the state may change between the read and the write —
+// applies here too when the clock runs during the operation.
+func (p *Port) RepairFrameRMW(golden bitstream.Frame, mask []byte) error {
+	current, err := p.ReadFrame(golden.Index)
+	if err != nil {
+		return err
+	}
+	spliced := golden.Clone()
+	for i := range spliced.Data {
+		var m byte
+		if i < len(mask) {
+			m = mask[i]
+		}
+		spliced.Data[i] = (golden.Data[i] &^ m) | (current.Data[i] & m)
+	}
+	return p.WriteFrame(spliced)
+}

@@ -1,0 +1,110 @@
+// Package groundlink models the 10 Mbit spacecraft interface (§II): the
+// channel used to "send commands to the payload, upload configurations for
+// the FPGAs, query state of health, and retrieve experimental data".
+// Uploads must fit within ground-station passes — the paper notes that "a
+// configuration upload requires one pass over a ground station, during
+// which state of health data must be downlinked and control parameters
+// uplinked".
+package groundlink
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/scrub"
+)
+
+// FlightRateBitsPerSec is the flight interface's 10 Mbit rate.
+const FlightRateBitsPerSec = 10_000_000
+
+// Link models the payload<->ground channel.
+type Link struct {
+	// RateBitsPerSec is the usable channel rate.
+	RateBitsPerSec int64
+	// Overhead is a fixed protocol cost per transfer.
+	Overhead time.Duration
+}
+
+// Flight returns the flight-configured link.
+func Flight() Link {
+	return Link{RateBitsPerSec: FlightRateBitsPerSec, Overhead: 250 * time.Millisecond}
+}
+
+// TransferTime returns the channel time for a payload of n bytes.
+func (l Link) TransferTime(n int) time.Duration {
+	bits := int64(n) * 8
+	return l.Overhead + time.Duration(float64(bits)/float64(l.RateBitsPerSec)*float64(time.Second))
+}
+
+// UploadTime returns how long a configuration upload occupies the channel.
+func (l Link) UploadTime(bs *bitstream.Bitstream) time.Duration {
+	return l.TransferTime(len(bs.Marshal()))
+}
+
+// Pass is one ground-station contact window.
+type Pass struct {
+	Contact time.Duration
+}
+
+// TypicalLEOPass returns a representative LEO contact window.
+func TypicalLEOPass() Pass { return Pass{Contact: 8 * time.Minute} }
+
+// FitsInPass reports whether an upload plus a state-of-health downlink fits
+// one contact window.
+func (l Link) FitsInPass(bs *bitstream.Bitstream, soh []scrub.Detection, p Pass) bool {
+	need := l.UploadTime(bs) + l.TransferTime(len(EncodeSOH(soh)))
+	return need <= p.Contact
+}
+
+// State-of-health wire format: a compact record per detection, the
+// subsystem record "stored and later relayed back to the ground station".
+
+// EncodeSOH serializes detections for downlink.
+func EncodeSOH(dets []scrub.Detection) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("SOH1")
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(dets)))
+	buf.Write(u32[:])
+	for _, d := range dets {
+		var rec [17]byte
+		rec[0] = byte(d.Device)
+		binary.BigEndian.PutUint32(rec[1:5], uint32(int32(d.Frame)))
+		binary.BigEndian.PutUint64(rec[5:13], uint64(d.At))
+		if d.Action == scrub.ActionFullReconfig {
+			rec[13] = 1
+		}
+		buf.Write(rec[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodeSOH parses a downlinked state-of-health record.
+func DecodeSOH(raw []byte) ([]scrub.Detection, error) {
+	if len(raw) < 8 || string(raw[:4]) != "SOH1" {
+		return nil, fmt.Errorf("groundlink: bad SOH magic")
+	}
+	n := int(binary.BigEndian.Uint32(raw[4:8]))
+	raw = raw[8:]
+	const rec = 17
+	if len(raw) != n*rec {
+		return nil, fmt.Errorf("groundlink: SOH payload %d bytes, want %d", len(raw), n*rec)
+	}
+	out := make([]scrub.Detection, 0, n)
+	for i := 0; i < n; i++ {
+		r := raw[i*rec : (i+1)*rec]
+		d := scrub.Detection{
+			Device: int(r[0]),
+			Frame:  int(int32(binary.BigEndian.Uint32(r[1:5]))),
+			At:     time.Duration(binary.BigEndian.Uint64(r[5:13])),
+		}
+		if r[13] == 1 {
+			d.Action = scrub.ActionFullReconfig
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

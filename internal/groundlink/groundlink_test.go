@@ -1,0 +1,81 @@
+package groundlink
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/fpga"
+	"repro/internal/scrub"
+)
+
+func TestTransferTimeArithmetic(t *testing.T) {
+	l := Link{RateBitsPerSec: 10_000_000}
+	// 10 Mbit link: 1.25 MB/s; 12.5 MB takes 10s.
+	got := l.TransferTime(12_500_000)
+	if got != 10*time.Second {
+		t.Fatalf("transfer time = %v, want 10s", got)
+	}
+	l.Overhead = time.Second
+	if l.TransferTime(0) != time.Second {
+		t.Error("overhead not applied")
+	}
+}
+
+func TestFlightUploadFitsOnePass(t *testing.T) {
+	// The flight concept: one configuration upload per ground pass. A full
+	// XQVR1000 bitstream (~740 KB) over 10 Mbit/s is well under a typical
+	// LEO contact window.
+	g := device.XQVR1000()
+	bs := fpga.NewConfigBuilder(g).FullBitstream()
+	l := Flight()
+	up := l.UploadTime(bs)
+	if up > 2*time.Minute {
+		t.Fatalf("upload time %v implausibly long", up)
+	}
+	soh := make([]scrub.Detection, 500)
+	if !l.FitsInPass(bs, soh, TypicalLEOPass()) {
+		t.Fatalf("upload (%v) + SOH downlink does not fit a pass", up)
+	}
+}
+
+func TestSOHRoundTrip(t *testing.T) {
+	dets := []scrub.Detection{
+		{Device: 1, Frame: 337, At: 92 * time.Second, Action: scrub.ActionRepaired},
+		{Device: 8, Frame: -1, At: 3 * time.Hour, Action: scrub.ActionFullReconfig},
+		{Device: 0, Frame: 4655, At: 0, Action: scrub.ActionRepaired},
+	}
+	raw := EncodeSOH(dets)
+	back, err := DecodeSOH(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(dets) {
+		t.Fatalf("decoded %d records", len(back))
+	}
+	for i := range dets {
+		if back[i] != dets[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], dets[i])
+		}
+	}
+}
+
+func TestSOHDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSOH(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := DecodeSOH([]byte("XXXX\x00\x00\x00\x01")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	raw := EncodeSOH([]scrub.Detection{{Device: 1}})
+	if _, err := DecodeSOH(raw[:len(raw)-3]); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestEmptySOH(t *testing.T) {
+	back, err := DecodeSOH(EncodeSOH(nil))
+	if err != nil || len(back) != 0 {
+		t.Fatalf("empty SOH round trip: %v %v", back, err)
+	}
+}

@@ -1,0 +1,113 @@
+package halflatch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/fpga"
+	"repro/internal/place"
+	"repro/internal/radiation"
+)
+
+func placedLFSR(t *testing.T) *place.Placed {
+	t.Helper()
+	c := designs.LFSRCluster("hl-lfsr", 2, 2, 8)
+	p, err := place.Place(c, device.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCensusFindsCEKeepers(t *testing.T) {
+	p := placedLFSR(t)
+	census, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every FF in the LFSR design lacks an explicit CE, so each registered
+	// site contributes one half-latch CE keeper (the CAD-tool default the
+	// paper describes).
+	st := p.Circuit.Stats()
+	if census.ByKind[fpga.HLCE] != st.FFs {
+		t.Errorf("CE keepers = %d, want %d (one per FF)", census.ByKind[fpga.HLCE], st.FFs)
+	}
+	if census.TotalSites <= len(census.UsedSites) {
+		t.Error("device should have more keeper sites than the design uses")
+	}
+	if census.String() == "" {
+		t.Error("empty census string")
+	}
+}
+
+func TestRadDRCRemovesCEKeepers(t *testing.T) {
+	p := placedLFSR(t)
+	mitigated, n, err := RadDRC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("RadDRC mitigated nothing")
+	}
+	census, err := Analyze(mitigated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census.ByKind[fpga.HLCE] != 0 {
+		t.Errorf("CE keepers after RadDRC = %d, want 0", census.ByKind[fpga.HLCE])
+	}
+	// The mitigated design must be functionally identical.
+	if err := place.Verify(mitigated, 60, 21); err != nil {
+		t.Fatalf("RadDRC changed behaviour: %v", err)
+	}
+	// The original is untouched.
+	orig, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.ByKind[fpga.HLCE] == 0 {
+		t.Error("RadDRC mutated the input design")
+	}
+}
+
+// TestRadDRCBeamResistance reproduces the shape of the paper's Fig. 14
+// result: under a beam that only strikes half-latches, the unmitigated
+// design fails and the mitigated one shrugs (the paper measured ~100x
+// overall resistance for half-latch-dominated failures).
+func TestRadDRCBeamResistance(t *testing.T) {
+	p := placedLFSR(t)
+	mitigated, _, err := RadDRC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A "beam" of pure half-latch strikes.
+	xs := radiation.CrossSection{HalfLatchWeight: 1}
+	countErrors := func(pl *place.Placed, seed int64) int {
+		bd, err := board.New(pl, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := radiation.NewSource(2, xs, seed)
+		rep, err := radiation.RunBeam(bd, src, nil, radiation.BeamOptions{
+			Observations:         120,
+			Window:               500 * time.Millisecond,
+			CyclesPerObservation: 20,
+			ResyncCycles:         10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.OutputErrors
+	}
+	before := countErrors(p, 31)
+	after := countErrors(mitigated, 31)
+	if before == 0 {
+		t.Fatal("unmitigated design never failed under half-latch strikes")
+	}
+	if after*10 >= before {
+		t.Errorf("mitigation too weak: %d errors before, %d after", before, after)
+	}
+}

@@ -1,0 +1,187 @@
+package netlist
+
+import "fmt"
+
+// Builder composes a Circuit incrementally. All gate helpers return the
+// output signal of the node they create.
+type Builder struct {
+	c Circuit
+}
+
+// NewBuilder starts a new circuit.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: Circuit{Name: name}}
+}
+
+// NewSignal allocates a fresh signal.
+func (b *Builder) NewSignal() SignalID {
+	s := SignalID(b.c.NumSignals)
+	b.c.NumSignals++
+	return s
+}
+
+// Input declares an input port of the given width and returns its signals.
+func (b *Builder) Input(name string, width int) []SignalID {
+	bits := make([]SignalID, width)
+	for i := range bits {
+		bits[i] = b.NewSignal()
+	}
+	b.c.Inputs = append(b.c.Inputs, Port{Name: name, Bits: bits})
+	return bits
+}
+
+// Output declares an output port over existing signals.
+func (b *Builder) Output(name string, bits []SignalID) {
+	cp := make([]SignalID, len(bits))
+	copy(cp, bits)
+	b.c.Outputs = append(b.c.Outputs, Port{Name: name, Bits: cp})
+}
+
+// LUT creates a LUT node with the given truth table (inputs LSB-first).
+func (b *Builder) LUT(truth uint16, in ...SignalID) SignalID {
+	if len(in) == 0 || len(in) > 4 {
+		panic(fmt.Sprintf("netlist: LUT with %d inputs", len(in)))
+	}
+	out := b.NewSignal()
+	cp := make([]SignalID, len(in))
+	copy(cp, in)
+	b.c.Nodes = append(b.c.Nodes, Node{Kind: NodeLUT, Truth: truth, In: cp, Out: out})
+	return out
+}
+
+// FF creates a flip-flop with initial value init.
+func (b *Builder) FF(d SignalID, init bool) SignalID {
+	out := b.NewSignal()
+	b.c.Nodes = append(b.c.Nodes, Node{Kind: NodeFF, In: []SignalID{d}, Init: init, Out: out})
+	return out
+}
+
+// FFCE creates a flip-flop with an explicit routed clock enable.
+func (b *Builder) FFCE(d, ce SignalID, init bool) SignalID {
+	out := b.NewSignal()
+	b.c.Nodes = append(b.c.Nodes, Node{Kind: NodeFF, In: []SignalID{d, ce}, Init: init, HasCE: true, Out: out})
+	return out
+}
+
+// BindFF creates a flip-flop driving a pre-allocated output signal — the
+// idiom for feedback loops (counters, LFSRs): allocate the state signal
+// with NewSignal, build logic that reads it, then bind the FF.
+func (b *Builder) BindFF(d, out SignalID, init bool) {
+	b.c.Nodes = append(b.c.Nodes, Node{Kind: NodeFF, In: []SignalID{d}, Init: init, Out: out})
+}
+
+// BindFFCE is BindFF with an explicit routed clock enable.
+func (b *Builder) BindFFCE(d, ce, out SignalID, init bool) {
+	b.c.Nodes = append(b.c.Nodes, Node{Kind: NodeFF, In: []SignalID{d, ce}, Init: init, HasCE: true, Out: out})
+}
+
+// Const creates a constant-value node.
+func (b *Builder) Const(v bool) SignalID {
+	out := b.NewSignal()
+	b.c.Nodes = append(b.c.Nodes, Node{Kind: NodeConst, Init: v, Out: out})
+	return out
+}
+
+// BindLUT creates a LUT node driving a pre-allocated output signal.
+func (b *Builder) BindLUT(truth uint16, in []SignalID, out SignalID) {
+	cp := make([]SignalID, len(in))
+	copy(cp, in)
+	b.c.Nodes = append(b.c.Nodes, Node{Kind: NodeLUT, Truth: truth, In: cp, Out: out})
+}
+
+// BindConst creates a constant node driving a pre-allocated output signal.
+func (b *Builder) BindConst(v bool, out SignalID) {
+	b.c.Nodes = append(b.c.Nodes, Node{Kind: NodeConst, Init: v, Out: out})
+}
+
+// Standard truth tables for the gate helpers (inputs LSB-first; unused
+// inputs replicate, so tables stay correct for narrower fan-in).
+const (
+	truthBuf  uint16 = 0xAAAA
+	truthNot  uint16 = 0x5555
+	truthAnd2 uint16 = 0x8888
+	truthOr2  uint16 = 0xEEEE
+	truthXor2 uint16 = 0x6666
+	truthXor3 uint16 = 0x9696
+	truthXor4 uint16 = 0x6996
+	truthMaj3 uint16 = 0xE8E8
+	truthAnd3 uint16 = 0x8080
+	truthAnd4 uint16 = 0x8000
+	truthMux2 uint16 = 0xCACA // in2 ? in1 : in0
+)
+
+// Buf buffers a signal through a LUT.
+func (b *Builder) Buf(a SignalID) SignalID { return b.LUT(truthBuf, a) }
+
+// Not inverts a signal.
+func (b *Builder) Not(a SignalID) SignalID { return b.LUT(truthNot, a) }
+
+// And returns a AND c.
+func (b *Builder) And(a, c SignalID) SignalID { return b.LUT(truthAnd2, a, c) }
+
+// And3 returns the conjunction of three signals.
+func (b *Builder) And3(a, c, d SignalID) SignalID { return b.LUT(truthAnd3, a, c, d) }
+
+// And4 returns the conjunction of four signals.
+func (b *Builder) And4(a, c, d, e SignalID) SignalID { return b.LUT(truthAnd4, a, c, d, e) }
+
+// Or returns a OR c.
+func (b *Builder) Or(a, c SignalID) SignalID { return b.LUT(truthOr2, a, c) }
+
+// Xor returns a XOR c.
+func (b *Builder) Xor(a, c SignalID) SignalID { return b.LUT(truthXor2, a, c) }
+
+// Xor3 returns the XOR of three signals.
+func (b *Builder) Xor3(a, c, d SignalID) SignalID { return b.LUT(truthXor3, a, c, d) }
+
+// Xor4 returns the XOR of four signals.
+func (b *Builder) Xor4(a, c, d, e SignalID) SignalID { return b.LUT(truthXor4, a, c, d, e) }
+
+// Maj3 returns the 2-of-3 majority (full-adder carry, TMR voter).
+func (b *Builder) Maj3(a, c, d SignalID) SignalID { return b.LUT(truthMaj3, a, c, d) }
+
+// Mux2 returns sel ? hi : lo.
+func (b *Builder) Mux2(lo, hi, sel SignalID) SignalID { return b.LUT(truthMux2, lo, hi, sel) }
+
+// XorTree reduces any number of signals with a tree of XOR LUTs.
+func (b *Builder) XorTree(in []SignalID) SignalID {
+	switch len(in) {
+	case 0:
+		return b.Const(false)
+	case 1:
+		return in[0]
+	}
+	var next []SignalID
+	i := 0
+	for ; i+4 <= len(in); i += 4 {
+		next = append(next, b.Xor4(in[i], in[i+1], in[i+2], in[i+3]))
+	}
+	switch len(in) - i {
+	case 3:
+		next = append(next, b.Xor3(in[i], in[i+1], in[i+2]))
+	case 2:
+		next = append(next, b.Xor(in[i], in[i+1]))
+	case 1:
+		next = append(next, in[i])
+	}
+	return b.XorTree(next)
+}
+
+// Build finalizes and validates the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	c := b.c
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// MustBuild finalizes the circuit, panicking on validation failure; intended
+// for the static benchmark generators whose structure is fixed.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,92 @@
+package netlist
+
+// SelfChecking implements the readback-free alternative the paper
+// attributes to Ray Andraka (§IV-A, ref [15]): rather than scanning the
+// bitstream, the design itself carries "built-in self-test techniques to
+// periodically validate that the circuit is still functioning correctly. In
+// this case, if an error is found, the test circuitry signals the
+// configuration control circuitry that a configuration error exists and
+// that a full reconfiguration is needed."
+//
+// The wrapper duplicates the circuit, compares the copies' outputs every
+// clock, and accumulates any disagreement into a sticky error flip-flop
+// exposed as the ERR output — the signal the flight system's 4096-point FFT
+// used instead of readback.
+
+// SelfChecking returns a duplicated-and-compared version of c: the original
+// outputs remain (taken from copy A) and a 1-bit "ERR" output port goes —
+// and stays — high as soon as the copies ever disagree.
+func SelfChecking(c *Circuit) (*Circuit, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(c.Name + " self-check")
+	single := make(map[SignalID][2]SignalID, c.NumSignals)
+	for _, p := range c.Inputs {
+		bits := b.Input(p.Name, p.Width())
+		for i, orig := range p.Bits {
+			single[orig] = [2]SignalID{bits[i], bits[i]}
+		}
+	}
+	for _, n := range c.Nodes {
+		single[n.Out] = [2]SignalID{b.NewSignal(), b.NewSignal()}
+	}
+	for _, n := range c.Nodes {
+		for k := 0; k < 2; k++ {
+			out := single[n.Out][k]
+			switch n.Kind {
+			case NodeLUT:
+				ins := make([]SignalID, len(n.In))
+				for j, s := range n.In {
+					ins[j] = single[s][k]
+				}
+				b.BindLUT(n.Truth, ins, out)
+			case NodeFF:
+				if n.HasCE {
+					b.BindFFCE(single[n.In[0]][k], single[n.In[1]][k], out, n.Init)
+				} else {
+					b.BindFF(single[n.In[0]][k], out, n.Init)
+				}
+			case NodeConst:
+				b.BindConst(n.Init, out)
+			}
+		}
+	}
+	// Compare every output bit of the two copies; OR the miscompares and
+	// latch them into a sticky error FF: err' = err OR anyMismatch.
+	var mismatches []SignalID
+	for _, p := range c.Outputs {
+		outs := make([]SignalID, p.Width())
+		for i, s := range p.Bits {
+			pair := single[s]
+			outs[i] = pair[0]
+			mismatches = append(mismatches, b.Xor(pair[0], pair[1]))
+		}
+		b.Output(p.Name, outs)
+	}
+	any := orReduce(b, mismatches)
+	errQ := b.NewSignal()
+	b.BindFF(b.Or(errQ, any), errQ, false)
+	b.Output("ERR", []SignalID{errQ})
+	return b.Build()
+}
+
+// orReduce builds an OR tree (local helper; synth.OrReduce would create an
+// import cycle).
+func orReduce(b *Builder, in []SignalID) SignalID {
+	switch len(in) {
+	case 0:
+		return b.Const(false)
+	case 1:
+		return in[0]
+	}
+	var next []SignalID
+	i := 0
+	for ; i+2 <= len(in); i += 2 {
+		next = append(next, b.Or(in[i], in[i+1]))
+	}
+	if i < len(in) {
+		next = append(next, in[i])
+	}
+	return orReduce(b, next)
+}

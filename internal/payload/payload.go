@@ -1,0 +1,259 @@
+// Package payload simulates the paper's flight system (§II, Figs. 1-3): a
+// space-based reconfigurable radio with three compute boards, each carrying
+// three Virtex devices and a radiation-hardened Actel fault manager, a
+// RAD6000 microprocessor, and flash holding the golden bitstreams. The
+// mission simulation drives the system through the paper's LEO upset
+// environment (1.2 upsets/hour quiet, 9.6/hour during flares for the
+// nine-FPGA system) and measures what the scrubbing architecture delivers:
+// detection latency bounded by the 180 ms scan cycle and the resulting
+// availability.
+package payload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/flash"
+	"repro/internal/fpga"
+	"repro/internal/place"
+	"repro/internal/radiation"
+	"repro/internal/scrub"
+)
+
+// BoardCount and DevicesPerBoard mirror the flight chassis.
+const (
+	BoardCount      = 3
+	DevicesPerBoard = 3
+)
+
+// Board is one RCC compute board: three devices and a fault manager.
+type Board struct {
+	Devices []*fpga.FPGA
+	Ports   []*fpga.Port
+	Manager *scrub.Manager
+}
+
+// System is the full nine-FPGA payload.
+type System struct {
+	Boards []*Board
+	Placed *place.Placed
+	// Flash is the ECC-protected nonvolatile store holding the golden
+	// bitstream (the microprocessor fetches repair frames through it).
+	Flash  *flash.Store
+	golden *bitstream.Memory
+}
+
+// New builds the payload with every device running the placed design (the
+// devices share a pinout, so one bitstream loads anywhere — §II-A). The
+// golden bitstream is stored in — and fetched back through — the
+// ECC-protected flash module, as on the flight system.
+func New(p *place.Placed, _ int64) (*System, error) {
+	sys := &System{Placed: p}
+	store := flash.NewStore(flash.New(flash.FlightFlashBytes))
+	if err := store.Put("golden", p.Bitstream()); err != nil {
+		return nil, err
+	}
+	sys.Flash = store
+	bs, err := store.Get("golden", p.Geom)
+	if err != nil {
+		return nil, err
+	}
+	goldenMem := bitstream.NewMemory(p.Geom)
+	if _, err := bs.Apply(goldenMem); err != nil {
+		return nil, err
+	}
+	sys.golden = goldenMem
+	for bi := 0; bi < BoardCount; bi++ {
+		bd := &Board{}
+		var goldens []*bitstream.Memory
+		for di := 0; di < DevicesPerBoard; di++ {
+			f := fpga.New(p.Geom)
+			if err := f.FullConfigure(bs); err != nil {
+				return nil, err
+			}
+			bd.Devices = append(bd.Devices, f)
+			bd.Ports = append(bd.Ports, fpga.NewPort(f))
+			goldens = append(goldens, sys.golden)
+		}
+		m, err := scrub.New(bd.Ports, goldens, nil)
+		if err != nil {
+			return nil, err
+		}
+		bd.Manager = m
+		sys.Boards = append(sys.Boards, bd)
+	}
+	return sys, nil
+}
+
+// Device returns device d (0..8) and its board's manager.
+func (s *System) Device(d int) (*fpga.FPGA, *scrub.Manager) {
+	return s.Boards[d/DevicesPerBoard].Devices[d%DevicesPerBoard], s.Boards[d/DevicesPerBoard].Manager
+}
+
+// FlareWindow is a solar-flare interval within the mission.
+type FlareWindow struct{ Start, End time.Duration }
+
+// MissionOptions configure a mission run.
+type MissionOptions struct {
+	Duration time.Duration
+	Flares   []FlareWindow
+	Seed     int64
+	// PeriodicFullReconfig, when non-zero, reloads every device with the
+	// full bitstream (restoring half-latches) at this interval — the
+	// blind-scrub policy ablation.
+	PeriodicFullReconfig time.Duration
+}
+
+// MissionReport summarizes a mission.
+type MissionReport struct {
+	Duration time.Duration
+
+	Upsets        int
+	UpsetsByKind  map[radiation.StrikeKind]int
+	ConfigUpsets  int
+	HiddenUpsets  int
+	Detections    int
+	Repairs       int
+	FullReconfigs int
+
+	// MeanDetectionLatency is the average config-upset residence time:
+	// bounded by the scan cycle, averaging about half of it.
+	MeanDetectionLatency time.Duration
+	// Availability is 1 - (config-corrupted device time)/(device time).
+	Availability float64
+	// ScanCycle is one board's no-error scan period.
+	ScanCycle time.Duration
+}
+
+func (r *MissionReport) String() string {
+	return fmt.Sprintf("mission %v: %d upsets (%d config, %d hidden), %d detections, %d repairs, %d full reconfigs, mean latency %v, availability %.6f",
+		r.Duration, r.Upsets, r.ConfigUpsets, r.HiddenUpsets, r.Detections, r.Repairs, r.FullReconfigs,
+		r.MeanDetectionLatency.Round(time.Millisecond), r.Availability)
+}
+
+// RunMission drives the payload through the orbit environment,
+// event-driven: the timeline jumps from upset to upset (scans that find
+// nothing only contribute their modelled period). Strikes are drawn from
+// the radiation cross-section; configuration upsets are detected at the
+// next scan boundary and repaired by partial reconfiguration; an
+// unprogrammed device costs a full reconfiguration.
+func (s *System) RunMission(opts MissionOptions) (*MissionReport, error) {
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("payload: non-positive mission duration")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	quiet := radiation.LEOQuiet(opts.Seed + 1)
+	flare := radiation.LEOFlare(opts.Seed + 2)
+	scanCycle := s.Boards[0].Manager.ScanCycleTime()
+
+	rep := &MissionReport{
+		Duration:     opts.Duration,
+		UpsetsByKind: make(map[radiation.StrikeKind]int),
+		ScanCycle:    scanCycle,
+	}
+	inFlare := func(t time.Duration) bool {
+		for _, w := range opts.Flares {
+			if t >= w.Start && t < w.End {
+				return true
+			}
+		}
+		return false
+	}
+	var corrupted time.Duration
+	var latencySum time.Duration
+	nextRefresh := opts.PeriodicFullReconfig
+
+	t := time.Duration(0)
+	for t < opts.Duration {
+		src := quiet
+		if inFlare(t) {
+			src = flare
+		}
+		// Aggregate arrival across all nine devices.
+		perDev := src.UpsetsPerSecond
+		agg := perDev * float64(BoardCount*DevicesPerBoard)
+		wait := time.Duration(rng.ExpFloat64() / agg * float64(time.Second))
+		// Do not skip past a flare boundary or a periodic refresh.
+		step := wait
+		if opts.PeriodicFullReconfig > 0 && nextRefresh-t < step {
+			step = nextRefresh - t
+		}
+		if t+step > opts.Duration {
+			break
+		}
+		t += step
+		if opts.PeriodicFullReconfig > 0 && t >= nextRefresh {
+			for d := 0; d < BoardCount*DevicesPerBoard; d++ {
+				dev, _ := s.Device(d)
+				port := s.Boards[d/DevicesPerBoard].Ports[d%DevicesPerBoard]
+				if err := port.FullConfigure(bitstream.Full(s.golden)); err != nil {
+					return nil, err
+				}
+				_ = dev
+			}
+			rep.FullReconfigs += BoardCount * DevicesPerBoard
+			nextRefresh += opts.PeriodicFullReconfig
+			continue
+		}
+
+		// An upset lands on a uniformly chosen device.
+		d := rng.Intn(BoardCount * DevicesPerBoard)
+		dev, mgr := s.Device(d)
+		st := src.Draw(dev)
+		radiation.Apply(dev, st)
+		rep.Upsets++
+		rep.UpsetsByKind[st.Kind]++
+
+		switch st.Kind {
+		case radiation.StrikeConfig, radiation.StrikeControl:
+			if st.Kind == radiation.StrikeConfig {
+				rep.ConfigUpsets++
+			} else {
+				rep.HiddenUpsets++
+			}
+			// Detected at a uniformly distributed point of the scan cycle.
+			latency := time.Duration(rng.Float64() * float64(scanCycle))
+			latencySum += latency
+			corrupted += latency
+			// Scan until clean: an upset that flips a LUT into SRL mode
+			// makes the readback itself corrupt the LUT's (now live)
+			// content — the paper's §II-C hazard — which the following
+			// scan cycle then catches.
+			for pass := 0; pass < 4; pass++ {
+				dets, err := mgr.ScanDevice(d % DevicesPerBoard)
+				if err != nil {
+					return nil, err
+				}
+				rep.Detections += len(dets)
+				if len(dets) == 0 {
+					break
+				}
+				if pass > 0 {
+					corrupted += scanCycle / DevicesPerBoard
+				}
+			}
+		default:
+			// Half-latch and FF upsets: invisible to the scrubber. FF
+			// upsets are transient design state; half-latch damage persists
+			// until the next full reconfiguration (periodic refresh or a
+			// control-upset recovery).
+			rep.HiddenUpsets++
+		}
+	}
+	var totals scrub.Stats
+	for _, b := range s.Boards {
+		st := b.Manager.Stats()
+		totals.Repairs += st.Repairs
+		totals.FullReconfigs += st.FullReconfigs
+	}
+	rep.Repairs = int(totals.Repairs)
+	rep.FullReconfigs += int(totals.FullReconfigs)
+	if n := rep.ConfigUpsets + int(totals.FullReconfigs); n > 0 {
+		rep.MeanDetectionLatency = latencySum / time.Duration(n)
+	}
+	devTime := opts.Duration * BoardCount * DevicesPerBoard
+	rep.Availability = 1 - float64(corrupted)/float64(devTime)
+	return rep, nil
+}

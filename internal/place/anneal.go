@@ -1,0 +1,180 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/device"
+	"repro/internal/netlist"
+)
+
+// Simulated-annealing placement refinement. The constructive block layout
+// gives a reasonable start; annealing then minimizes routed wirelength so
+// most connections resolve to direct fabric resources instead of
+// route-through chains. The cost model mirrors the fabric: neighbour and
+// hex-south connections are free, vertical distance southward is discounted
+// by the hex wires, and everything else pays roughly one route-through per
+// hop.
+
+// annealEdge is one producer->consumer connection with the producer
+// identified either by plan index or by a fixed pin location.
+type annealEdge struct {
+	srcPlan int // -1 when the source is a pin
+	srcR    int // pin edge-CLB location when srcPlan < 0
+	srcC    int
+	dstPlan int
+}
+
+// edgeCost estimates routing cost from (sr,sc) to (dr,dc).
+func edgeCost(sr, sc, dr, dc int) float64 {
+	if sr == dr && sc == dc {
+		return 0
+	}
+	vr := dr - sr
+	hc := dc - sc
+	if hc == 0 && vr == device.HexDistance {
+		return 0 // hex wire
+	}
+	if (abs(vr) == 1 && hc == 0) || (vr == 0 && abs(hc) == 1) {
+		return 0 // direct neighbour
+	}
+	// Southward vertical travel rides hex wires; northward pays per row.
+	var vcost float64
+	if vr > 0 {
+		vcost = float64(vr/device.HexDistance + vr%device.HexDistance)
+	} else {
+		vcost = float64(-vr)
+	}
+	return vcost + float64(abs(hc))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// annealPlacement refines clbOf (the CLB index per plan) in place.
+func (p *placer) annealPlacement(plans []sitePlan, clbOf []int, rng *rand.Rand) {
+	g := p.g
+	if len(plans) < 2 {
+		return
+	}
+	// Build edges.
+	planOfNode := make([]int, len(p.c.Nodes))
+	for i := range planOfNode {
+		planOfNode[i] = -1
+	}
+	for pi := range plans {
+		planOfNode[plans[pi].node] = pi
+	}
+	var edges []annealEdge
+	addEdge := func(sig netlist.SignalID, dstPlan int) {
+		if drv := p.driver[sig]; drv >= 0 {
+			if sp := planOfNode[drv]; sp >= 0 && sp != dstPlan {
+				edges = append(edges, annealEdge{srcPlan: sp, dstPlan: dstPlan})
+			}
+			return
+		}
+		if pin, ok := p.sigPin[sig]; ok {
+			if er, ec, ok2 := p.edgeCLBOf(pin); ok2 {
+				edges = append(edges, annealEdge{srcPlan: -1, srcR: er, srcC: ec, dstPlan: dstPlan})
+			}
+		}
+	}
+	for pi := range plans {
+		for _, sig := range plans[pi].inputs {
+			addEdge(sig, pi)
+		}
+		if plans[pi].ce != netlist.Invalid {
+			addEdge(plans[pi].ce, pi)
+		}
+	}
+	// Per-plan edge index for incremental cost evaluation.
+	byPlan := make([][]int, len(plans))
+	for ei, e := range edges {
+		byPlan[e.dstPlan] = append(byPlan[e.dstPlan], ei)
+		if e.srcPlan >= 0 {
+			byPlan[e.srcPlan] = append(byPlan[e.srcPlan], ei)
+		}
+	}
+	cost := func(ei int) float64 {
+		e := edges[ei]
+		sr, sc := e.srcR, e.srcC
+		if e.srcPlan >= 0 {
+			clb := clbOf[e.srcPlan]
+			sr, sc = clb/g.Cols, clb%g.Cols
+		}
+		dclb := clbOf[e.dstPlan]
+		return edgeCost(sr, sc, dclb/g.Cols, dclb%g.Cols)
+	}
+	planCost := func(pi int) float64 {
+		t := 0.0
+		for _, ei := range byPlan[pi] {
+			t += cost(ei)
+		}
+		return t
+	}
+
+	// Occupancy per CLB (design sites only, capped at MaxSitesPerCLB).
+	occ := make([]int8, g.CLBs())
+	for _, clb := range clbOf {
+		occ[clb]++
+	}
+	intRows, intCols := g.Rows-2, g.Cols-2
+	randInterior := func() int {
+		r := rng.Intn(intRows) + 1
+		c := rng.Intn(intCols) + 1
+		return r*g.Cols + c
+	}
+
+	n := len(plans)
+	iters := 220 * n
+	temp := 2.5
+	cool := math.Pow(0.02/temp, 1.0/float64(iters))
+	for it := 0; it < iters; it++ {
+		pi := rng.Intn(n)
+		old := clbOf[pi]
+		target := randInterior()
+		if target == old {
+			temp *= cool
+			continue
+		}
+		var swapWith = -1
+		if occ[target] >= int8(p.opt.MaxSitesPerCLB) {
+			// Swap with a random plan living there.
+			cands := make([]int, 0, 4)
+			for pj := range plans {
+				if clbOf[pj] == target {
+					cands = append(cands, pj)
+				}
+			}
+			if len(cands) == 0 {
+				temp *= cool
+				continue
+			}
+			swapWith = cands[rng.Intn(len(cands))]
+		}
+		var before, after float64
+		if swapWith >= 0 {
+			before = planCost(pi) + planCost(swapWith)
+			clbOf[pi], clbOf[swapWith] = target, old
+			after = planCost(pi) + planCost(swapWith)
+			if after > before && rng.Float64() >= math.Exp((before-after)/temp) {
+				clbOf[pi], clbOf[swapWith] = old, target // reject
+			}
+		} else {
+			before = planCost(pi)
+			clbOf[pi] = target
+			after = planCost(pi)
+			if after > before && rng.Float64() >= math.Exp((before-after)/temp) {
+				clbOf[pi] = old // reject
+			} else {
+				occ[old]--
+				occ[target]++
+			}
+		}
+		temp *= cool
+	}
+}

@@ -1,0 +1,294 @@
+package place
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func mustPlace(t *testing.T, c *netlist.Circuit, g device.Geometry) *Placed {
+	t.Helper()
+	p, err := Place(c, g)
+	if err != nil {
+		t.Fatalf("place %q: %v", c.Name, err)
+	}
+	return p
+}
+
+func TestPlaceCombinationalGates(t *testing.T) {
+	b := netlist.NewBuilder("gates")
+	in := b.Input("in", 4)
+	x := b.Xor(in[0], in[1])
+	y := b.And(in[2], in[3])
+	b.Output("o", []netlist.SignalID{b.Or(x, y)})
+	c := b.MustBuild()
+	p := mustPlace(t, c, device.Tiny())
+	if err := Verify(p, 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.LUTsUsed < 3 {
+		t.Errorf("LUTsUsed = %d, want >= 3", p.LUTsUsed)
+	}
+}
+
+func TestPlaceRegisteredPipeline(t *testing.T) {
+	b := netlist.NewBuilder("pipe")
+	in := b.Input("d", 8)
+	s1 := synth.Register(b, in)
+	s2 := synth.Register(b, s1)
+	b.Output("q", s2)
+	p := mustPlace(t, b.MustBuild(), device.Tiny())
+	if err := Verify(p, 60, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.FFsUsed != 16 {
+		t.Errorf("FFsUsed = %d, want 16", p.FFsUsed)
+	}
+	// Registers merge with their driving buffer LUTs into single sites.
+	if p.SlicesUsed() == 0 || p.Utilization() <= 0 {
+		t.Error("slice statistics empty")
+	}
+}
+
+func TestPlaceCounterFeedback(t *testing.T) {
+	b := netlist.NewBuilder("counter")
+	q := synth.Counter(b, 8)
+	b.Output("q", q)
+	p := mustPlace(t, b.MustBuild(), device.Tiny())
+	if err := Verify(p, 300, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceAdderRandom(t *testing.T) {
+	b := netlist.NewBuilder("adder")
+	x := b.Input("x", 8)
+	y := b.Input("y", 8)
+	sum, cout := synth.Add(b, x, y, netlist.Invalid)
+	b.Output("s", sum)
+	b.Output("c", []netlist.SignalID{cout})
+	p := mustPlace(t, b.MustBuild(), device.Small())
+	if err := Verify(p, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceMultiplier(t *testing.T) {
+	b := netlist.NewBuilder("mult")
+	x := b.Input("x", 6)
+	y := b.Input("y", 6)
+	b.Output("p", synth.Multiply(b, x, y))
+	p := mustPlace(t, b.MustBuild(), device.Small())
+	if err := Verify(p, 100, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceWithRoutedCE(t *testing.T) {
+	b := netlist.NewBuilder("ce")
+	d := b.Input("d", 4)
+	ce := b.Input("ce", 1)
+	ceBuf := b.Buf(ce[0])
+	b.Output("q", synth.RegisterCE(b, d, ceBuf))
+	p := mustPlace(t, b.MustBuild(), device.Tiny())
+	if err := Verify(p, 80, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceLongDistanceRouting(t *testing.T) {
+	// A chain whose producer and consumer sit far apart forces the router
+	// to use long lines or route-throughs; MaxSitesPerCLB=1 spreads sites.
+	b := netlist.NewBuilder("spread")
+	in := b.Input("in", 1)
+	cur := b.Buf(in[0])
+	for i := 0; i < 40; i++ {
+		cur = b.Not(cur)
+	}
+	b.Output("o", []netlist.SignalID{cur})
+	p, err := PlaceOpt(b.MustBuild(), device.Small(), Options{MaxSitesPerCLB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, 20, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceFanoutSharing(t *testing.T) {
+	// One producer with many consumers across the array: route-throughs
+	// and long lines must be shared, not duplicated per consumer.
+	b := netlist.NewBuilder("fanout")
+	in := b.Input("in", 1)
+	src := b.Buf(in[0])
+	var outs []netlist.SignalID
+	for i := 0; i < 30; i++ {
+		outs = append(outs, b.Not(src))
+	}
+	b.Output("o", outs)
+	p := mustPlace(t, b.MustBuild(), device.Small())
+	if err := Verify(p, 20, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceConstants(t *testing.T) {
+	b := netlist.NewBuilder("consts")
+	k := synth.ConstBus(b, 4, 0b1010)
+	b.Output("k", k)
+	p := mustPlace(t, b.MustBuild(), device.Tiny())
+	if err := Verify(p, 5, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceRejectsOversizedDesign(t *testing.T) {
+	b := netlist.NewBuilder("huge")
+	in := b.Input("in", 1)
+	cur := in[0]
+	g := device.Tiny()
+	for i := 0; i < g.CLBs()*4; i++ {
+		cur = b.Not(cur)
+	}
+	b.Output("o", []netlist.SignalID{cur})
+	if _, err := Place(b.MustBuild(), g); err == nil {
+		t.Fatal("oversized design accepted")
+	} else if !strings.Contains(err.Error(), "sites") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestPlaceRejectsPassThroughOutput(t *testing.T) {
+	b := netlist.NewBuilder("pass")
+	in := b.Input("in", 1)
+	b.Output("o", in)
+	if _, err := Place(b.MustBuild(), device.Tiny()); err == nil {
+		t.Fatal("pass-through output accepted")
+	}
+}
+
+func TestPlaceStatsAndSites(t *testing.T) {
+	b := netlist.NewBuilder("stats")
+	in := b.Input("in", 2)
+	q := b.FF(b.Xor(in[0], in[1]), false)
+	b.Output("q", []netlist.SignalID{q})
+	p := mustPlace(t, b.MustBuild(), device.Tiny())
+	// XOR merges into the FF: one site, registered.
+	var reg int
+	for _, s := range p.Sites {
+		if s.Registered {
+			reg++
+		}
+	}
+	if reg != 1 {
+		t.Errorf("registered sites = %d, want 1", reg)
+	}
+	if p.LUTsUsed-p.RouteThroughs != 1 || p.FFsUsed != 1 {
+		t.Errorf("design LUTs=%d FFs=%d, want 1/1 (merged)", p.LUTsUsed-p.RouteThroughs, p.FFsUsed)
+	}
+}
+
+func TestExpandTruth(t *testing.T) {
+	// NOT over 1 input expands to 0x5555.
+	if got := expandTruth(0x1, 1); got != 0x5555 {
+		t.Errorf("expandTruth(NOT,1) = %#x", got)
+	}
+	// XOR2 expands to 0x6666.
+	if got := expandTruth(0x6, 2); got != 0x6666 {
+		t.Errorf("expandTruth(XOR2,2) = %#x", got)
+	}
+	// Full-width tables pass through.
+	if got := expandTruth(0xBEEF, 4); got != 0xBEEF {
+		t.Errorf("expandTruth(id,4) = %#x", got)
+	}
+}
+
+func TestPinAssignmentExhaustion(t *testing.T) {
+	g := device.Tiny()
+	b := netlist.NewBuilder("pins")
+	in := b.Input("wide", g.Pins()+8)
+	// Consume only bit 0 so the unassigned tail is harmless.
+	b.Output("o", []netlist.SignalID{b.Buf(in[0])})
+	p := mustPlace(t, b.MustBuild(), g)
+	pins := p.InputPins["wide"]
+	if pins[0] < 0 {
+		t.Fatal("first pin unassigned")
+	}
+	if pins[len(pins)-1] != -1 {
+		t.Fatal("overflow pins should be -1")
+	}
+	// Consuming an unassigned pin must fail loudly.
+	b2 := netlist.NewBuilder("pins2")
+	in2 := b2.Input("wide", g.Pins()+8)
+	b2.Output("o", []netlist.SignalID{b2.Buf(in2[len(in2)-1])})
+	if _, err := Place(b2.MustBuild(), g); err == nil {
+		t.Fatal("consuming an unassigned pin should fail")
+	}
+}
+
+func TestSelfCheckingDesignFlagsConfigUpset(t *testing.T) {
+	// The §IV-A readback-free alternative (ref [15]): the design carries
+	// its own duplicate-and-compare checker; a configuration upset in
+	// either copy raises the sticky ERR output, requesting a full
+	// reconfiguration — no bitstream readback involved.
+	b := netlist.NewBuilder("payload")
+	in := b.Input("in", 3)
+	q1 := b.FF(b.Xor(in[0], in[1]), false)
+	q2 := b.FF(b.Maj3(in[0], in[1], in[2]), false)
+	b.Output("o", []netlist.SignalID{q1, q2})
+	sc, err := netlist.SelfChecking(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustPlace(t, sc, device.Tiny())
+	h, err := NewHarness(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(i int) uint64 {
+		h.SetInput("in", uint64(i%8))
+		h.Step()
+		e, _ := h.Output("ERR")
+		return e
+	}
+	for i := 0; i < 30; i++ {
+		if step(i) != 0 {
+			t.Fatalf("false alarm at cycle %d", i)
+		}
+	}
+	// Corrupt one copy: flip a registered design site's LUT truth bit 0
+	// (buffer/logic tables always address index 0 or an occupied index
+	// across the stimulus sweep).
+	corrupted := false
+	for _, s := range p.Sites {
+		if s.Registered {
+			for i := 0; i < device.LUTBits; i++ {
+				h.F.InjectBit(p.Geom.LUTBitAddr(s.R, s.C, s.O, i))
+			}
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("no registered site to corrupt")
+	}
+	tripped := false
+	for i := 0; i < 40; i++ {
+		if step(i) == 1 {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("embedded checker missed the configuration upset")
+	}
+	// Sticky: ERR stays high even as inputs keep changing.
+	for i := 0; i < 20; i++ {
+		if step(i) != 1 {
+			t.Fatal("ERR flag is not sticky")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/netlist"
+)
+
+// randomCircuit builds a random but valid clocked circuit: a few inputs, a
+// soup of LUTs and FFs (including feedback through FFs), and an output port
+// over a random selection of nodes.
+func randomCircuit(rng *rand.Rand, nodes int) *netlist.Circuit {
+	b := netlist.NewBuilder("random")
+	nIn := 2 + rng.Intn(6)
+	pool := b.Input("in", nIn)
+
+	// Pre-allocate some feedback wires driven by FFs created later.
+	nFB := 1 + rng.Intn(3)
+	fb := make([]netlist.SignalID, nFB)
+	for i := range fb {
+		fb[i] = b.NewSignal()
+		pool = append(pool, fb[i])
+	}
+	pick := func() netlist.SignalID { return pool[rng.Intn(len(pool))] }
+
+	var outCandidates []netlist.SignalID
+	for i := 0; i < nodes; i++ {
+		switch rng.Intn(5) {
+		case 0: // random-truth LUT, arity 1..4 (table replicated for arity)
+			arity := 1 + rng.Intn(4)
+			ins := make([]netlist.SignalID, arity)
+			for k := range ins {
+				ins[k] = pick()
+			}
+			truth := uint16(rng.Intn(1 << uint(1<<uint(arity))))
+			// Replicate over unused inputs the way the builder constants do.
+			full := uint16(0)
+			mask := (1 << uint(arity)) - 1
+			for idx := 0; idx < 16; idx++ {
+				if truth&(1<<uint(idx&mask)) != 0 {
+					full |= 1 << uint(idx)
+				}
+			}
+			s := b.LUT(full, ins...)
+			pool = append(pool, s)
+			outCandidates = append(outCandidates, s)
+		case 1: // FF
+			s := b.FF(pick(), rng.Intn(2) == 0)
+			pool = append(pool, s)
+			outCandidates = append(outCandidates, s)
+		case 2: // FF with routed CE
+			s := b.FFCE(pick(), pick(), false)
+			pool = append(pool, s)
+			outCandidates = append(outCandidates, s)
+		case 3: // const
+			s := b.Const(rng.Intn(2) == 0)
+			pool = append(pool, s)
+			outCandidates = append(outCandidates, s)
+		default: // gate
+			s := b.Xor(pick(), pick())
+			pool = append(pool, s)
+			outCandidates = append(outCandidates, s)
+		}
+	}
+	// Close the feedback loops.
+	for _, f := range fb {
+		b.BindFF(pick(), f, rng.Intn(2) == 0)
+		outCandidates = append(outCandidates, f)
+	}
+	// Output port over a handful of node outputs.
+	nOut := 1 + rng.Intn(6)
+	outs := make([]netlist.SignalID, nOut)
+	for i := range outs {
+		outs[i] = outCandidates[rng.Intn(len(outCandidates))]
+	}
+	b.Output("o", outs)
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestPropertyRandomCircuitsPlaceAndMatch is the flow's big property test:
+// ANY valid circuit that fits must place, route, and behave cycle-for-cycle
+// like the netlist-level reference simulation.
+func TestPropertyRandomCircuitsPlaceAndMatch(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			c := randomCircuit(rng, 8+rng.Intn(30))
+			p, err := Place(c, device.Small())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := Verify(p, 60, seed); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
+// TestPropertyPlacementInvariants checks structural invariants of the
+// placer's output on random circuits: no two sites share a location, all
+// sites are in the interior unless route-throughs serving pins, and stats
+// are consistent.
+func TestPropertyPlacementInvariants(t *testing.T) {
+	g := device.Small()
+	for seed := int64(100); seed < 112; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 10+rng.Intn(25))
+		p, err := Place(c, g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		type loc struct{ r, c, o int }
+		seen := map[loc]bool{}
+		var rts int
+		for _, s := range p.Sites {
+			l := loc{s.R, s.C, s.O}
+			if seen[l] {
+				t.Fatalf("seed %d: duplicate site %v", seed, l)
+			}
+			seen[l] = true
+			if s.R < 0 || s.R >= g.Rows || s.C < 0 || s.C >= g.Cols || s.O < 0 || s.O > 3 {
+				t.Fatalf("seed %d: site out of bounds %v", seed, l)
+			}
+			if s.Node == -1 {
+				rts++
+			} else if s.R == 0 || s.R == g.Rows-1 || s.C == 0 || s.C == g.Cols-1 {
+				t.Fatalf("seed %d: design site on the reserved edge ring %v", seed, l)
+			}
+		}
+		if rts != p.RouteThroughs {
+			t.Fatalf("seed %d: route-through count mismatch %d vs %d", seed, rts, p.RouteThroughs)
+		}
+		if p.LUTsUsed != len(p.Sites) {
+			t.Fatalf("seed %d: LUTsUsed %d != sites %d", seed, p.LUTsUsed, len(p.Sites))
+		}
+	}
+}

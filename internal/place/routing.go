@@ -1,0 +1,504 @@
+package place
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/fpga"
+	"repro/internal/netlist"
+)
+
+// debugChains enables router diagnostics in tests.
+var debugChains = false
+
+// routeAll configures every planned site and routes its inputs (and routed
+// clock enables) through the fabric.
+func (p *placer) routeAll() error {
+	// Static configuration first so access points and truth tables exist
+	// before any route-through reuse.
+	for pi := range p.plans {
+		p.configureSite(p.nodeSite[p.plans[pi].node], &p.plans[pi])
+	}
+	for pi := range p.plans {
+		plan := &p.plans[pi]
+		s := p.out.Sites[p.nodeSite[plan.node]]
+		firstSlot := -1
+		for in, sig := range plan.inputs {
+			slot, err := p.routeTo(sig, s.R, s.C)
+			if err != nil {
+				return fmt.Errorf("place: routing input %d of node %d (%s): %w",
+					in, plan.node, p.c.Name, err)
+			}
+			p.b.RouteInput(s.R, s.C, s.O, in, slot)
+			if firstSlot < 0 {
+				firstSlot = slot
+			}
+		}
+		// Tie unused inputs to a stable already-routed slot so corrupted
+		// truth bits cannot manufacture feedback oscillations through the
+		// default own-output selection.
+		if firstSlot < 0 {
+			firstSlot = 12 // north neighbour: stable in a settled design
+		}
+		for in := len(plan.inputs); in < device.LUTInputs; in++ {
+			p.b.RouteInput(s.R, s.C, s.O, in, firstSlot)
+		}
+		if plan.ce != netlist.Invalid {
+			slot, err := p.routeTo(plan.ce, s.R, s.C)
+			if err != nil {
+				return fmt.Errorf("place: routing CE of node %d: %w", plan.node, err)
+			}
+			p.b.SetFF(s.R, s.C, s.O, plan.init, device.CERouted, slot, plan.dInv)
+		}
+	}
+	return nil
+}
+
+// routeTo makes signal sig readable at CLB (r, c) and returns the input-mux
+// slot that reads it, inserting long-line drivers or route-through LUTs as
+// needed.
+func (p *placer) routeTo(sig netlist.SignalID, r, c int) (int, error) {
+	// 1. Direct fabric resource from any existing access point.
+	for _, a := range p.access[sig] {
+		if slot, ok := p.directSlot(a, r, c); ok {
+			return slot, nil
+		}
+	}
+	// 2. Long line along the source's row or column.
+	for _, a := range p.access[sig] {
+		if a.kind != kOut {
+			continue
+		}
+		if a.r == r {
+			for ch := range p.rowLL[r] {
+				if p.rowLL[r][ch] == netlist.Invalid {
+					p.rowLL[r][ch] = sig
+					p.b.DriveLL(a.r, a.c, ch, a.o)
+					p.access[sig] = append(p.access[sig], access{kind: kRowLL, r: r, o: ch})
+					p.out.LongLinesUsed++
+					return 24 + ch, nil
+				}
+			}
+		}
+		if a.c == c {
+			for ch := range p.colLL[c] {
+				if p.colLL[c][ch] == netlist.Invalid {
+					p.colLL[c][ch] = sig
+					p.b.DriveLL(a.r, a.c, device.LongLinesPerRow+ch, a.o)
+					p.access[sig] = append(p.access[sig], access{kind: kColLL, c: c, o: ch})
+					p.out.LongLinesUsed++
+					return 28 + ch, nil
+				}
+			}
+		}
+	}
+	// 3. Route-through chain.
+	return p.routeBFS(sig, r, c)
+}
+
+// directSlot returns the input-mux slot at (r, c) that reads access a, if
+// one exists.
+func (p *placer) directSlot(a access, r, c int) (int, bool) {
+	g := p.g
+	switch a.kind {
+	case kOut:
+		switch {
+		case a.r == r && a.c == c:
+			return a.o, true
+		case a.r == r && a.c == c-1:
+			return 4 + a.o, true
+		case a.r == r && a.c == c+1:
+			return 8 + a.o, true
+		case a.c == c && a.r == r-1:
+			return 12 + a.o, true
+		case a.c == c && a.r == r+1:
+			return 16 + a.o, true
+		case a.c == c && a.r == r-device.HexDistance:
+			return 20 + a.o, true
+		}
+	case kPin:
+		for o := 0; o < 4; o++ {
+			switch a.o {
+			case g.PinWest(r, o):
+				if c == 0 {
+					return 4 + o, true
+				}
+			case g.PinEast(r, o):
+				if c == g.Cols-1 {
+					return 8 + o, true
+				}
+			case g.PinNorth(c, o):
+				if r == 0 {
+					return 12 + o, true
+				}
+			case g.PinSouth(c, o):
+				if r == g.Rows-1 {
+					return 16 + o, true
+				}
+			}
+		}
+	case kRowLL:
+		if a.r == r {
+			return 24 + a.o, true
+		}
+	case kColLL:
+		if a.c == c {
+			return 28 + a.o, true
+		}
+	}
+	return 0, false
+}
+
+// readersOf returns the CLBs that can directly read an output of CLB
+// (r, c): itself, its four neighbours, and the CLB HexDistance rows south.
+func (p *placer) readersOf(r, c int) [][2]int {
+	g := p.g
+	cand := [][2]int{
+		{r, c}, {r, c + 1}, {r, c - 1}, {r + 1, c}, {r - 1, c}, {r + device.HexDistance, c},
+	}
+	out := cand[:0]
+	for _, rc := range cand {
+		if rc[0] >= 0 && rc[0] < g.Rows && rc[1] >= 0 && rc[1] < g.Cols {
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// edgeCLBOf returns the CLB adjacent to a pin and whether one exists.
+func (p *placer) edgeCLBOf(pin int) (int, int, bool) {
+	g := p.g
+	for r := 0; r < g.Rows; r++ {
+		for o := 0; o < 4; o++ {
+			if pin == g.PinWest(r, o) {
+				return r, 0, true
+			}
+			if pin == g.PinEast(r, o) {
+				return r, g.Cols - 1, true
+			}
+		}
+	}
+	for c := 0; c < g.Cols; c++ {
+		for o := 0; o < 4; o++ {
+			if pin == g.PinNorth(c, o) {
+				return 0, c, true
+			}
+			if pin == g.PinSouth(c, o) {
+				return g.Rows - 1, c, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// routeBFS finds a shortest route-through chain delivering sig to a CLB
+// that (r, c) can read, materializes the chain, and returns the final slot.
+// Long paths first try to publish the signal on a long line, which costs
+// one channel instead of one LUT per hop.
+func (p *placer) routeBFS(sig netlist.SignalID, r, c int) (int, error) {
+	return p.routeBFSDepth(sig, r, c, 0)
+}
+
+func (p *placer) routeBFSDepth(sig netlist.SignalID, r, c, depth int) (int, error) {
+	g := p.g
+	accs := p.access[sig]
+	if len(accs) == 0 {
+		return 0, fmt.Errorf("signal %d has no access points (unassigned pin or unplaced node)", sig)
+	}
+	const none = -1
+	prev := make([]int, g.CLBs()) // previous CLB on the path
+	state := make([]uint8, g.CLBs())
+	// state: 0 unvisited, 1 origin (signal already an output there),
+	// 2 reached (needs an RT).
+	for i := range prev {
+		prev[i] = none
+	}
+	var queue []int
+	push := func(clb, from int, st uint8) {
+		if state[clb] != 0 {
+			return
+		}
+		state[clb] = st
+		prev[clb] = from
+		queue = append(queue, clb)
+	}
+	// Existing outputs first: a CLB that already carries the signal as an
+	// output must win over re-tapping the pin there with a second RT.
+	for _, a := range accs {
+		if a.kind == kOut {
+			push(a.r*g.Cols+a.c, none, 1)
+		}
+	}
+	for _, a := range accs {
+		switch a.kind {
+		case kPin:
+			if er, ec, ok := p.edgeCLBOf(a.o); ok && p.hasFreeSlot(er*g.Cols+ec) {
+				push(er*g.Cols+ec, none, 2)
+			}
+		case kRowLL:
+			// Any CLB along the row can tap the line and start a chain.
+			for cc := 0; cc < g.Cols; cc++ {
+				if p.hasHopSlot(a.r*g.Cols + cc) {
+					push(a.r*g.Cols+cc, none, 2)
+				}
+			}
+		case kColLL:
+			for rr := 0; rr < g.Rows; rr++ {
+				if p.hasHopSlot(rr*g.Cols + a.c) {
+					push(rr*g.Cols+a.c, none, 2)
+				}
+			}
+		}
+	}
+	// The goal: a CLB whose outputs (r, c) reads directly — (r, c) itself,
+	// its four neighbours, and the CLB HexDistance rows north.
+	goalSet := make(map[int]bool)
+	addGoal := func(gr, gc int) {
+		if gr >= 0 && gr < g.Rows && gc >= 0 && gc < g.Cols {
+			goalSet[gr*g.Cols+gc] = true
+		}
+	}
+	addGoal(r, c)
+	addGoal(r, c-1)
+	addGoal(r, c+1)
+	addGoal(r-1, c)
+	addGoal(r+1, c)
+	addGoal(r-device.HexDistance, c)
+	// The destination also reads its row and column long lines, so any CLB
+	// on its row/column is a goal when a free channel remains there: the
+	// chain tail drives the line.
+	rowFree := false
+	for ch := range p.rowLL[r] {
+		if p.rowLL[r][ch] == netlist.Invalid {
+			rowFree = true
+		}
+	}
+	colFree := false
+	for ch := range p.colLL[c] {
+		if p.colLL[c][ch] == netlist.Invalid {
+			colFree = true
+		}
+	}
+	if rowFree {
+		for cc := 0; cc < g.Cols; cc++ {
+			addGoal(r, cc)
+		}
+	}
+	if colFree {
+		for rr := 0; rr < g.Rows; rr++ {
+			addGoal(rr, c)
+		}
+	}
+
+	runBFS := func() int {
+		for qi := 0; qi < len(queue); qi++ {
+			x := queue[qi]
+			if goalSet[x] {
+				return x
+			}
+			xr, xc := x/g.Cols, x%g.Cols
+			for _, rc := range p.readersOf(xr, xc) {
+				y := rc[0]*g.Cols + rc[1]
+				if y == x || !p.hasHopSlot(y) {
+					continue
+				}
+				push(y, x, 2)
+			}
+		}
+		return none
+	}
+	goal := runBFS()
+	if goal == none {
+		// Last resort: publish the signal on a free long line along any of
+		// its source rows/columns, then retry — the wider frontier usually
+		// unblocks congested regions.
+		if depth < 4 && p.spillToLongLine(sig) {
+			return p.routeBFSDepth(sig, r, c, depth+1)
+		}
+		visited := 0
+		for _, st := range state {
+			if st != 0 {
+				visited++
+			}
+		}
+		return 0, fmt.Errorf("no route for signal %d to CLB (%d,%d): fabric congested (%d CLBs reachable, %d access points, %d goals, %d RTs, %d LLs so far)", sig, r, c, visited, len(accs), len(goalSet), p.out.RouteThroughs, p.out.LongLinesUsed)
+	}
+	// Backtrack the path origin..goal.
+	var path []int
+	for x := goal; x != none; x = prev[x] {
+		path = append(path, x)
+	}
+	// path is goal..origin; reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	// A long chain burns one LUT per hop; publishing the signal on a long
+	// line is far cheaper when a channel is free. Retry once after a spill.
+	if len(path) > 5 && depth < 4 && p.spillToLongLine(sig) {
+		return p.routeBFSDepth(sig, r, c, depth+1)
+	}
+	if debugChains && len(path) > 2 {
+		fmt.Printf("  chain sig%d -> (%d,%d): len %d (outOrigin=%v)\n", sig, r, c, len(path), state[path[0]] == 1)
+	}
+	return p.materializeChain(sig, path, state[path[0]] == 1, r, c)
+}
+
+// spillToLongLine publishes sig on one free long line reachable from a
+// kOut access; reports whether any line was claimed.
+func (p *placer) spillToLongLine(sig netlist.SignalID) bool {
+	for _, a := range p.access[sig] {
+		if a.kind != kOut {
+			continue
+		}
+		for ch := range p.rowLL[a.r] {
+			if p.rowLL[a.r][ch] == netlist.Invalid {
+				p.rowLL[a.r][ch] = sig
+				p.b.DriveLL(a.r, a.c, ch, a.o)
+				p.access[sig] = append(p.access[sig], access{kind: kRowLL, r: a.r, o: ch})
+				p.out.LongLinesUsed++
+				return true
+			}
+		}
+		for ch := range p.colLL[a.c] {
+			if p.colLL[a.c][ch] == netlist.Invalid {
+				p.colLL[a.c][ch] = sig
+				p.b.DriveLL(a.r, a.c, device.LongLinesPerRow+ch, a.o)
+				p.access[sig] = append(p.access[sig], access{kind: kColLL, c: a.c, o: ch})
+				p.out.LongLinesUsed++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// materializeChain inserts route-through LUTs along path (a list of CLB
+// indices). outOrigin marks that the signal is already an output of the
+// first CLB; otherwise the first CLB hosts an RT tapping a pin or long
+// line. Returns the slot at (dstR, dstC) reading the final output.
+func (p *placer) materializeChain(sig netlist.SignalID, path []int, outOrigin bool, dstR, dstC int) (int, error) {
+	g := p.g
+	// Current tap: starts as the origin access (output, pin, or long line).
+	var cur access
+	start := 0
+	if outOrigin {
+		found := false
+		for _, a := range p.access[sig] {
+			if a.kind == kOut && a.r*g.Cols+a.c == path[0] {
+				cur = a
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("internal: no output access at path origin")
+		}
+		start = 1
+	} else {
+		// Find any pin/long-line access the origin CLB can tap.
+		r0, c0 := path[0]/g.Cols, path[0]%g.Cols
+		found := false
+		for _, a := range p.access[sig] {
+			if a.kind == kOut {
+				continue
+			}
+			if _, ok := p.directSlot(a, r0, c0); ok {
+				cur = a
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("internal: no tappable access at path origin")
+		}
+		if cur.kind == kPin && !p.pinDone[sig] {
+			// The pin's reserved slot is about to materialize (only once).
+			p.pinDone[sig] = true
+			if er, ec, ok := p.edgeCLBOf(cur.o); ok && p.reserved[er*g.Cols+ec] > 0 {
+				p.reserved[er*g.Cols+ec]--
+			}
+		}
+	}
+	for i := start; i < len(path); i++ {
+		clb := path[i]
+		r, c := clb/g.Cols, clb%g.Cols
+		slot, ok := p.directSlot(cur, r, c)
+		if !ok {
+			return 0, fmt.Errorf("internal: chain hop cannot read its predecessor")
+		}
+		o, ok := p.allocRTSlot(clb)
+		if !ok {
+			return 0, fmt.Errorf("no free slot for route-through at (%d,%d)", r, c)
+		}
+		p.b.SetLUT(r, c, o, fpga.TruthBuf)
+		for in := 0; in < device.LUTInputs; in++ {
+			p.b.RouteInput(r, c, o, in, slot)
+		}
+		p.out.Sites = append(p.out.Sites, Site{R: r, C: c, O: o, Node: -1})
+		p.out.RouteThroughs++
+		p.out.LUTsUsed++
+		cur = access{kind: kOut, r: r, c: c, o: o}
+		p.access[sig] = append(p.access[sig], cur)
+	}
+	slot, ok := p.directSlot(cur, dstR, dstC)
+	if !ok {
+		// The chain ended on the destination's row or column: publish the
+		// tail on a long line the destination reads.
+		if cur.kind == kOut {
+			if s2, ok2 := p.allocLLFrom(cur, sig, dstR, dstC); ok2 {
+				return s2, nil
+			}
+		}
+		return 0, fmt.Errorf("internal: destination cannot read chain tail")
+	}
+	return slot, nil
+}
+
+// allocLLFrom claims a free long line on (dstR, dstC)'s row or column,
+// driven by output access a, and returns the slot reading it.
+func (p *placer) allocLLFrom(a access, sig netlist.SignalID, dstR, dstC int) (int, bool) {
+	if a.r == dstR {
+		for ch := range p.rowLL[dstR] {
+			if p.rowLL[dstR][ch] == netlist.Invalid {
+				p.rowLL[dstR][ch] = sig
+				p.b.DriveLL(a.r, a.c, ch, a.o)
+				p.access[sig] = append(p.access[sig], access{kind: kRowLL, r: dstR, o: ch})
+				p.out.LongLinesUsed++
+				return 24 + ch, true
+			}
+		}
+	}
+	if a.c == dstC {
+		for ch := range p.colLL[dstC] {
+			if p.colLL[dstC][ch] == netlist.Invalid {
+				p.colLL[dstC][ch] = sig
+				p.b.DriveLL(a.r, a.c, device.LongLinesPerRow+ch, a.o)
+				p.access[sig] = append(p.access[sig], access{kind: kColLL, c: dstC, o: ch})
+				p.out.LongLinesUsed++
+				return 28 + ch, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// bindOutputs records the fabric nets carrying each output port.
+func (p *placer) bindOutputs() error {
+	for _, port := range p.c.Outputs {
+		nets := make([]device.NetRef, 0, port.Width())
+		for i, sig := range port.Bits {
+			drv := p.driver[sig]
+			if drv < 0 {
+				return fmt.Errorf("place: output %q bit %d is driven directly by an input port; buffer it through a LUT", port.Name, i)
+			}
+			si := p.nodeSite[drv]
+			if si < 0 {
+				return fmt.Errorf("place: output %q bit %d driver has no site", port.Name, i)
+			}
+			s := p.out.Sites[si]
+			nets = append(nets, device.NetRef{Kind: device.NetCLBOut, R: s.R, C: s.C, O: s.O})
+		}
+		p.out.OutputNets[port.Name] = nets
+	}
+	return nil
+}

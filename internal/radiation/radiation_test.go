@@ -1,0 +1,187 @@
+package radiation
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/fpga"
+	"repro/internal/place"
+	"repro/internal/seu"
+)
+
+func TestPaperRates(t *testing.T) {
+	q := LEOQuiet(1)
+	f := LEOFlare(1)
+	// Per-device rates: 1.2/9 and 9.6/9 per hour.
+	wantQ := 1.2 / 9 / 3600
+	wantF := 9.6 / 9 / 3600
+	if math.Abs(q.UpsetsPerSecond-wantQ) > 1e-12 {
+		t.Errorf("quiet rate = %g, want %g", q.UpsetsPerSecond, wantQ)
+	}
+	if math.Abs(f.UpsetsPerSecond-wantF) > 1e-12 {
+		t.Errorf("flare rate = %g, want %g", f.UpsetsPerSecond, wantF)
+	}
+	if f.UpsetsPerSecond/q.UpsetsPerSecond != 8 {
+		t.Error("flare/quiet ratio should be 8")
+	}
+}
+
+func TestPoissonMeanMatchesRate(t *testing.T) {
+	src := BeamForObservation(500*time.Millisecond, 2)
+	n := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		n += src.Poisson(500 * time.Millisecond)
+	}
+	mean := float64(n) / trials
+	if mean < 0.9 || mean > 1.1 {
+		t.Errorf("beam tuned for ~1 upset/observation, measured %.3f", mean)
+	}
+}
+
+func TestNextArrivalExponential(t *testing.T) {
+	src := NewSource(2.0, DefaultCrossSection(), 3) // 2 per second
+	var total time.Duration
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		total += src.NextArrival()
+	}
+	mean := total.Seconds() / trials
+	if mean < 0.4 || mean > 0.6 {
+		t.Errorf("mean inter-arrival %.3fs, want ~0.5s", mean)
+	}
+	idle := NewSource(0, DefaultCrossSection(), 4)
+	if idle.NextArrival() < time.Duration(math.MaxInt64)/2 {
+		t.Error("zero-rate source should never fire")
+	}
+}
+
+func TestDrawCoversAllStrikeKinds(t *testing.T) {
+	f := fpga.New(device.Tiny())
+	b := fpga.NewConfigBuilder(device.Tiny())
+	if err := f.FullConfigure(b.FullBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	// Exaggerate hidden cross-sections so the test sees every kind quickly.
+	xs := CrossSection{ConfigWeight: 1, HalfLatchWeight: 50, FFWeight: 50, ControlWeight: 20000}
+	src := NewSource(1, xs, 5)
+	seen := map[StrikeKind]int{}
+	for i := 0; i < 3000; i++ {
+		st := src.Draw(f)
+		seen[st.Kind]++
+		switch st.Kind {
+		case StrikeConfig:
+			if int64(st.Addr) < 0 || int64(st.Addr) >= f.Geometry().TotalBits() {
+				t.Fatal("config strike out of range")
+			}
+		case StrikeUserFF:
+			if st.R < 0 || st.R >= device.Tiny().Rows || st.K >= device.FFsPerCLB {
+				t.Fatal("FF strike out of range")
+			}
+		}
+	}
+	for _, k := range []StrikeKind{StrikeConfig, StrikeHalfLatch, StrikeUserFF, StrikeControl} {
+		if seen[k] == 0 {
+			t.Errorf("strike kind %v never drawn (%v)", k, seen)
+		}
+		if k.String() == "unknown" {
+			t.Errorf("kind %v has no name", k)
+		}
+	}
+}
+
+func TestApplyStrikes(t *testing.T) {
+	g := device.Tiny()
+	b := fpga.NewConfigBuilder(g)
+	f := fpga.New(g)
+	if err := f.FullConfigure(b.FullBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	Apply(f, Strike{Kind: StrikeConfig, Addr: 100})
+	if !f.ConfigMemory().Get(100) {
+		t.Error("config strike did not land")
+	}
+	site := fpga.HalfLatchSite{Kind: fpga.HLCE, R: 1, C: 1, FF: 0}
+	Apply(f, Strike{Kind: StrikeHalfLatch, Site: site})
+	if f.HalfLatchValue(site) {
+		t.Error("half-latch strike did not land")
+	}
+	Apply(f, Strike{Kind: StrikeUserFF, R: 2, C: 2, K: 1})
+	if !f.FFValue(2, 2, 1) {
+		t.Error("FF strike did not land")
+	}
+	Apply(f, Strike{Kind: StrikeControl})
+	if !f.Unprogrammed() {
+		t.Error("control strike did not land")
+	}
+}
+
+// beamFixture runs a short sensitivity campaign and a beam run for one
+// catalog design.
+func beamFixture(t *testing.T, seed int64) (*board.SLAAC1V, map[device.BitAddr]bool) {
+	t.Helper()
+	c := designs.LFSRCluster("beam-lfsr", 2, 2, 8)
+	p, err := place.Place(c, device.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := board.New(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := seu.DefaultOptions()
+	opts.Sample = 1.0 // the correlation experiment needs the exhaustive map
+	opts.Seed = seed
+	opts.ClassifyPersistence = false
+	rep, err := seu.Run(bd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []device.BitAddr
+	for _, bit := range rep.SensitiveBits {
+		addrs = append(addrs, bit.Addr)
+	}
+	return bd, SensitiveSet(addrs)
+}
+
+func TestBeamCorrelationIsHighButImperfect(t *testing.T) {
+	bd, sensitive := beamFixture(t, 11)
+	src := BeamForObservation(500*time.Millisecond, 12)
+	opts := DefaultBeamOptions()
+	opts.Observations = 250
+	rep, err := RunBeam(bd, src, sensitive, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strikes == 0 || rep.OutputErrors == 0 {
+		t.Fatalf("beam produced nothing: %s", rep)
+	}
+	// The simulator's sensitivity map is sampled (and hidden state exists),
+	// so agreement must be high but below 100%. The paper measured 97.6%.
+	corr := rep.Correlation()
+	if corr < 0.5 || corr > 1.0 {
+		t.Errorf("correlation = %.3f: %s", corr, rep)
+	}
+	if rep.BitstreamUpsetsFound == 0 {
+		t.Error("readback never found a bitstream upset")
+	}
+	if rep.String() == "" {
+		t.Error("empty report")
+	}
+	// The board must be pristine afterwards.
+	if mism, _ := bd.StepN(30); mism != 0 {
+		t.Error("board dirty after beam run")
+	}
+}
+
+func TestRunBeamValidation(t *testing.T) {
+	bd, sens := beamFixture(t, 13)
+	src := BeamForObservation(time.Second, 14)
+	if _, err := RunBeam(bd, src, sens, BeamOptions{}); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package scrub implements the paper's on-orbit fault detection and
+// correction scheme (Fig. 4): a radiation-hardened controller (the Actel on
+// each compute board) continuously reads back the configuration of its
+// Xilinx devices, computes a CRC per frame, compares against a codebook
+// loaded from flash, and — on mismatch — notifies the microprocessor, which
+// fetches the golden frame and repairs the running device by partial
+// reconfiguration. The scan of three XQVR1000s takes ~180 ms.
+package scrub
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/fpga"
+)
+
+// Action describes how a detection was handled.
+type Action uint8
+
+const (
+	// ActionRepaired: golden frame written back by partial reconfiguration.
+	ActionRepaired Action = iota
+	// ActionFullReconfig: device was unrecoverable by frame repair
+	// (unprogrammed or too many bad frames) and was fully reconfigured.
+	ActionFullReconfig
+)
+
+func (a Action) String() string {
+	if a == ActionRepaired {
+		return "repaired"
+	}
+	return "full-reconfig"
+}
+
+// Detection is one state-of-health record, the information relayed to the
+// ground station.
+type Detection struct {
+	Device int
+	Frame  int
+	// At is the virtual mission time of the detection.
+	At     time.Duration
+	Action Action
+}
+
+func (d Detection) String() string {
+	return fmt.Sprintf("t=%v dev=%d frame=%d %s", d.At, d.Device, d.Frame, d.Action)
+}
+
+// Stats aggregates manager activity.
+type Stats struct {
+	Scans         int64
+	FramesChecked int64
+	FrameErrors   int64
+	Repairs       int64
+	FullReconfigs int64
+}
+
+// Manager is the fault manager: one Actel controller watching up to three
+// Xilinx devices (one compute board).
+type Manager struct {
+	ports  []*fpga.Port
+	golden []*bitstream.Memory
+	books  []*bitstream.Codebook
+	masks  []*bitstream.Mask
+	fullBS []*bitstream.Bitstream
+	stats  Stats
+	log    []Detection
+	// FullReconfigThreshold: if more frames than this fail in one device
+	// scan, frame repair is abandoned for a full reconfiguration (the
+	// signature of an unprogrammed device).
+	FullReconfigThreshold int
+	// MaxLog bounds the state-of-health record.
+	MaxLog int
+	now    time.Duration
+}
+
+// New builds a manager for the given devices. golden[i] is device i's
+// reference configuration (held in the flight system's flash); masks[i] may
+// be nil when device i has no live LUT-RAM/BRAM content.
+func New(ports []*fpga.Port, golden []*bitstream.Memory, masks []*bitstream.Mask) (*Manager, error) {
+	if len(ports) == 0 || len(ports) != len(golden) {
+		return nil, fmt.Errorf("scrub: need equal non-zero ports and goldens")
+	}
+	m := &Manager{
+		ports:                 ports,
+		golden:                golden,
+		FullReconfigThreshold: 64,
+		MaxLog:                4096,
+	}
+	for i := range ports {
+		var mask *bitstream.Mask
+		if masks != nil && i < len(masks) {
+			mask = masks[i]
+		}
+		m.masks = append(m.masks, mask)
+		m.books = append(m.books, bitstream.BuildCodebook(golden[i], mask))
+		m.fullBS = append(m.fullBS, bitstream.Full(golden[i]))
+	}
+	return m, nil
+}
+
+// Stats returns aggregate counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Log returns the state-of-health record.
+func (m *Manager) Log() []Detection { return m.log }
+
+// Now returns the manager's virtual mission clock, advanced by the modelled
+// cost of every readback and repair operation.
+func (m *Manager) Now() time.Duration { return m.now }
+
+// AdvanceTime adds idle mission time (used by the payload simulation
+// between scan cycles).
+func (m *Manager) AdvanceTime(d time.Duration) { m.now += d }
+
+// ScanDevice reads back and checks every frame of device i, repairing on
+// the fly. It returns the detections made.
+func (m *Manager) ScanDevice(i int) ([]Detection, error) {
+	port := m.ports[i]
+	g := port.Device().Geometry()
+	before := port.Elapsed()
+	var bad []int
+	for f := 0; f < g.TotalFrames(); f++ {
+		frame, err := port.ReadFrame(f)
+		if err != nil {
+			return nil, fmt.Errorf("scrub: device %d frame %d: %w", i, f, err)
+		}
+		m.stats.FramesChecked++
+		if !m.books[i].Check(frame) {
+			bad = append(bad, f)
+		}
+	}
+	m.now += port.Elapsed() - before
+
+	var out []Detection
+	if len(bad) > m.FullReconfigThreshold || port.Device().Unprogrammed() {
+		// Unrecoverable by frame repair: reload the full bitstream (the
+		// start-up sequence also restores half-latches).
+		before = port.Elapsed()
+		if err := port.FullConfigure(m.fullBS[i]); err != nil {
+			return nil, fmt.Errorf("scrub: full reconfig of device %d: %w", i, err)
+		}
+		m.now += port.Elapsed() - before
+		m.stats.FullReconfigs++
+		frame := -1
+		if len(bad) > 0 {
+			frame = bad[0]
+		}
+		d := Detection{Device: i, Frame: frame, At: m.now, Action: ActionFullReconfig}
+		m.record(d)
+		out = append(out, d)
+		m.stats.FrameErrors += int64(len(bad))
+		return out, nil
+	}
+	for _, f := range bad {
+		before = port.Elapsed()
+		if err := port.WriteFrame(m.golden[i].Frame(f)); err != nil {
+			return nil, fmt.Errorf("scrub: repairing device %d frame %d: %w", i, f, err)
+		}
+		m.now += port.Elapsed() - before
+		m.stats.FrameErrors++
+		m.stats.Repairs++
+		d := Detection{Device: i, Frame: f, At: m.now, Action: ActionRepaired}
+		m.record(d)
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ScanOnce performs one full scan cycle over all devices (the loop of
+// Fig. 4) and returns all detections.
+func (m *Manager) ScanOnce() ([]Detection, error) {
+	m.stats.Scans++
+	var out []Detection
+	for i := range m.ports {
+		d, err := m.ScanDevice(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d...)
+	}
+	return out, nil
+}
+
+// ScanCycleTime predicts the virtual duration of one full scan with no
+// errors: readback of every frame of every device.
+func (m *Manager) ScanCycleTime() time.Duration {
+	var t time.Duration
+	for _, p := range m.ports {
+		g := p.Device().Geometry()
+		t += time.Duration(g.TotalFrames()) * p.FrameReadTime
+	}
+	return t
+}
+
+// InsertArtificialSEU flips a configuration bit of device i through its
+// port — the paper's mechanism for exercising the fault-handling path
+// end-to-end in orbit ("artificial insertion of SEUs ... with 'corrupt'
+// frames").
+func (m *Manager) InsertArtificialSEU(i int, frame, offset int) error {
+	port := m.ports[i]
+	g := port.Device().Geometry()
+	if frame < 0 || frame >= g.TotalFrames() {
+		return fmt.Errorf("scrub: frame %d out of range", frame)
+	}
+	fr := port.Device().ConfigMemory().Frame(frame)
+	fr.Data[offset>>3] ^= 1 << (uint(offset) & 7)
+	return port.WriteFrame(fr)
+}
+
+func (m *Manager) record(d Detection) {
+	if len(m.log) < m.MaxLog {
+		m.log = append(m.log, d)
+	}
+}

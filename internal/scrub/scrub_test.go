@@ -1,0 +1,251 @@
+package scrub
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/fpga"
+	"repro/internal/place"
+)
+
+// rig builds n configured devices running the same design.
+func rig(t *testing.T, n int, geom device.Geometry) (*Manager, []*fpga.FPGA) {
+	t.Helper()
+	spec, err := designs.ByName("MULT 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(spec.Build(), geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ports []*fpga.Port
+	var goldens []*bitstream.Memory
+	var devs []*fpga.FPGA
+	for i := 0; i < n; i++ {
+		f := fpga.New(geom)
+		if err := f.FullConfigure(p.Bitstream()); err != nil {
+			t.Fatal(err)
+		}
+		devs = append(devs, f)
+		ports = append(ports, fpga.NewPort(f))
+		goldens = append(goldens, f.ConfigMemory().Clone())
+	}
+	m, err := New(ports, goldens, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, devs
+}
+
+func TestCleanScanFindsNothing(t *testing.T) {
+	m, _ := rig(t, 3, device.Tiny())
+	det, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 0 {
+		t.Fatalf("clean scan produced detections: %v", det)
+	}
+	st := m.Stats()
+	if st.Scans != 1 || st.FrameErrors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	g := device.Tiny()
+	if st.FramesChecked != int64(3*g.TotalFrames()) {
+		t.Errorf("frames checked = %d", st.FramesChecked)
+	}
+}
+
+func TestScanDetectsAndRepairsSEU(t *testing.T) {
+	m, devs := rig(t, 3, device.Tiny())
+	g := devs[1].Geometry()
+	// A real SEU lands in device 1.
+	a := g.LUTBitAddr(2, 3, 1, 7)
+	devs[1].InjectBit(a)
+	golden := devs[0].ConfigMemory() // device 0 is pristine and identical
+
+	det, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 1 {
+		t.Fatalf("detections = %v, want exactly one", det)
+	}
+	if det[0].Device != 1 || det[0].Frame != a.Frame(g) || det[0].Action != ActionRepaired {
+		t.Fatalf("detection = %+v", det[0])
+	}
+	if !devs[1].ConfigMemory().Equal(golden) {
+		t.Fatal("repair did not restore the configuration")
+	}
+	// Second scan is clean.
+	det, err = m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 0 {
+		t.Fatal("repair did not stick")
+	}
+	if m.Stats().Repairs != 1 {
+		t.Errorf("repairs = %d", m.Stats().Repairs)
+	}
+	if len(m.Log()) != 1 {
+		t.Errorf("log = %v", m.Log())
+	}
+}
+
+func TestScanCycleTimeMatchesPaperFor3XQVR1000(t *testing.T) {
+	// Paper: each configuration is read every ~180 ms for three XQVR1000s.
+	geom := device.XQVR1000()
+	var ports []*fpga.Port
+	var goldens []*bitstream.Memory
+	for i := 0; i < 3; i++ {
+		f := fpga.New(geom)
+		ports = append(ports, fpga.NewPort(f))
+		goldens = append(goldens, bitstream.NewMemory(geom))
+	}
+	m, err := New(ports, goldens, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := m.ScanCycleTime()
+	if cycle < 150*time.Millisecond || cycle > 210*time.Millisecond {
+		t.Errorf("scan cycle for 3 XQVR1000s = %v, paper says ~180 ms", cycle)
+	}
+}
+
+func TestUnprogrammedDeviceGetsFullReconfig(t *testing.T) {
+	m, devs := rig(t, 2, device.Tiny())
+	devs[0].UpsetControlLogic()
+	det, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range det {
+		if d.Device == 0 && d.Action == ActionFullReconfig {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no full reconfiguration recorded: %v", det)
+	}
+	if devs[0].Unprogrammed() {
+		t.Fatal("device still unprogrammed after scan")
+	}
+	if m.Stats().FullReconfigs != 1 {
+		t.Errorf("full reconfigs = %d", m.Stats().FullReconfigs)
+	}
+}
+
+func TestMassCorruptionTriggersFullReconfig(t *testing.T) {
+	m, devs := rig(t, 1, device.Tiny())
+	m.FullReconfigThreshold = 8
+	g := devs[0].Geometry()
+	for f := 0; f < 20; f++ {
+		devs[0].InjectBit(device.BitAddr(int64(f*3) * int64(g.FrameLength())))
+	}
+	det, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 1 || det[0].Action != ActionFullReconfig {
+		t.Fatalf("detections = %v", det)
+	}
+}
+
+func TestArtificialSEUInsertionExercisesLoop(t *testing.T) {
+	// The flight system injects artificial SEUs to verify the fault path
+	// end to end; the next scan must find and repair it.
+	m, devs := rig(t, 1, device.Tiny())
+	if err := m.InsertArtificialSEU(0, 5, 17); err != nil {
+		t.Fatal(err)
+	}
+	det, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 1 || det[0].Frame != 5 || det[0].Action != ActionRepaired {
+		t.Fatalf("detections = %v", det)
+	}
+	if err := m.InsertArtificialSEU(0, -1, 0); err == nil {
+		t.Fatal("out-of-range frame accepted")
+	}
+	_ = devs
+}
+
+func TestScanTimeAdvances(t *testing.T) {
+	m, _ := rig(t, 2, device.Tiny())
+	if _, err := m.ScanOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Now() <= 0 {
+		t.Fatal("virtual time did not advance")
+	}
+	before := m.Now()
+	m.AdvanceTime(time.Second)
+	if m.Now() != before+time.Second {
+		t.Fatal("AdvanceTime wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Fatal("empty manager accepted")
+	}
+}
+
+func TestMaskedScrubToleratesLiveSRL(t *testing.T) {
+	// A design using a LUT as a shift register writes its own configuration
+	// bits; scrubbing must mask those frames or it would "repair" live
+	// state forever (paper §II-C / §IV-A).
+	g := device.Tiny()
+	b := fpga.NewConfigBuilder(g)
+	b.SetLUT(7, 0, 0, fpga.TruthZero)
+	b.SetSRL(7, 0, 0, true)
+	b.RouteInput(7, 0, 0, 3, 4)  // shift-in from west pin
+	b.RouteInput(7, 0, 0, 0, 16) // address from south pin (0)
+	b.RouteInput(7, 0, 0, 1, 16)
+	b.RouteInput(7, 0, 0, 2, 16)
+	b.SetFF(7, 0, 0, false, device.CEConstOne, 0, false)
+	f := fpga.New(g)
+	if err := f.FullConfigure(b.FullBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	// Run: SRL content changes in configuration memory.
+	f.SetPin(g.PinWest(7, 0), true)
+	f.StepN(3)
+
+	mask := bitstream.NewMask(g)
+	for i := 0; i < device.LUTBits; i++ {
+		mask.MaskBit(g.LUTBitAddr(7, 0, 0, i))
+	}
+	port := fpga.NewPort(f)
+	port.ClockRunning = false // stop the clock for readback, as §II-C demands
+	m, err := New([]*fpga.Port{port}, []*bitstream.Memory{b.Memory().Clone()}, []*bitstream.Mask{mask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 0 {
+		t.Fatalf("masked scrub flagged live SRL content: %v", det)
+	}
+	// Without the mask the scan would flag (and clobber) the live frame.
+	m2, err := New([]*fpga.Port{port}, []*bitstream.Memory{b.Memory().Clone()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err = m2.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) == 0 {
+		t.Fatal("unmasked scrub failed to flag live SRL content")
+	}
+}

@@ -1,0 +1,288 @@
+// Package seu implements the paper's SEU simulator: exhaustive (or
+// uniformly sampled) single-bit corruption of the configuration bitstream
+// through the configuration port, clock-by-clock golden-vs-DUT output
+// comparison, repair by partial reconfiguration, and classification of
+// sensitive bits into persistent and non-persistent (§III, Fig. 8).
+package seu
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/board"
+	"repro/internal/device"
+)
+
+// Options tune an injection campaign.
+type Options struct {
+	// ObserveCycles is how many clocks the corrupted design runs while the
+	// comparator watches for discrepancies.
+	ObserveCycles int
+	// PersistWindow is how many clocks the repaired design gets to
+	// re-synchronize before a sensitive bit is declared persistent.
+	PersistWindow int
+	// CleanRun is the number of consecutive matching clocks that counts as
+	// re-synchronized.
+	CleanRun int
+	// Sample is the fraction of configuration bits to inject (1 =
+	// exhaustive). Sampling is uniform over the whole bitstream, so
+	// sensitivity estimates stay unbiased.
+	Sample float64
+	// MaxBits caps the number of injections (0 = no cap).
+	MaxBits int64
+	// Seed drives sampling.
+	Seed int64
+	// ClassifyPersistence enables the paper's persistent/non-persistent
+	// classification pass for every sensitive bit.
+	ClassifyPersistence bool
+	// CollectBits records the address of every sensitive bit (needed for
+	// beam-validation correlation and selective TMR).
+	CollectBits bool
+	// FastPadSkip records architecturally inert padding bits as benign
+	// without running the clock. Their decode is provably unchanged, so
+	// this is exact, not an approximation.
+	FastPadSkip bool
+}
+
+// DefaultOptions returns the standard campaign parameters.
+func DefaultOptions() Options {
+	return Options{
+		ObserveCycles:       24,
+		PersistWindow:       48,
+		CleanRun:            8,
+		Sample:              1.0,
+		ClassifyPersistence: true,
+		CollectBits:         true,
+		FastPadSkip:         true,
+	}
+}
+
+// BitRecord describes one sensitive configuration bit.
+type BitRecord struct {
+	Addr       device.BitAddr
+	Kind       device.BitKind
+	Persistent bool
+	// FirstErrorCycle is the comparator cycle (relative to injection) at
+	// which the first output discrepancy appeared.
+	FirstErrorCycle int
+	// FailedOutputs are the output-bit indices that disagreed at the first
+	// error (the raw material of the §III-A correlation table).
+	FailedOutputs []int
+}
+
+// Report is the result of a campaign — the raw material of the paper's
+// Tables I and II.
+type Report struct {
+	Design     string
+	Geom       device.Geometry
+	SlicesUsed int
+
+	Injections int64
+	Failures   int64
+	Persistent int64
+
+	InjectionsByKind map[device.BitKind]int64
+	FailuresByKind   map[device.BitKind]int64
+
+	SensitiveBits []BitRecord
+
+	// SimulatedTime is the virtual test time on the modelled SLAAC-1V
+	// (InjectLoopTime per injection), the figure behind the paper's
+	// "entire bitstream ... in 20 minutes".
+	SimulatedTime time.Duration
+	// WallTime is how long the Go simulation actually took.
+	WallTime time.Duration
+}
+
+// Sensitivity returns failures per injected bit — with exhaustive
+// injection, exactly the paper's "design failures / configuration upsets".
+func (r *Report) Sensitivity() float64 {
+	if r.Injections == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(r.Injections)
+}
+
+// NormalizedSensitivity factors out area: sensitivity divided by slice
+// utilization (Table I's right-hand column).
+func (r *Report) NormalizedSensitivity() float64 {
+	util := float64(r.SlicesUsed) / float64(r.Geom.Slices())
+	if util == 0 {
+		return 0
+	}
+	return r.Sensitivity() / util
+}
+
+// PersistenceRatio returns persistent bits per sensitive bit (Table II).
+func (r *Report) PersistenceRatio() float64 {
+	if r.Failures == 0 {
+		return 0
+	}
+	return float64(r.Persistent) / float64(r.Failures)
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %d slices (%.1f%%), %d injections, %d failures, sensitivity %.2f%%, normalized %.1f%%, persistence %.1f%%",
+		r.Design, r.SlicesUsed, 100*float64(r.SlicesUsed)/float64(r.Geom.Slices()),
+		r.Injections, r.Failures, 100*r.Sensitivity(), 100*r.NormalizedSensitivity(), 100*r.PersistenceRatio())
+}
+
+// Run executes an injection campaign on the testbed. The board must be
+// freshly configured (golden and DUT in lock-step).
+func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
+	if opts.ObserveCycles <= 0 || opts.CleanRun <= 0 {
+		return nil, fmt.Errorf("seu: non-positive cycle counts")
+	}
+	g := bd.Geometry()
+	golden := bd.DUT.ConfigMemory().Clone()
+	rep := &Report{
+		Design:           bd.Placed.Circuit.Name,
+		Geom:             g,
+		SlicesUsed:       bd.Placed.SlicesUsed(),
+		InjectionsByKind: make(map[device.BitKind]int64),
+		FailuresByKind:   make(map[device.BitKind]int64),
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	start := time.Now()
+
+	total := g.TotalBits()
+	for a := device.BitAddr(0); int64(a) < total; a++ {
+		if opts.Sample < 1 && rng.Float64() >= opts.Sample {
+			continue
+		}
+		if opts.MaxBits > 0 && rep.Injections >= opts.MaxBits {
+			break
+		}
+		info := g.Classify(a)
+		rep.Injections++
+		rep.InjectionsByKind[info.Kind]++
+		rep.SimulatedTime += board.InjectLoopTime
+
+		if opts.FastPadSkip && (info.Kind == device.KindPad || info.Kind == device.KindExtra) {
+			continue // provably benign: no decoded behaviour depends on it
+		}
+
+		if err := injectOne(bd, golden, a, info, opts, rep); err != nil {
+			return nil, err
+		}
+	}
+	rep.WallTime = time.Since(start)
+	return rep, nil
+}
+
+// injectOne performs one corrupt/observe/repair/classify iteration.
+func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, info device.BitInfo, opts Options, rep *Report) error {
+	g := bd.Geometry()
+	startCycle := bd.Cycle()
+
+	// Corrupt: flip the bit in the DUT's configuration (modelled as the
+	// single-bit partial reconfiguration the testbed performs in 100 us —
+	// accounted by the campaign's per-iteration loop time).
+	bd.DUT.InjectBit(a)
+
+	// Observe while the clock runs.
+	failed := false
+	firstErr := -1
+	var failedOutputs []int
+	for i := 0; i < opts.ObserveCycles; i++ {
+		if !bd.Step() {
+			failed = true
+			firstErr = int(bd.Cycle() - startCycle)
+			failedOutputs = bd.MismatchBits()
+			break
+		}
+	}
+
+	// Repair: write the golden frame back through the configuration port.
+	// Corruption can spread beyond the injected frame — flipping a LUT-mode
+	// bit turns the LUT into a live shift register whose truth-table
+	// configuration bits change every clock (the paper's §II-C dynamic-
+	// content pathology) — so scrub every frame that differs from golden.
+	if err := bd.Port.WriteFrame(golden.Frame(a.Frame(g))); err != nil {
+		return fmt.Errorf("seu: repairing frame %d: %w", a.Frame(g), err)
+	}
+	// The spread is confined to the injected bit's column (an SRL shifts
+	// only its own truth-table frames); residual divergence anywhere else
+	// is caught by the clean-run check and the full-reconfiguration
+	// fallback below.
+	frame := a.Frame(g)
+	colBase := (frame / device.FramesPerCLBCol) * device.FramesPerCLBCol
+	if frame < g.CLBFrames() {
+		for fidx := colBase; fidx < colBase+device.FramesPerCLBCol; fidx++ {
+			if !bd.DUT.ConfigMemory().FrameEqual(golden, fidx) {
+				if err := bd.Port.WriteFrame(golden.Frame(fidx)); err != nil {
+					return fmt.Errorf("seu: scrubbing frame %d: %w", fidx, err)
+				}
+			}
+		}
+	}
+
+	if !failed {
+		// No output error during the window. Make sure no silent state
+		// divergence contaminates later injections: a short clean run must
+		// follow; otherwise this bit was sensitive after all.
+		clean := 0
+		for clean < opts.CleanRun {
+			if bd.Step() {
+				clean++
+			} else {
+				failed = true
+				firstErr = int(bd.Cycle() - startCycle)
+				failedOutputs = bd.MismatchBits()
+				break
+			}
+		}
+		if !failed {
+			return nil
+		}
+	}
+
+	rep.Failures++
+	rep.FailuresByKind[info.Kind]++
+
+	persistent := false
+	if opts.ClassifyPersistence {
+		// The configuration is already repaired; if the design re-syncs on
+		// its own the bit is non-persistent, otherwise state corruption
+		// survives scrubbing and only a reset clears it (§III-A, Table II).
+		// The verdict is tail-anchored — the design must END the window in
+		// lock-step — so a lucky mid-window streak of matches (common for
+		// narrow outputs) is not mistaken for recovery.
+		clean := 0
+		for i := 0; i < opts.PersistWindow; i++ {
+			if bd.Step() {
+				clean++
+			} else {
+				clean = 0
+			}
+		}
+		persistent = clean < opts.CleanRun
+		if persistent {
+			rep.Persistent++
+		}
+	}
+	if opts.CollectBits {
+		rep.SensitiveBits = append(rep.SensitiveBits, BitRecord{
+			Addr: a, Kind: info.Kind, Persistent: persistent,
+			FirstErrorCycle: firstErr, FailedOutputs: failedOutputs,
+		})
+	}
+
+	// Reset both designs to re-synchronize (Fig. 8's "reset designs").
+	bd.ResetBoth()
+	if !bd.Match() {
+		// Reset was not enough (e.g. live memory content diverged while the
+		// routing was corrupted). Fall back to a full reconfiguration of
+		// the DUT, as the flight procedure would.
+		if err := bd.Port.FullConfigure(bitstream.Full(golden)); err != nil {
+			return fmt.Errorf("seu: full reconfiguration after bit %d: %w", a, err)
+		}
+		bd.ResetBoth()
+		if !bd.Match() {
+			return fmt.Errorf("seu: designs failed to re-synchronize after full reconfiguration at bit %d", a)
+		}
+	}
+	return nil
+}

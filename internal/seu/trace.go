@@ -1,0 +1,47 @@
+package seu
+
+import (
+	"repro/internal/board"
+	"repro/internal/device"
+)
+
+// TracePoint is one clock of a Fig. 7-style expected-vs-actual trace.
+type TracePoint struct {
+	Cycle    int64
+	Expected uint64 // golden output
+	Actual   uint64 // DUT output
+	Match    bool
+}
+
+// Trace reproduces the paper's Fig. 7 experiment: run the design cleanly
+// for preCycles, upset one configuration bit, run corruptCycles, repair the
+// bit by partial reconfiguration, and keep running for postCycles — all
+// while recording expected (golden) vs actual (DUT) outputs. For a
+// persistent bit (e.g. a counter state bit) the actual value never
+// re-converges after repair; only a reset would fix it.
+func Trace(bd *board.SLAAC1V, a device.BitAddr, preCycles, corruptCycles, postCycles int) ([]TracePoint, error) {
+	g := bd.Geometry()
+	golden := bd.DUT.ConfigMemory().Clone()
+	var out []TracePoint
+	record := func() {
+		e, act := bd.Outputs()
+		out = append(out, TracePoint{Cycle: bd.Cycle(), Expected: e, Actual: act, Match: e == act})
+	}
+	for i := 0; i < preCycles; i++ {
+		bd.Step()
+		record()
+	}
+	bd.DUT.InjectBit(a)
+	for i := 0; i < corruptCycles; i++ {
+		bd.Step()
+		record()
+	}
+	if err := bd.Port.WriteFrame(golden.Frame(a.Frame(g))); err != nil {
+		return nil, err
+	}
+	for i := 0; i < postCycles; i++ {
+		bd.Step()
+		record()
+	}
+	return out, nil
+}

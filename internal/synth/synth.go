@@ -1,0 +1,203 @@
+// Package synth provides arithmetic and structural circuit constructors on
+// top of the netlist builder: ripple-carry adders, array multipliers,
+// counters, comparators, and register pipelines. The paper's benchmark
+// designs (internal/designs) are composed from these blocks.
+package synth
+
+import (
+	"repro/internal/netlist"
+)
+
+// Add builds an n-bit ripple-carry adder (full adders from XOR3/MAJ3 LUTs,
+// the canonical Virtex mapping). Operands may differ in width; the shorter
+// is zero-extended. Returns the sum (width = max) and the carry out.
+func Add(b *netlist.Builder, x, y []netlist.SignalID, cin netlist.SignalID) (sum []netlist.SignalID, cout netlist.SignalID) {
+	n := len(x)
+	if len(y) > n {
+		n = len(y)
+	}
+	zero := netlist.Invalid
+	get := func(bus []netlist.SignalID, i int) netlist.SignalID {
+		if i < len(bus) {
+			return bus[i]
+		}
+		if zero == netlist.Invalid {
+			zero = b.Const(false)
+		}
+		return zero
+	}
+	carry := cin
+	if carry == netlist.Invalid {
+		carry = b.Const(false)
+	}
+	sum = make([]netlist.SignalID, n)
+	for i := 0; i < n; i++ {
+		xi, yi := get(x, i), get(y, i)
+		sum[i] = b.Xor3(xi, yi, carry)
+		carry = b.Maj3(xi, yi, carry)
+	}
+	return sum, carry
+}
+
+// AddTrunc adds and keeps only the low len-x bits (modular add).
+func AddTrunc(b *netlist.Builder, x, y []netlist.SignalID) []netlist.SignalID {
+	sum, _ := Add(b, x, y, netlist.Invalid)
+	return sum[:len(x)]
+}
+
+// Multiply builds a combinational array multiplier: len(x)+len(y) output
+// bits from AND partial products reduced with ripple adders — the
+// data-path-dominated structure of the paper's MULT designs.
+func Multiply(b *netlist.Builder, x, y []netlist.SignalID) []netlist.SignalID {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	// Row 0: x * y[0].
+	acc := make([]netlist.SignalID, len(x))
+	for i := range x {
+		acc[i] = b.And(x[i], y[0])
+	}
+	var result []netlist.SignalID
+	for j := 1; j < len(y); j++ {
+		// result bit j-1 is final.
+		result = append(result, acc[0])
+		hi := acc[1:]
+		row := make([]netlist.SignalID, len(x))
+		for i := range x {
+			row[i] = b.And(x[i], y[j])
+		}
+		sum, cout := Add(b, hi, row, netlist.Invalid)
+		acc = append(sum, cout)
+	}
+	result = append(result, acc...)
+	return result
+}
+
+// Register pipelines a bus through one FF stage (init 0).
+func Register(b *netlist.Builder, bus []netlist.SignalID) []netlist.SignalID {
+	out := make([]netlist.SignalID, len(bus))
+	for i, s := range bus {
+		out[i] = b.FF(s, false)
+	}
+	return out
+}
+
+// RegisterCE pipelines a bus through FFs sharing a clock enable.
+func RegisterCE(b *netlist.Builder, bus []netlist.SignalID, ce netlist.SignalID) []netlist.SignalID {
+	out := make([]netlist.SignalID, len(bus))
+	for i, s := range bus {
+		out[i] = b.FFCE(s, ce, false)
+	}
+	return out
+}
+
+// Counter builds an n-bit free-running binary counter (state feedback
+// through an incrementer — the paper's Fig. 7 structure whose high-bit
+// upset produces persistent errors). Returns the register outputs.
+func Counter(b *netlist.Builder, n int) []netlist.SignalID {
+	// Carry chain c_i = AND(q_0..q_{i-1}); d_i = q_i XOR c_i. The state
+	// signals are allocated up front and bound to FFs after the increment
+	// logic that reads them exists (BindFF closes the loop).
+	q := make([]netlist.SignalID, n)
+	for i := range q {
+		q[i] = b.NewSignal()
+	}
+	carry := netlist.Invalid
+	for i := 0; i < n; i++ {
+		var di netlist.SignalID
+		if i == 0 {
+			di = b.Not(q[0])
+			carry = q[0]
+		} else {
+			di = b.Xor(q[i], carry)
+			carry = b.And(carry, q[i])
+		}
+		b.BindFF(di, q[i], false)
+	}
+	return q
+}
+
+// CounterCE builds an n-bit counter that advances only when ce is high.
+func CounterCE(b *netlist.Builder, n int, ce netlist.SignalID) []netlist.SignalID {
+	q := make([]netlist.SignalID, n)
+	for i := range q {
+		q[i] = b.NewSignal()
+	}
+	carry := netlist.Invalid
+	for i := 0; i < n; i++ {
+		var di netlist.SignalID
+		if i == 0 {
+			di = b.Not(q[0])
+			carry = q[0]
+		} else {
+			di = b.Xor(q[i], carry)
+			carry = b.And(carry, q[i])
+		}
+		b.BindFFCE(di, ce, q[i], false)
+	}
+	return q
+}
+
+// Equal builds a bus equality comparator.
+func Equal(b *netlist.Builder, x, y []netlist.SignalID) netlist.SignalID {
+	if len(x) != len(y) {
+		panic("synth: Equal on unequal widths")
+	}
+	var diffs []netlist.SignalID
+	for i := range x {
+		diffs = append(diffs, b.Xor(x[i], y[i]))
+	}
+	return b.Not(OrReduce(b, diffs))
+}
+
+// OrReduce ORs a bus down to one bit.
+func OrReduce(b *netlist.Builder, in []netlist.SignalID) netlist.SignalID {
+	switch len(in) {
+	case 0:
+		return b.Const(false)
+	case 1:
+		return in[0]
+	}
+	var next []netlist.SignalID
+	i := 0
+	for ; i+2 <= len(in); i += 2 {
+		next = append(next, b.Or(in[i], in[i+1]))
+	}
+	if i < len(in) {
+		next = append(next, in[i])
+	}
+	return OrReduce(b, next)
+}
+
+// AndReduce ANDs a bus down to one bit.
+func AndReduce(b *netlist.Builder, in []netlist.SignalID) netlist.SignalID {
+	switch len(in) {
+	case 0:
+		return b.Const(true)
+	case 1:
+		return in[0]
+	}
+	var next []netlist.SignalID
+	i := 0
+	for ; i+4 <= len(in); i += 4 {
+		next = append(next, b.And4(in[i], in[i+1], in[i+2], in[i+3]))
+	}
+	switch len(in) - i {
+	case 3:
+		next = append(next, b.And3(in[i], in[i+1], in[i+2]))
+	case 2:
+		next = append(next, b.And(in[i], in[i+1]))
+	case 1:
+		next = append(next, in[i])
+	}
+	return AndReduce(b, next)
+}
+
+// ConstBus materializes a constant of the given width.
+func ConstBus(b *netlist.Builder, width int, v uint64) []netlist.SignalID {
+	out := make([]netlist.SignalID, width)
+	for i := range out {
+		out[i] = b.Const(v&(1<<uint(i)) != 0)
+	}
+	return out
+}

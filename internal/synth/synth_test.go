@@ -1,0 +1,251 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+func simFor(t *testing.T, build func(b *netlist.Builder)) *netlist.Simulator {
+	t.Helper()
+	b := netlist.NewBuilder("t")
+	build(b)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := netlist.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAddMatchesIntegers(t *testing.T) {
+	const w = 12
+	s := simFor(t, func(b *netlist.Builder) {
+		x := b.Input("x", w)
+		y := b.Input("y", w)
+		sum, cout := Add(b, x, y, netlist.Invalid)
+		b.Output("s", sum)
+		b.Output("c", []netlist.SignalID{cout})
+	})
+	f := func(x, y uint16) bool {
+		xv, yv := uint64(x)&(1<<w-1), uint64(y)&(1<<w-1)
+		s.SetInput("x", xv)
+		s.SetInput("y", yv)
+		sum, _ := s.Output("s")
+		c, _ := s.Output("c")
+		total := xv + yv
+		return sum == total&(1<<w-1) && c == total>>w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddUnequalWidthsZeroExtends(t *testing.T) {
+	s := simFor(t, func(b *netlist.Builder) {
+		x := b.Input("x", 8)
+		y := b.Input("y", 3)
+		sum, cout := Add(b, x, y, netlist.Invalid)
+		b.Output("s", sum)
+		b.Output("c", []netlist.SignalID{cout})
+	})
+	s.SetInput("x", 250)
+	s.SetInput("y", 7)
+	sum, _ := s.Output("s")
+	c, _ := s.Output("c")
+	if total := sum | c<<8; total != 257 {
+		t.Errorf("250+7 = %d", total)
+	}
+}
+
+func TestAddWithCarryIn(t *testing.T) {
+	s := simFor(t, func(b *netlist.Builder) {
+		x := b.Input("x", 4)
+		y := b.Input("y", 4)
+		ci := b.Input("ci", 1)
+		sum, cout := Add(b, x, y, ci[0])
+		b.Output("s", sum)
+		b.Output("c", []netlist.SignalID{cout})
+	})
+	s.SetInput("x", 7)
+	s.SetInput("y", 8)
+	s.SetInput("ci", 1)
+	sum, _ := s.Output("s")
+	if sum != 0 {
+		t.Errorf("7+8+1 low bits = %d, want 0", sum)
+	}
+	if c, _ := s.Output("c"); c != 1 {
+		t.Error("carry out missing")
+	}
+}
+
+func TestAddTrunc(t *testing.T) {
+	s := simFor(t, func(b *netlist.Builder) {
+		x := b.Input("x", 6)
+		y := b.Input("y", 6)
+		b.Output("s", AddTrunc(b, x, y))
+	})
+	s.SetInput("x", 60)
+	s.SetInput("y", 10)
+	if sum, _ := s.Output("s"); sum != (60+10)&63 {
+		t.Errorf("modular add = %d", sum)
+	}
+}
+
+func TestMultiplyMatchesIntegers(t *testing.T) {
+	const w = 8
+	s := simFor(t, func(b *netlist.Builder) {
+		x := b.Input("x", w)
+		y := b.Input("y", w)
+		b.Output("p", Multiply(b, x, y))
+	})
+	f := func(x, y uint8) bool {
+		s.SetInput("x", uint64(x))
+		s.SetInput("y", uint64(y))
+		p, _ := s.Output("p")
+		return p == uint64(x)*uint64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplyAsymmetricWidths(t *testing.T) {
+	s := simFor(t, func(b *netlist.Builder) {
+		x := b.Input("x", 10)
+		y := b.Input("y", 3)
+		b.Output("p", Multiply(b, x, y))
+	})
+	s.SetInput("x", 1000)
+	s.SetInput("y", 7)
+	if p, _ := s.Output("p"); p != 7000 {
+		t.Errorf("1000*7 = %d", p)
+	}
+}
+
+func TestMultiplyDegenerate(t *testing.T) {
+	b := netlist.NewBuilder("deg")
+	if got := Multiply(b, nil, nil); got != nil {
+		t.Error("empty multiply should be nil")
+	}
+}
+
+func TestCounterCounts(t *testing.T) {
+	const w = 6
+	s := simFor(t, func(b *netlist.Builder) {
+		b.Output("q", Counter(b, w))
+	})
+	for i := uint64(0); i < 80; i++ {
+		q, _ := s.Output("q")
+		if q != i&(1<<w-1) {
+			t.Fatalf("cycle %d: counter = %d", i, q)
+		}
+		s.Step()
+	}
+}
+
+func TestCounterCE(t *testing.T) {
+	s := simFor(t, func(b *netlist.Builder) {
+		ce := b.Input("ce", 1)
+		b.Output("q", CounterCE(b, 4, ce[0]))
+	})
+	s.SetInput("ce", 0)
+	s.StepN(5)
+	if q, _ := s.Output("q"); q != 0 {
+		t.Fatal("counter advanced with CE low")
+	}
+	s.SetInput("ce", 1)
+	s.StepN(3)
+	if q, _ := s.Output("q"); q != 3 {
+		t.Fatalf("counter = %d after 3 enabled cycles", q)
+	}
+}
+
+func TestRegisterAndRegisterCE(t *testing.T) {
+	s := simFor(t, func(b *netlist.Builder) {
+		x := b.Input("x", 4)
+		ce := b.Input("ce", 1)
+		b.Output("r", Register(b, x))
+		b.Output("rce", RegisterCE(b, x, ce[0]))
+	})
+	s.SetInput("x", 9)
+	s.SetInput("ce", 0)
+	s.Step()
+	if r, _ := s.Output("r"); r != 9 {
+		t.Error("Register did not capture")
+	}
+	if r, _ := s.Output("rce"); r != 0 {
+		t.Error("RegisterCE captured with CE low")
+	}
+	s.SetInput("ce", 1)
+	s.Step()
+	if r, _ := s.Output("rce"); r != 9 {
+		t.Error("RegisterCE did not capture with CE high")
+	}
+}
+
+func TestEqualComparator(t *testing.T) {
+	s := simFor(t, func(b *netlist.Builder) {
+		x := b.Input("x", 5)
+		y := b.Input("y", 5)
+		b.Output("eq", []netlist.SignalID{Equal(b, x, y)})
+	})
+	f := func(x, y uint8) bool {
+		xv, yv := uint64(x&31), uint64(y&31)
+		s.SetInput("x", xv)
+		s.SetInput("y", yv)
+		eq, _ := s.Output("eq")
+		return (eq == 1) == (xv == yv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 5, 8, 13} {
+		s := simFor(t, func(b *netlist.Builder) {
+			x := b.Input("x", w)
+			b.Output("or", []netlist.SignalID{OrReduce(b, x)})
+			b.Output("and", []netlist.SignalID{AndReduce(b, x)})
+		})
+		all := uint64(1)<<uint(w) - 1
+		for _, v := range []uint64{0, 1, all, all >> 1, 0b1010 & all} {
+			s.SetInput("x", v)
+			or, _ := s.Output("or")
+			and, _ := s.Output("and")
+			if (or == 1) != (v != 0) {
+				t.Errorf("w=%d v=%b: or=%d", w, v, or)
+			}
+			if (and == 1) != (v == all) {
+				t.Errorf("w=%d v=%b: and=%d", w, v, and)
+			}
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	s := simFor(t, func(b *netlist.Builder) {
+		b.Output("or", []netlist.SignalID{OrReduce(b, nil)})
+		b.Output("and", []netlist.SignalID{AndReduce(b, nil)})
+	})
+	if or, _ := s.Output("or"); or != 0 {
+		t.Error("empty OR should be 0")
+	}
+	if and, _ := s.Output("and"); and != 1 {
+		t.Error("empty AND should be 1")
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	s := simFor(t, func(b *netlist.Builder) {
+		b.Output("k", ConstBus(b, 8, 0xA5))
+	})
+	if k, _ := s.Output("k"); k != 0xA5 {
+		t.Errorf("ConstBus = %#x", k)
+	}
+}

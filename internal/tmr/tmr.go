@@ -1,0 +1,83 @@
+// Package tmr implements triple-module redundancy, the mitigation the paper
+// recommends applying — selectively, guided by the SEU simulator's
+// sensitivity map — to a design's sensitive cross-section: "Selective
+// Triple Module Redundancy (TMR) or other mitigation techniques can then be
+// selectively applied to the sensitive cross section" (§III-A).
+package tmr
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Triplicate builds the full-TMR version of a circuit: three copies share
+// the input ports; every output bit is the 2-of-3 majority of the copies.
+// A single configuration upset inside one copy cannot corrupt a voted
+// output.
+func Triplicate(c *netlist.Circuit) (*netlist.Circuit, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b := netlist.NewBuilder(c.Name + " TMR")
+	// Shared inputs.
+	inMap := make(map[netlist.SignalID][3]netlist.SignalID)
+	for _, p := range c.Inputs {
+		bits := b.Input(p.Name, p.Width())
+		for i, orig := range p.Bits {
+			inMap[orig] = [3]netlist.SignalID{bits[i], bits[i], bits[i]}
+		}
+	}
+	// Three copies of every node.
+	sigMap := make(map[netlist.SignalID][3]netlist.SignalID, c.NumSignals)
+	for k, v := range inMap {
+		sigMap[k] = v
+	}
+	lookup := func(s netlist.SignalID, copyIdx int) netlist.SignalID {
+		return sigMap[s][copyIdx]
+	}
+	// Nodes may reference signals defined by later nodes (feedback through
+	// FFs), so pre-allocate all node output signals.
+	for _, n := range c.Nodes {
+		var trip [3]netlist.SignalID
+		for k := 0; k < 3; k++ {
+			trip[k] = b.NewSignal()
+		}
+		sigMap[n.Out] = trip
+	}
+	for _, n := range c.Nodes {
+		for k := 0; k < 3; k++ {
+			out := sigMap[n.Out][k]
+			switch n.Kind {
+			case netlist.NodeLUT:
+				ins := make([]netlist.SignalID, len(n.In))
+				for i, s := range n.In {
+					ins[i] = lookup(s, k)
+				}
+				b.BindLUT(n.Truth, ins, out)
+			case netlist.NodeFF:
+				if n.HasCE {
+					b.BindFFCE(lookup(n.In[0], k), lookup(n.In[1], k), out, n.Init)
+				} else {
+					b.BindFF(lookup(n.In[0], k), out, n.Init)
+				}
+			case netlist.NodeConst:
+				b.BindConst(n.Init, out)
+			}
+		}
+	}
+	// Voted outputs.
+	for _, p := range c.Outputs {
+		voted := make([]netlist.SignalID, p.Width())
+		for i, s := range p.Bits {
+			t := sigMap[s]
+			voted[i] = b.Maj3(t[0], t[1], t[2])
+		}
+		b.Output(p.Name, voted)
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("tmr: %w", err)
+	}
+	return out, nil
+}

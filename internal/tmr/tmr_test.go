@@ -1,0 +1,217 @@
+package tmr
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/synth"
+)
+
+func TestTriplicatePreservesFunction(t *testing.T) {
+	c := designs.Mult("m", 3)
+	tm, err := Triplicate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, stTMR := c.Stats(), tm.Stats()
+	if stTMR.FFs != 3*st.FFs {
+		t.Errorf("TMR FFs = %d, want %d", stTMR.FFs, 3*st.FFs)
+	}
+	if stTMR.LUTs < 3*st.LUTs {
+		t.Errorf("TMR LUTs = %d, want >= %d (copies + voters)", stTMR.LUTs, 3*st.LUTs)
+	}
+	simA, err := netlist.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := netlist.NewSimulator(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		a, bv := uint64(i*5%8), uint64(i*3%8)
+		simA.SetInput("A", a)
+		simA.SetInput("B", bv)
+		simB.SetInput("A", a)
+		simB.SetInput("B", bv)
+		simA.Step()
+		simB.Step()
+		va, _ := simA.Output("O")
+		vb, _ := simB.Output("O")
+		if va != vb {
+			t.Fatalf("cycle %d: plain=%d tmr=%d", i, va, vb)
+		}
+	}
+}
+
+func TestTriplicateWithFeedbackAndCE(t *testing.T) {
+	b := netlist.NewBuilder("ctr")
+	ce := b.Input("ce", 1)
+	ceb := b.Buf(ce[0])
+	q := synth.CounterCE(b, 4, ceb)
+	b.Output("O", q)
+	c := b.MustBuild()
+	tm, err := Triplicate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInput("ce", 1)
+	sim.StepN(5)
+	if v, _ := sim.Output("O"); v != 5 {
+		t.Fatalf("TMR counter = %d, want 5", v)
+	}
+}
+
+func TestTMRMasksSingleCopyUpset(t *testing.T) {
+	// Place the TMR'd design and corrupt one copy's LUT: the voted output
+	// must stay correct.
+	base := netlist.NewBuilder("ff")
+	in := base.Input("A", 2)
+	base.Output("O", []netlist.SignalID{base.FF(base.Xor(in[0], in[1]), false)})
+	c := base.MustBuild()
+	tm, err := Triplicate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(tm, device.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := place.Verify(p, 50, 33); err != nil {
+		t.Fatal(err)
+	}
+	h, err := place.NewHarness(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a registered (copy) site and corrupt its LUT truth table
+	// completely.
+	var hit bool
+	for _, s := range p.Sites {
+		if !s.Registered {
+			continue
+		}
+		g := p.Geom
+		for i := 0; i < device.LUTBits; i++ {
+			h.F.InjectBit(g.LUTBitAddr(s.R, s.C, s.O, i))
+		}
+		hit = true
+		break
+	}
+	if !hit {
+		t.Fatal("no registered site found")
+	}
+	// A single-copy upset must not change the voted output: O is the
+	// registered XOR of the two input bits.
+	for i := 0; i < 20; i++ {
+		x := uint64(i % 4)
+		h.SetInput("A", x)
+		h.Step()
+		got, _ := h.Output("O")
+		exp := (x & 1) ^ ((x >> 1) & 1)
+		if got != exp {
+			t.Fatalf("cycle %d: voted output %d, want %d (TMR failed to mask)", i, got, exp)
+		}
+	}
+}
+
+func TestTriplicateRejectsInvalid(t *testing.T) {
+	bad := &netlist.Circuit{Name: "bad", NumSignals: 1}
+	if _, err := Triplicate(bad); err == nil {
+		t.Fatal("invalid circuit accepted")
+	}
+}
+
+func TestSelectiveIdentityWhenNothingProtected(t *testing.T) {
+	c := designs.Mult("m", 3)
+	out, err := Selective(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Nodes) != len(c.Nodes) {
+		t.Fatalf("empty protection changed the circuit: %d vs %d nodes", len(out.Nodes), len(c.Nodes))
+	}
+}
+
+func TestSelectivePreservesFunction(t *testing.T) {
+	c := designs.Mult("m", 3)
+	// Protect roughly half the nodes (the even ones).
+	protect := map[int]bool{}
+	for i := range c.Nodes {
+		if i%2 == 0 {
+			protect[i] = true
+		}
+	}
+	st, err := Selective(c, protect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, total := ProtectedCount(c, protect)
+	if p == 0 || p >= total {
+		t.Fatalf("protection accounting broken: %d/%d", p, total)
+	}
+	simA, err := netlist.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := netlist.NewSimulator(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		a, bv := uint64(i*3%8), uint64(i*5%8)
+		simA.SetInput("A", a)
+		simB.SetInput("A", a)
+		simA.SetInput("B", bv)
+		simB.SetInput("B", bv)
+		simA.Step()
+		simB.Step()
+		va, _ := simA.Output("O")
+		vb, _ := simB.Output("O")
+		if va != vb {
+			t.Fatalf("cycle %d: plain=%d selective=%d", i, va, vb)
+		}
+	}
+	// Area cost is between plain and full TMR.
+	full, err := Triplicate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(st.Stats().LUTs > c.Stats().LUTs && st.Stats().LUTs < full.Stats().LUTs) {
+		t.Errorf("selective LUTs %d not between plain %d and full %d",
+			st.Stats().LUTs, c.Stats().LUTs, full.Stats().LUTs)
+	}
+}
+
+func TestSelectiveProtectsFeedback(t *testing.T) {
+	// Protect every FF of a counter; an upset inside one protected copy
+	// must be voted out.
+	b := netlist.NewBuilder("ctr")
+	q := synth.Counter(b, 4)
+	b.Output("O", q)
+	c := b.MustBuild()
+	protect := map[int]bool{}
+	for i, n := range c.Nodes {
+		_ = n
+		protect[i] = true // protect the whole counter (all nodes)
+	}
+	st, err := Selective(c, protect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.StepN(9)
+	if v, _ := sim.Output("O"); v != 9 {
+		t.Fatalf("selective-TMR counter = %d, want 9", v)
+	}
+}
