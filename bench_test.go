@@ -13,6 +13,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -164,30 +165,42 @@ func BenchmarkFig8_InjectionLoop(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	bd, err := board.New(p, 1)
-	if err != nil {
-		b.Fatal(err)
+	// Sequential vs sharded throughput on the same campaign: the reports
+	// are identical by construction, only wall-us/bit moves.
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
 	}
-	opts := seu.DefaultOptions()
-	opts.ClassifyPersistence = false
-	opts.Seed = 1
-	b.ResetTimer()
-	var injections int64
-	for i := 0; i < b.N; i++ {
-		opts.MaxBits = 2000
-		opts.Sample = 1
-		rep, err := seu.Run(bd, opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		injections += rep.Injections
+	for _, workers := range workerCounts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			bd, err := board.New(p, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := seu.DefaultOptions()
+			opts.ClassifyPersistence = false
+			opts.Seed = 1
+			opts.Workers = workers
+			opts.MaxBits = 2000
+			opts.Sample = 1
+			b.ResetTimer()
+			var injections int64
+			for i := 0; i < b.N; i++ {
+				rep, err := seu.Run(bd, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				injections += rep.Injections
+			}
+			b.StopTimer()
+			perInj := b.Elapsed() / time.Duration(maxi64(1, injections))
+			b.ReportMetric(float64(perInj.Nanoseconds())/1000, "wall-us/bit")
+			b.ReportMetric(214, "virtual-us/bit")
+			full := time.Duration(device.XQVR1000().TotalBits()) * board.InjectLoopTime
+			b.ReportMetric(full.Minutes(), "virtual-min/5.8Mbit-sweep")
+		})
 	}
-	b.StopTimer()
-	perInj := b.Elapsed() / time.Duration(maxi64(1, injections))
-	b.ReportMetric(float64(perInj.Nanoseconds())/1000, "wall-us/bit")
-	b.ReportMetric(214, "virtual-us/bit")
-	full := time.Duration(device.XQVR1000().TotalBits()) * board.InjectLoopTime
-	b.ReportMetric(full.Minutes(), "virtual-min/5.8Mbit-sweep")
 }
 
 // --- Figs. 11-12: beam validation (97.6 % correlation) ------------------------
@@ -361,12 +374,8 @@ func BenchmarkAblation_PlacementDensity(b *testing.B) {
 // BenchmarkAblation_RepairGranularity: frame repair vs full reconfiguration —
 // the reason partial reconfiguration matters (§IV-B).
 func BenchmarkAblation_RepairGranularity(b *testing.B) {
-	g := device.XQVR1000()
 	frame := fpga.DefaultFrameWriteTime
 	full := fpga.DefaultFullConfigTime
-	for i := 0; i < b.N; i++ {
-		_ = g
-	}
 	b.ReportMetric(float64(frame.Microseconds()), "frame-repair-us")
 	b.ReportMetric(float64(full.Microseconds()), "full-reconfig-us")
 	b.ReportMetric(float64(full)/float64(frame), "ratio")

@@ -20,10 +20,11 @@ import (
 
 func main() {
 	var (
-		design = flag.String("design", "LFSR 18", "catalogued design")
-		obs    = flag.Int("obs", 200, "beam observations per run")
-		geom   = flag.String("geom", "tiny", "device geometry: tiny|small|xqvr1000")
-		seed   = flag.Int64("seed", 1, "random seed")
+		design  = flag.String("design", "LFSR 18", "catalogued design")
+		obs     = flag.Int("obs", 200, "beam observations per run")
+		geom    = flag.String("geom", "tiny", "device geometry: tiny|small|xqvr1000")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "parallelism for any injection campaigns in the flow (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	g := map[string]device.Geometry{
@@ -33,7 +34,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown geometry %q\n", *geom)
 		os.Exit(2)
 	}
-	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1}
+	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1, Workers: *workers}
 	rep, err := core.HalfLatchStudy(cfg, *design, *obs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raddrc:", err)

@@ -37,15 +37,16 @@ func geometryFlag(name string) device.Geometry {
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "reproduce paper table 1 or 2")
-		fig7   = flag.Bool("fig7", false, "reproduce the Fig. 7 persistent-error trace")
-		design = flag.String("design", "", "run a single catalogued design")
-		geom   = flag.String("geom", "small", "device geometry: tiny|small|xqvr1000")
-		sample = flag.Float64("sample", 0.05, "fraction of configuration bits to inject (1 = exhaustive)")
-		seed   = flag.Int64("seed", 1, "random seed")
+		table   = flag.Int("table", 0, "reproduce paper table 1 or 2")
+		fig7    = flag.Bool("fig7", false, "reproduce the Fig. 7 persistent-error trace")
+		design  = flag.String("design", "", "run a single catalogued design")
+		geom    = flag.String("geom", "small", "device geometry: tiny|small|xqvr1000")
+		sample  = flag.Float64("sample", 0.05, "fraction of configuration bits to inject (1 = exhaustive)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "parallel injection workers, each on a cloned board replica; results are identical at any count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample}
+	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample, Workers: *workers}
 
 	switch {
 	case *table == 1:

@@ -44,6 +44,9 @@ type SLAAC1V struct {
 	inPins  []int
 	outNets []int
 	cycle   int64
+	// mismatch is the scratch buffer MismatchBits reuses between calls, so
+	// the per-clock comparator stays allocation-free on the hot path.
+	mismatch []int
 }
 
 // New builds the testbed: both devices are fully configured with the placed
@@ -80,6 +83,44 @@ func New(p *place.Placed, seed int64) (*SLAAC1V, error) {
 	return b, nil
 }
 
+// Clone returns an independent replica of the testbed: golden and DUT
+// devices are deep-copied (configuration memory, decoded state, hidden
+// half-latch state), a fresh configuration port attaches to the cloned
+// DUT, and a new stimulus source is seeded with seed. The immutable
+// placement and pin/net tables are shared. Cloning skips place-and-route
+// and full configuration entirely, which is what makes per-worker board
+// replicas affordable in parallel injection campaigns.
+func (b *SLAAC1V) Clone(seed int64) *SLAAC1V {
+	n := &SLAAC1V{
+		Placed:  b.Placed,
+		Golden:  b.Golden.Clone(),
+		DUT:     b.DUT.Clone(),
+		rng:     rand.New(rand.NewSource(seed)),
+		inPins:  b.inPins,
+		outNets: b.outNets,
+		cycle:   b.cycle,
+	}
+	n.Port = fpga.NewPort(n.DUT)
+	return n
+}
+
+// ResetCampaignState puts the pair into a canonical lock-step state that
+// depends only on the loaded configuration: the stimulus source is
+// re-seeded, every input pin is driven low, and user state in both devices
+// is reset. The SEU campaign calls this before every injection so each
+// injection's outcome is a pure function of (bitstream, bit address,
+// options) — the property that makes sharded campaigns byte-identical to
+// sequential ones regardless of worker count.
+func (b *SLAAC1V) ResetCampaignState(seed int64) {
+	b.rng = rand.New(rand.NewSource(seed))
+	for _, pin := range b.inPins {
+		b.Golden.SetPin(pin, false)
+		b.DUT.SetPin(pin, false)
+	}
+	b.Golden.Reset()
+	b.DUT.Reset()
+}
+
 // Cycle returns the number of comparison clocks executed.
 func (b *SLAAC1V) Cycle() int64 { return b.cycle }
 
@@ -90,10 +131,20 @@ func (b *SLAAC1V) OutputWidth() int { return len(b.outNets) }
 // compares every design output, returning true when they match (the X0
 // comparator's per-clock verdict).
 func (b *SLAAC1V) Step() bool {
-	for _, pin := range b.inPins {
-		v := b.rng.Intn(2) == 1
-		b.Golden.SetPin(pin, v)
-		b.DUT.SetPin(pin, v)
+	// One 63-bit draw covers up to 63 pins; designs rarely need more than
+	// one, so stimulus costs one RNG call per clock instead of one per pin.
+	for base := 0; base < len(b.inPins); base += 63 {
+		end := base + 63
+		if end > len(b.inPins) {
+			end = len(b.inPins)
+		}
+		bits := b.rng.Int63()
+		for _, pin := range b.inPins[base:end] {
+			v := bits&1 == 1
+			bits >>= 1
+			b.Golden.SetPin(pin, v)
+			b.DUT.SetPin(pin, v)
+		}
 	}
 	b.Golden.Step()
 	b.DUT.Step()
@@ -166,13 +217,16 @@ func (b *SLAAC1V) Outputs() (golden, dut uint64) {
 
 // MismatchBits returns the indices (into the flattened compared-output
 // vector) currently disagreeing between golden and DUT — the raw material
-// of the paper's bit-to-output correlation table (§III-A).
+// of the paper's bit-to-output correlation table (§III-A). The returned
+// slice is a scratch buffer owned by the board and is overwritten by the
+// next call; callers that retain it must copy.
 func (b *SLAAC1V) MismatchBits() []int {
-	var out []int
+	out := b.mismatch[:0]
 	for i, id := range b.outNets {
 		if b.Golden.NetValue(id) != b.DUT.NetValue(id) {
 			out = append(out, i)
 		}
 	}
+	b.mismatch = out
 	return out
 }

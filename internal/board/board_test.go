@@ -80,6 +80,55 @@ func TestRunUntilMismatch(t *testing.T) {
 	}
 }
 
+func TestCloneRunsLockStepWithOriginal(t *testing.T) {
+	bd := testbed(t)
+	bd.StepN(25) // evolve some state before cloning
+	cl := bd.Clone(99)
+	// Same canonical state + same stimulus seed => identical traces.
+	bd.ResetCampaignState(41)
+	cl.ResetCampaignState(41)
+	for i := 0; i < 100; i++ {
+		if bd.Step() != cl.Step() {
+			t.Fatalf("verdicts differ at cycle %d", i)
+		}
+		bg, bdut := bd.Outputs()
+		cg, cdut := cl.Outputs()
+		if bg != cg || bdut != cdut {
+			t.Fatalf("outputs differ at cycle %d", i)
+		}
+	}
+	// An upset in the clone's DUT stays in the clone.
+	s := bd.Placed.Sites[0]
+	cl.DUT.InjectBit(bd.Geometry().LUTBitAddr(s.R, s.C, s.O, 0))
+	if !cl.RunUntilMismatch(200) {
+		t.Fatal("clone comparator missed the injected upset")
+	}
+	if mism, _ := bd.StepN(50); mism != 0 {
+		t.Fatal("original board disturbed by an injection into the clone")
+	}
+}
+
+func TestMismatchBitsReusesScratch(t *testing.T) {
+	bd := testbed(t)
+	if n := len(bd.MismatchBits()); n != 0 {
+		t.Fatalf("clean board reports %d mismatching outputs", n)
+	}
+	// Knock one DUT flip-flop sideways and diverge the pair.
+	s := bd.Placed.Sites[0]
+	bd.DUT.InjectBit(bd.Geometry().LUTBitAddr(s.R, s.C, s.O, 0))
+	if !bd.RunUntilMismatch(200) {
+		t.Fatal("no mismatch to observe")
+	}
+	first := bd.MismatchBits()
+	if len(first) == 0 {
+		t.Fatal("mismatching board reports no mismatch bits")
+	}
+	second := bd.MismatchBits()
+	if &first[0] != &second[0] {
+		t.Error("MismatchBits did not reuse its scratch buffer")
+	}
+}
+
 func TestTimingConstantsMatchPaper(t *testing.T) {
 	if BitInjectTime.Microseconds() != 100 {
 		t.Error("bit inject time should be 100us")

@@ -36,6 +36,10 @@ type Config struct {
 	Sample float64
 	// MaxBits caps injections per design (0 = no cap).
 	MaxBits int64
+	// Workers is the injection-campaign parallelism: the number of board
+	// replicas fault-injection experiments run on concurrently. Results
+	// are deterministic at any value. 0 means GOMAXPROCS.
+	Workers int
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -76,6 +80,7 @@ func Sensitivity(cfg Config, name string, classifyPersistence bool) (*seu.Report
 	opts.Sample = cfg.Sample
 	opts.MaxBits = cfg.MaxBits
 	opts.Seed = cfg.Seed
+	opts.Workers = cfg.Workers
 	opts.ClassifyPersistence = classifyPersistence
 	return seu.Run(bd, opts)
 }
@@ -181,6 +186,7 @@ func Fig7(cfg Config) ([]seu.TracePoint, device.BitAddr, error) {
 	opts := seu.DefaultOptions()
 	opts.Sample = 0.2
 	opts.Seed = cfg.Seed
+	opts.Workers = cfg.Workers
 	rep, err := seu.Run(bd, opts)
 	if err != nil {
 		return nil, 0, err
@@ -218,6 +224,7 @@ func BeamValidation(cfg Config, name string, observations int) (*radiation.BeamR
 	opts := seu.DefaultOptions()
 	opts.Sample = cfg.Sample
 	opts.Seed = cfg.Seed
+	opts.Workers = cfg.Workers
 	opts.ClassifyPersistence = false
 	simRep, err := seu.Run(bd, opts)
 	if err != nil {
@@ -365,6 +372,7 @@ func TMRStudy(cfg Config, name string) (plain, hardened *seu.Report, err error) 
 		opts.Sample = cfg.Sample
 		opts.MaxBits = cfg.MaxBits
 		opts.Seed = cfg.Seed
+		opts.Workers = cfg.Workers
 		opts.ClassifyPersistence = false
 		return seu.Run(bd, opts)
 	}
@@ -431,6 +439,7 @@ func SelectiveTMRStudy(cfg Config, name string) (*SelectiveTMRReport, error) {
 	opts.Sample = cfg.Sample
 	opts.MaxBits = cfg.MaxBits
 	opts.Seed = cfg.Seed
+	opts.Workers = cfg.Workers
 	opts.ClassifyPersistence = false
 	plain, err := seu.Run(bd, opts)
 	if err != nil {

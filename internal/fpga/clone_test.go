@@ -1,0 +1,82 @@
+package fpga
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// TestCloneLockStepAndDivergence: a cloned device is indistinguishable
+// from its original under identical stimulus, shares no mutable state,
+// and diverges only once a bit is injected into one of the pair.
+func TestCloneLockStepAndDivergence(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	// A registered NOT gate: combinational output plus FF state, so the
+	// lock-step check covers both net values and clocked state.
+	b.SetLUT(2, 0, 0, TruthNot)
+	b.RouteInput(2, 0, 0, 0, 4)
+	b.RouteInput(2, 0, 0, 1, 12)
+	b.RouteInput(2, 0, 0, 2, 12)
+	b.RouteInput(2, 0, 0, 3, 12)
+	b.SetFF(2, 0, 0, false, device.CEConstOne, 0, false)
+	b.SetOutMux(2, 0, 1, true)
+	f := configure(t, b)
+	c := f.Clone()
+
+	pin := g.PinWest(2, 0)
+	rng := rand.New(rand.NewSource(1))
+	step := func(dev *FPGA, v bool) {
+		dev.SetPin(pin, v)
+		dev.Step()
+	}
+	for i := 0; i < 200; i++ {
+		v := rng.Intn(2) == 1
+		step(f, v)
+		step(c, v)
+		if f.OutValue(2, 0, 0) != c.OutValue(2, 0, 0) || f.FFValue(2, 0, 0) != c.FFValue(2, 0, 0) {
+			t.Fatalf("clone diverged at cycle %d before any injection", i)
+		}
+	}
+	if !f.ConfigMemory().Equal(c.ConfigMemory()) {
+		t.Fatal("clone configuration memory drifted from original")
+	}
+
+	// Corrupt the clone only: flip both truth bits the tied-input LUT can
+	// address, so the very next evaluation differs.
+	a0, a1 := g.LUTBitAddr(2, 0, 0, 0), g.LUTBitAddr(2, 0, 0, 1)
+	c.InjectBit(a0)
+	c.InjectBit(a1)
+	if f.ConfigMemory().Get(a0) == c.ConfigMemory().Get(a0) {
+		t.Fatal("injection into the clone leaked into the original's configuration")
+	}
+	diverged := false
+	for i := 0; i < 20 && !diverged; i++ {
+		v := rng.Intn(2) == 1
+		step(f, v)
+		step(c, v)
+		diverged = f.OutValue(2, 0, 0) != c.OutValue(2, 0, 0)
+	}
+	if !diverged {
+		t.Fatal("injected clone never diverged from the original")
+	}
+}
+
+// TestCloneIsolatesHiddenState: half-latch upsets in the clone must not
+// reach the original — hidden state is part of the deep copy.
+func TestCloneIsolatesHiddenState(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	b.SetLUT(1, 1, 0, TruthNot)
+	f := configure(t, b)
+	c := f.Clone()
+	site := HalfLatchSite{Kind: HLInput, R: 1, C: 1, Slot: 0}
+	c.FlipHalfLatch(site)
+	if !f.HalfLatchValue(site) {
+		t.Fatal("half-latch flip in the clone reached the original")
+	}
+	if c.HalfLatchValue(site) {
+		t.Fatal("half-latch flip lost in the clone")
+	}
+}

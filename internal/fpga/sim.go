@@ -212,7 +212,6 @@ func (f *FPGA) clock() {
 	if f.unprogrammed {
 		return
 	}
-	g := f.geom
 	if f.evalStale {
 		f.rebuildEvalLists()
 	}
@@ -266,13 +265,12 @@ func (f *FPGA) clock() {
 	for _, u := range srls {
 		u := u
 		f.clbs[u.clbIdx].lut[u.l].truth = u.truth
-		g2 := f.geom
-		r, c := u.clbIdx/g2.Cols, u.clbIdx%g2.Cols
+		g := f.geom
+		r, c := u.clbIdx/g.Cols, u.clbIdx%g.Cols
 		f.cm.Scatter(device.LUTBits, uint64(u.truth), func(i int) device.BitAddr {
-			return g2.LUTBitAddr(r, c, u.l, i)
+			return g.LUTBitAddr(r, c, u.l, i)
 		})
 	}
-	_ = g
 	f.cycle++
 }
 

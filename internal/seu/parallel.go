@@ -1,0 +1,140 @@
+package seu
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/board"
+	"repro/internal/device"
+)
+
+// Sharded campaign execution. The bit-address space is cut into contiguous
+// chunks; workers pull chunks from a shared cursor, each running the
+// injection loop on its own cloned board replica and accumulating into a
+// private shardAccum. Because every injection starts from canonical board
+// state (board.ResetCampaignState) and samples by per-bit hash, chunk
+// scheduling cannot influence any outcome — the merge in chunk order
+// reassembles exactly the sequential report.
+
+// chunksPerWorker over-decomposes the address space so a worker stuck in a
+// failure-dense chunk doesn't serialize the tail of the campaign.
+const chunksPerWorker = 4
+
+// minInjectionsPerWorker is the smallest expected per-worker injection
+// count worth a board clone; smaller campaigns run with fewer workers
+// than requested.
+const minInjectionsPerWorker = 64
+
+// shardAccum accumulates one chunk's share of the report.
+type shardAccum struct {
+	injections int64
+	failures   int64
+	persistent int64
+	simTime    time.Duration
+	injByKind  map[device.BitKind]int64
+	failByKind map[device.BitKind]int64
+	bits       []BitRecord
+}
+
+func newShardAccum() *shardAccum {
+	return &shardAccum{
+		injByKind:  make(map[device.BitKind]int64),
+		failByKind: make(map[device.BitKind]int64),
+	}
+}
+
+// mergeInto folds one chunk accumulator into the report. Chunks are folded
+// in ascending chunk order, and addresses ascend within a chunk, so
+// SensitiveBits arrives already sorted by Addr.
+func mergeInto(rep *Report, acc *shardAccum) {
+	if acc == nil {
+		return
+	}
+	rep.Injections += acc.injections
+	rep.Failures += acc.failures
+	rep.Persistent += acc.persistent
+	rep.SimulatedTime += acc.simTime
+	for k, n := range acc.injByKind {
+		rep.InjectionsByKind[k] += n
+	}
+	for k, n := range acc.failByKind {
+		rep.FailuresByKind[k] += n
+	}
+	rep.SensitiveBits = append(rep.SensitiveBits, acc.bits...)
+}
+
+// runRange executes the injection loop over bit addresses [lo, hi) on bd.
+func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum) error {
+	g := bd.Geometry()
+	for a := device.BitAddr(lo); int64(a) < hi; a++ {
+		if !selected(opts, a) {
+			continue
+		}
+		info := g.Classify(a)
+		acc.injections++
+		acc.injByKind[info.Kind]++
+		acc.simTime += board.InjectLoopTime
+		if opts.FastPadSkip && (info.Kind == device.KindPad || info.Kind == device.KindExtra) {
+			continue // provably benign: no decoded behaviour depends on it
+		}
+		if err := injectOne(bd, golden, a, info, opts, acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSharded fans the range [0, limit) out over workers cloned boards and
+// returns the per-chunk accumulators in chunk order.
+func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, workers int, opts Options) ([]*shardAccum, error) {
+	chunks := workers * chunksPerWorker
+	if int64(chunks) > limit {
+		chunks = int(limit)
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	span := (limit + int64(chunks) - 1) / int64(chunks)
+	accs := make([]*shardAccum, chunks)
+	var (
+		cursor int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		// The clone seed is irrelevant to results (every injection re-seeds
+		// the stimulus stream) but must differ per worker for rng hygiene.
+		wb := bd.Clone(opts.Seed + int64(w) + 1)
+		wg.Add(1)
+		go func(wb *board.SLAAC1V) {
+			defer wg.Done()
+			for {
+				ci := atomic.AddInt64(&cursor, 1) - 1
+				if ci >= int64(chunks) || failed.Load() {
+					return
+				}
+				lo := ci * span
+				hi := lo + span
+				if hi > limit {
+					hi = limit
+				}
+				acc := newShardAccum()
+				accs[ci] = acc
+				if err := runRange(wb, golden, lo, hi, opts, acc); err != nil {
+					failed.Store(true)
+					errCh <- err
+					return
+				}
+			}
+		}(wb)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	return accs, nil
+}

@@ -1,0 +1,74 @@
+package seu
+
+import (
+	"repro/internal/device"
+)
+
+// Deterministic per-bit sampling. The campaign decides whether to inject a
+// configuration bit from a hash of (Seed, BitAddr) alone, never from a
+// sequential RNG stream, so the injected-bit set is a pure function of the
+// options: identical across worker counts, shard shapes, and replays. The
+// same hash seeds the per-injection stimulus stream, which is what lets a
+// sharded campaign reproduce a sequential one bit-for-bit.
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed 64-bit mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// bitHash mixes the campaign seed with a bit address.
+func bitHash(seed int64, a device.BitAddr) uint64 {
+	return splitmix64(uint64(seed) ^ splitmix64(uint64(a)))
+}
+
+// selected reports whether bit a is part of the campaign's injection set.
+func selected(opts Options, a device.BitAddr) bool {
+	if opts.Sample >= 1 {
+		return true
+	}
+	if opts.Sample <= 0 {
+		return false
+	}
+	// Top 53 bits of the hash as a uniform float in [0, 1).
+	return float64(bitHash(opts.Seed, a)>>11)/(1<<53) < opts.Sample
+}
+
+// stimulusSeed derives the per-injection stimulus seed for bit a. The
+// constant decorrelates it from the selection hash so sampling and
+// stimulus never share a decision.
+func stimulusSeed(seed int64, a device.BitAddr) int64 {
+	return int64(bitHash(seed^0x5eed5eed5eed5eed, a))
+}
+
+// selectionLimit returns the exclusive upper bit address of the campaign:
+// TotalBits normally, or — under MaxBits — the address just past the
+// MaxBits-th selected bit, so "the first MaxBits selected bits in address
+// order" is a well-defined set that sharding cannot change.
+func selectionLimit(opts Options, total int64) int64 {
+	if opts.MaxBits <= 0 {
+		return total
+	}
+	if opts.Sample >= 1 {
+		if opts.MaxBits < total {
+			return opts.MaxBits
+		}
+		return total
+	}
+	var count int64
+	for a := device.BitAddr(0); int64(a) < total; a++ {
+		if selected(opts, a) {
+			count++
+			if count == opts.MaxBits {
+				return int64(a) + 1
+			}
+		}
+	}
+	return total
+}

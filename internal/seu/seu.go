@@ -7,7 +7,8 @@ package seu
 
 import (
 	"fmt"
-	"math/rand"
+	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/bitstream"
@@ -27,13 +28,21 @@ type Options struct {
 	// re-synchronized.
 	CleanRun int
 	// Sample is the fraction of configuration bits to inject (1 =
-	// exhaustive). Sampling is uniform over the whole bitstream, so
-	// sensitivity estimates stay unbiased.
+	// exhaustive). Each bit's inclusion is decided by a hash of (Seed,
+	// address) — uniform over the whole bitstream, so sensitivity
+	// estimates stay unbiased, and independent of iteration order, so the
+	// injected set is identical at any worker count.
 	Sample float64
-	// MaxBits caps the number of injections (0 = no cap).
+	// MaxBits caps the number of injections (0 = no cap): the first
+	// MaxBits selected bits in ascending address order.
 	MaxBits int64
-	// Seed drives sampling.
+	// Seed drives sampling and per-injection stimulus.
 	Seed int64
+	// Workers is the number of concurrent injection workers. Each worker
+	// beyond the first runs on a cloned board replica; per-shard results
+	// merge deterministically, so every value of Workers produces the
+	// same Report. 0 means GOMAXPROCS.
+	Workers int
 	// ClassifyPersistence enables the paper's persistent/non-persistent
 	// classification pass for every sensitive bit.
 	ClassifyPersistence bool
@@ -131,6 +140,12 @@ func (r *Report) String() string {
 
 // Run executes an injection campaign on the testbed. The board must be
 // freshly configured (golden and DUT in lock-step).
+//
+// With Workers > 1 the bit-address space is sharded over cloned board
+// replicas. Every injection starts from canonical board state with a
+// stimulus stream seeded from (Seed, address), so the Report — injected
+// set, counters, per-kind maps, and SensitiveBits order — is identical at
+// any worker count; only WallTime varies.
 func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 	if opts.ObserveCycles <= 0 || opts.CleanRun <= 0 {
 		return nil, fmt.Errorf("seu: non-positive cycle counts")
@@ -144,37 +159,52 @@ func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 		InjectionsByKind: make(map[device.BitKind]int64),
 		FailuresByKind:   make(map[device.BitKind]int64),
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 	start := time.Now()
 
-	total := g.TotalBits()
-	for a := device.BitAddr(0); int64(a) < total; a++ {
-		if opts.Sample < 1 && rng.Float64() >= opts.Sample {
-			continue
-		}
-		if opts.MaxBits > 0 && rep.Injections >= opts.MaxBits {
-			break
-		}
-		info := g.Classify(a)
-		rep.Injections++
-		rep.InjectionsByKind[info.Kind]++
-		rep.SimulatedTime += board.InjectLoopTime
-
-		if opts.FastPadSkip && (info.Kind == device.KindPad || info.Kind == device.KindExtra) {
-			continue // provably benign: no decoded behaviour depends on it
-		}
-
-		if err := injectOne(bd, golden, a, info, opts, rep); err != nil {
+	limit := selectionLimit(opts, g.TotalBits())
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	expected := float64(limit)
+	if opts.Sample < 1 {
+		expected *= opts.Sample
+	}
+	if maxw := int(expected/minInjectionsPerWorker) + 1; workers > maxw {
+		workers = maxw // not enough work to amortize board clones
+	}
+	if workers == 1 {
+		acc := newShardAccum()
+		if err := runRange(bd, golden, 0, limit, opts, acc); err != nil {
 			return nil, err
 		}
+		mergeInto(rep, acc)
+	} else {
+		accs, err := runSharded(bd, golden, limit, workers, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, acc := range accs {
+			mergeInto(rep, acc)
+		}
 	}
+	// Already in address order by construction; keep the guarantee even if
+	// the sharding strategy changes.
+	sort.Slice(rep.SensitiveBits, func(i, j int) bool {
+		return rep.SensitiveBits[i].Addr < rep.SensitiveBits[j].Addr
+	})
 	rep.WallTime = time.Since(start)
 	return rep, nil
 }
 
 // injectOne performs one corrupt/observe/repair/classify iteration.
-func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, info device.BitInfo, opts Options, rep *Report) error {
+func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, info device.BitInfo, opts Options, acc *shardAccum) error {
 	g := bd.Geometry()
+	// Canonical pre-injection state: stimulus seeded by (Seed, address),
+	// pins low, user state reset. Each injection's outcome then depends
+	// only on the bitstream and the injected bit, never on which board
+	// replica or predecessor injection preceded it.
+	bd.ResetCampaignState(stimulusSeed(opts.Seed, a))
 	startCycle := bd.Cycle()
 
 	// Corrupt: flip the bit in the DUT's configuration (modelled as the
@@ -190,7 +220,8 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 		if !bd.Step() {
 			failed = true
 			firstErr = int(bd.Cycle() - startCycle)
-			failedOutputs = bd.MismatchBits()
+			// MismatchBits returns a reused scratch slice; copy to retain.
+			failedOutputs = append([]int(nil), bd.MismatchBits()...)
 			break
 		}
 	}
@@ -230,7 +261,7 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 			} else {
 				failed = true
 				firstErr = int(bd.Cycle() - startCycle)
-				failedOutputs = bd.MismatchBits()
+				failedOutputs = append([]int(nil), bd.MismatchBits()...)
 				break
 			}
 		}
@@ -239,8 +270,8 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 		}
 	}
 
-	rep.Failures++
-	rep.FailuresByKind[info.Kind]++
+	acc.failures++
+	acc.failByKind[info.Kind]++
 
 	persistent := false
 	if opts.ClassifyPersistence {
@@ -260,11 +291,11 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 		}
 		persistent = clean < opts.CleanRun
 		if persistent {
-			rep.Persistent++
+			acc.persistent++
 		}
 	}
 	if opts.CollectBits {
-		rep.SensitiveBits = append(rep.SensitiveBits, BitRecord{
+		acc.bits = append(acc.bits, BitRecord{
 			Addr: a, Kind: info.Kind, Persistent: persistent,
 			FirstErrorCycle: firstErr, FailedOutputs: failedOutputs,
 		})
