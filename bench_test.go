@@ -165,15 +165,22 @@ func BenchmarkFig8_InjectionLoop(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	// Sequential vs sharded throughput on the same campaign: the reports
-	// are identical by construction, only wall-us/bit moves.
-	workerCounts := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		workerCounts = append(workerCounts, n)
+	// Sequential vs sharded vs triage-off throughput on the same campaign:
+	// the reports are identical by construction, only wall-us/bit moves.
+	type variant struct {
+		name    string
+		workers int
+		triage  bool
 	}
-	for _, workers := range workerCounts {
-		workers := workers
-		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+	variants := []variant{{"workers-1", 1, true}, {"workers-1-triage-off", 1, false}}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		variants = append(variants,
+			variant{fmt.Sprintf("workers-%d", n), n, true},
+			variant{fmt.Sprintf("workers-%d-triage-off", n), n, false})
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
 			bd, err := board.New(p, 1)
 			if err != nil {
 				b.Fatal(err)
@@ -181,21 +188,24 @@ func BenchmarkFig8_InjectionLoop(b *testing.B) {
 			opts := seu.DefaultOptions()
 			opts.ClassifyPersistence = false
 			opts.Seed = 1
-			opts.Workers = workers
+			opts.Workers = v.workers
 			opts.MaxBits = 2000
 			opts.Sample = 1
+			opts.Triage = v.triage
 			b.ResetTimer()
-			var injections int64
+			var injections, skipped int64
 			for i := 0; i < b.N; i++ {
 				rep, err := seu.Run(bd, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
 				injections += rep.Injections
+				skipped += rep.TriageSkipped
 			}
 			b.StopTimer()
 			perInj := b.Elapsed() / time.Duration(maxi64(1, injections))
 			b.ReportMetric(float64(perInj.Nanoseconds())/1000, "wall-us/bit")
+			b.ReportMetric(float64(skipped)/float64(maxi64(1, injections))*100, "triage-skipped%")
 			b.ReportMetric(214, "virtual-us/bit")
 			full := time.Duration(device.XQVR1000().TotalBits()) * board.InjectLoopTime
 			b.ReportMetric(full.Minutes(), "virtual-min/5.8Mbit-sweep")

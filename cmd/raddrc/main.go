@@ -25,6 +25,7 @@ func main() {
 		geom    = flag.String("geom", "tiny", "device geometry: tiny|small|xqvr1000")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "parallelism for any injection campaigns in the flow (0 = GOMAXPROCS)")
+		triage  = flag.Bool("triage", true, "skip provably-inert configuration bits in injection campaigns; results are identical either way")
 	)
 	flag.Parse()
 	g := map[string]device.Geometry{
@@ -34,7 +35,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown geometry %q\n", *geom)
 		os.Exit(2)
 	}
-	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1, Workers: *workers}
+	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1, Workers: *workers, NoTriage: !*triage}
 	rep, err := core.HalfLatchStudy(cfg, *design, *obs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raddrc:", err)

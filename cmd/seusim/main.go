@@ -7,10 +7,12 @@
 //	seusim -table 1 -sample 0.05
 //	seusim -table 2
 //	seusim -design "LFSR 72" -sample 0.1
+//	seusim -design "MULT 12" -json
 //	seusim -fig7
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/board"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/seu"
 )
 
 func geometryFlag(name string) device.Geometry {
@@ -35,6 +38,67 @@ func geometryFlag(name string) device.Geometry {
 	return device.Geometry{}
 }
 
+// campaignJSON is the machine-readable form of one campaign Report, emitted
+// by -json for CI artifacts and downstream analysis.
+type campaignJSON struct {
+	Design           string           `json:"design"`
+	Geometry         string           `json:"geometry"`
+	Slices           int              `json:"slices"`
+	UtilizationPct   float64          `json:"utilization_pct"`
+	Injections       int64            `json:"injections"`
+	Failures         int64            `json:"failures"`
+	Persistent       int64            `json:"persistent"`
+	TriageSkipped    int64            `json:"triage_skipped"`
+	SensitivityPct   float64          `json:"sensitivity_pct"`
+	NormalizedPct    float64          `json:"normalized_sensitivity_pct"`
+	PersistencePct   float64          `json:"persistence_pct"`
+	InjectionsByKind map[string]int64 `json:"injections_by_kind"`
+	FailuresByKind   map[string]int64 `json:"failures_by_kind"`
+	SimulatedTimeSec float64          `json:"simulated_time_seconds"`
+	WallTimeSec      float64          `json:"wall_time_seconds"`
+	Sample           float64          `json:"sample"`
+	Seed             int64            `json:"seed"`
+	Workers          int              `json:"workers"`
+	Triage           bool             `json:"triage"`
+}
+
+func campaignToJSON(rep *seu.Report, cfg core.Config) campaignJSON {
+	out := campaignJSON{
+		Design:           rep.Design,
+		Geometry:         rep.Geom.String(),
+		Slices:           rep.SlicesUsed,
+		UtilizationPct:   100 * float64(rep.SlicesUsed) / float64(rep.Geom.Slices()),
+		Injections:       rep.Injections,
+		Failures:         rep.Failures,
+		Persistent:       rep.Persistent,
+		TriageSkipped:    rep.TriageSkipped,
+		SensitivityPct:   100 * rep.Sensitivity(),
+		NormalizedPct:    100 * rep.NormalizedSensitivity(),
+		PersistencePct:   100 * rep.PersistenceRatio(),
+		InjectionsByKind: make(map[string]int64),
+		FailuresByKind:   make(map[string]int64),
+		SimulatedTimeSec: rep.SimulatedTime.Seconds(),
+		WallTimeSec:      rep.WallTime.Seconds(),
+		Sample:           cfg.Sample,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+		Triage:           !cfg.NoTriage,
+	}
+	for k, n := range rep.InjectionsByKind {
+		out.InjectionsByKind[k.String()] = n
+	}
+	for k, n := range rep.FailuresByKind {
+		out.FailuresByKind[k.String()] = n
+	}
+	return out
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(v))
+}
+
 func main() {
 	var (
 		table   = flag.Int("table", 0, "reproduce paper table 1 or 2")
@@ -44,24 +108,34 @@ func main() {
 		sample  = flag.Float64("sample", 0.05, "fraction of configuration bits to inject (1 = exhaustive)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "parallel injection workers, each on a cloned board replica; results are identical at any count (0 = GOMAXPROCS)")
+		triage  = flag.Bool("triage", true, "skip provably-inert configuration bits via static cone-of-influence analysis; reports are byte-identical either way")
+		jsonOut = flag.Bool("json", false, "emit results as JSON (table and design modes)")
 	)
 	flag.Parse()
-	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample, Workers: *workers}
+	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample, Workers: *workers, NoTriage: !*triage}
 
 	switch {
 	case *table == 1:
-		fmt.Printf("Table I — SEU sensitivity (geometry %s, sample %.3f)\n", cfg.Geom, *sample)
-		fmt.Printf("%-16s %14s %9s %8s %8s %8s\n", "Design", "Slices", "Injects", "Failures", "Sens", "Norm")
 		rows, err := core.TableI(cfg)
 		check(err)
+		if *jsonOut {
+			emitJSON(rows)
+			return
+		}
+		fmt.Printf("Table I — SEU sensitivity (geometry %s, sample %.3f)\n", cfg.Geom, *sample)
+		fmt.Printf("%-16s %14s %9s %8s %8s %8s\n", "Design", "Slices", "Injects", "Failures", "Sens", "Norm")
 		for _, r := range rows {
 			fmt.Println(r)
 		}
 	case *table == 2:
-		fmt.Printf("Table II — error persistence (geometry %s, sample %.3f)\n", cfg.Geom, *sample)
-		fmt.Printf("%-16s %6s %8s %8s\n", "Design", "Slices", "Sens", "Persist")
 		rows, err := core.TableII(cfg)
 		check(err)
+		if *jsonOut {
+			emitJSON(rows)
+			return
+		}
+		fmt.Printf("Table II — error persistence (geometry %s, sample %.3f)\n", cfg.Geom, *sample)
+		fmt.Printf("%-16s %6s %8s %8s\n", "Design", "Slices", "Sens", "Persist")
 		for _, r := range rows {
 			fmt.Println(r)
 		}
@@ -80,7 +154,13 @@ func main() {
 	case *design != "":
 		rep, err := core.Sensitivity(cfg, *design, true)
 		check(err)
+		if *jsonOut {
+			emitJSON(campaignToJSON(rep, cfg))
+			return
+		}
 		fmt.Println(rep)
+		fmt.Printf("triage skipped %d of %d injections without board activity\n",
+			rep.TriageSkipped, rep.Injections)
 		fmt.Printf("simulated test time %v (%v per injection), wall time %v\n",
 			rep.SimulatedTime, board.InjectLoopTime, rep.WallTime)
 	default:

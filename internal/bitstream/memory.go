@@ -18,13 +18,34 @@ import (
 type Memory struct {
 	geom  device.Geometry
 	words []uint64
+	// gen holds one generation counter per frame, bumped by every mutation
+	// that touches the frame (bit writes, frame writes, whole-memory
+	// copies). Scrub fast paths compare generations to prove a frame
+	// untouched since its last golden verification without re-reading it.
+	gen      []uint64
+	frameLen int64
 }
 
 // NewMemory returns an all-zero configuration memory for geometry g.
 func NewMemory(g device.Geometry) *Memory {
 	n := (g.TotalBits() + 63) / 64
-	return &Memory{geom: g, words: make([]uint64, n)}
+	return &Memory{
+		geom:     g,
+		words:    make([]uint64, n),
+		gen:      make([]uint64, g.TotalFrames()),
+		frameLen: int64(g.FrameLength()),
+	}
 }
+
+// touch records a mutation of the frame containing bit a.
+func (m *Memory) touch(a device.BitAddr) {
+	m.gen[int64(a)/m.frameLen]++
+}
+
+// FrameGen returns the generation counter of frame idx. The counter
+// increases on every mutation touching the frame; equal generations at two
+// points in time prove the frame's bits did not change in between.
+func (m *Memory) FrameGen(idx int) uint64 { return m.gen[idx] }
 
 // Geometry returns the geometry this memory was sized for.
 func (m *Memory) Geometry() device.Geometry { return m.geom }
@@ -36,6 +57,7 @@ func (m *Memory) Get(a device.BitAddr) bool {
 
 // Set writes bit a.
 func (m *Memory) Set(a device.BitAddr, v bool) {
+	m.touch(a)
 	if v {
 		m.words[a>>6] |= 1 << (uint(a) & 63)
 	} else {
@@ -45,6 +67,7 @@ func (m *Memory) Set(a device.BitAddr, v bool) {
 
 // Flip inverts bit a and returns the new value.
 func (m *Memory) Flip(a device.BitAddr) bool {
+	m.touch(a)
 	m.words[a>>6] ^= 1 << (uint(a) & 63)
 	return m.Get(a)
 }
@@ -91,16 +114,22 @@ func (m *Memory) Gather(w int, addrOf func(i int) device.BitAddr) uint64 {
 	return v
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy, frame generations included.
 func (m *Memory) Clone() *Memory {
 	w := make([]uint64, len(m.words))
 	copy(w, m.words)
-	return &Memory{geom: m.geom, words: w}
+	gen := make([]uint64, len(m.gen))
+	copy(gen, m.gen)
+	return &Memory{geom: m.geom, words: w, gen: gen, frameLen: m.frameLen}
 }
 
 // CopyFrom overwrites this memory with the contents of src (same geometry).
+// Every frame counts as touched.
 func (m *Memory) CopyFrom(src *Memory) {
 	copy(m.words, src.words)
+	for i := range m.gen {
+		m.gen[i]++
+	}
 }
 
 // Equal reports whether two memories hold identical bits.

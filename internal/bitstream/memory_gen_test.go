@@ -1,0 +1,72 @@
+package bitstream
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+// TestFrameGenTracksMutations pins the contract the injection campaign's
+// dirty-frame fast path relies on: every mutation path bumps the generation
+// counter of exactly the frames it touches, and equal generations prove a
+// frame unchanged.
+func TestFrameGenTracksMutations(t *testing.T) {
+	g := device.Tiny()
+	m := NewMemory(g)
+	fl := int64(g.FrameLength())
+	a := device.BitAddr(5*fl + 7)
+
+	if m.FrameGen(5) != 0 {
+		t.Fatal("fresh memory has nonzero generation")
+	}
+	m.Set(a, true)
+	if m.FrameGen(5) != 1 {
+		t.Errorf("Set did not bump generation: %d", m.FrameGen(5))
+	}
+	m.Set(a, true) // same value still counts as a touch
+	m.Flip(a)
+	if m.FrameGen(5) != 3 {
+		t.Errorf("generation after Set+Set+Flip = %d, want 3", m.FrameGen(5))
+	}
+	if m.FrameGen(4) != 0 || m.FrameGen(6) != 0 {
+		t.Error("mutation leaked into neighbouring frames' generations")
+	}
+
+	before := m.FrameGen(2)
+	if err := m.WriteFrame(NewMemory(g).Frame(2)); err != nil {
+		t.Fatal(err)
+	}
+	if m.FrameGen(2) <= before {
+		t.Error("WriteFrame did not bump the frame generation")
+	}
+}
+
+func TestFrameGenCloneAndCopyFrom(t *testing.T) {
+	g := device.Tiny()
+	m := NewMemory(g)
+	m.Set(device.BitAddr(3), true)
+	m.Flip(device.BitAddr(int64(g.FrameLength()) * 9))
+
+	cl := m.Clone()
+	for f := 0; f < g.TotalFrames(); f++ {
+		if cl.FrameGen(f) != m.FrameGen(f) {
+			t.Fatalf("Clone dropped generation of frame %d", f)
+		}
+	}
+
+	// CopyFrom rewrites every frame, so every generation must move even for
+	// frames whose bits happen to be identical.
+	var prev []uint64
+	for f := 0; f < g.TotalFrames(); f++ {
+		prev = append(prev, cl.FrameGen(f))
+	}
+	cl.CopyFrom(m)
+	for f := 0; f < g.TotalFrames(); f++ {
+		if cl.FrameGen(f) == prev[f] {
+			t.Fatalf("CopyFrom left frame %d generation unchanged", f)
+		}
+	}
+	if !cl.Equal(m) {
+		t.Fatal("CopyFrom changed contents")
+	}
+}

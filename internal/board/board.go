@@ -124,6 +124,12 @@ func (b *SLAAC1V) ResetCampaignState(seed int64) {
 // Cycle returns the number of comparison clocks executed.
 func (b *SLAAC1V) Cycle() int64 { return b.cycle }
 
+// OutputNetIDs returns the dense net IDs the X0 comparator watches, in
+// comparator order. The returned slice is a copy.
+func (b *SLAAC1V) OutputNetIDs() []int {
+	return append([]int(nil), b.outNets...)
+}
+
 // OutputWidth returns the number of compared output bits.
 func (b *SLAAC1V) OutputWidth() int { return len(b.outNets) }
 

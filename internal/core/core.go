@@ -40,6 +40,10 @@ type Config struct {
 	// replicas fault-injection experiments run on concurrently. Results
 	// are deterministic at any value. 0 means GOMAXPROCS.
 	Workers int
+	// NoTriage disables the static cone-of-influence triage that injection
+	// campaigns use to skip provably-inert configuration bits. The zero
+	// value keeps triage on; reports are byte-identical either way.
+	NoTriage bool
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -81,6 +85,7 @@ func Sensitivity(cfg Config, name string, classifyPersistence bool) (*seu.Report
 	opts.MaxBits = cfg.MaxBits
 	opts.Seed = cfg.Seed
 	opts.Workers = cfg.Workers
+	opts.Triage = !cfg.NoTriage
 	opts.ClassifyPersistence = classifyPersistence
 	return seu.Run(bd, opts)
 }
@@ -187,6 +192,7 @@ func Fig7(cfg Config) ([]seu.TracePoint, device.BitAddr, error) {
 	opts.Sample = 0.2
 	opts.Seed = cfg.Seed
 	opts.Workers = cfg.Workers
+	opts.Triage = !cfg.NoTriage
 	rep, err := seu.Run(bd, opts)
 	if err != nil {
 		return nil, 0, err
@@ -225,6 +231,7 @@ func BeamValidation(cfg Config, name string, observations int) (*radiation.BeamR
 	opts.Sample = cfg.Sample
 	opts.Seed = cfg.Seed
 	opts.Workers = cfg.Workers
+	opts.Triage = !cfg.NoTriage
 	opts.ClassifyPersistence = false
 	simRep, err := seu.Run(bd, opts)
 	if err != nil {
@@ -373,6 +380,7 @@ func TMRStudy(cfg Config, name string) (plain, hardened *seu.Report, err error) 
 		opts.MaxBits = cfg.MaxBits
 		opts.Seed = cfg.Seed
 		opts.Workers = cfg.Workers
+		opts.Triage = !cfg.NoTriage
 		opts.ClassifyPersistence = false
 		return seu.Run(bd, opts)
 	}
@@ -440,6 +448,7 @@ func SelectiveTMRStudy(cfg Config, name string) (*SelectiveTMRReport, error) {
 	opts.MaxBits = cfg.MaxBits
 	opts.Seed = cfg.Seed
 	opts.Workers = cfg.Workers
+	opts.Triage = !cfg.NoTriage
 	opts.ClassifyPersistence = false
 	plain, err := seu.Run(bd, opts)
 	if err != nil {

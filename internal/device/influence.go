@@ -1,0 +1,56 @@
+package device
+
+// Bit -> resource influence metadata. Classify says what kind of resource a
+// configuration bit belongs to; the functions here refine that to the exact
+// site or driver slot whose behaviour the bit can influence, and enumerate
+// the inverse (all bits owned by a site). The static injection-triage layer
+// in internal/fpga is built on these maps: a bit can only matter if the
+// resource it configures can reach an observed output.
+
+// CLBBitSite returns the LUT/FF/output site (0..LUTsPerCLB-1) that per-CLB
+// configuration bit cb (0..CLBConfigBits-1) configures, or -1 when cb is
+// not site-affine (long-line driver bits and padding).
+func CLBBitSite(cb int) int {
+	switch {
+	case cb < CBLUTBase:
+		return -1
+	case cb < CBInMuxBase: // LUT truth table
+		return (cb - CBLUTBase) / LUTBits
+	case cb < CBFFBase: // input-mux select: input index is l*LUTInputs+in
+		return (cb - CBInMuxBase) / InMuxSelBits / LUTInputs
+	case cb < CBOutMuxBase: // flip-flop configuration
+		return (cb - CBFFBase) / FFCfgBits
+	case cb < CBLLBase: // output mux
+		return cb - CBOutMuxBase
+	case cb < CBLUTModeBase: // long-line driver: not site-affine
+		return -1
+	case cb < CBModeledBits: // SRL mode bit travels with its LUT
+		return cb - CBLUTModeBase
+	default: // padding
+		return -1
+	}
+}
+
+// CLBBitLLDrv returns the long-line driver slot (0..LLDriversPerCLB-1) and
+// sub-bit (an LL* constant) configured by per-CLB bit cb, or (-1, -1) when
+// cb is not a long-line driver bit.
+func CLBBitLLDrv(cb int) (d, k int) {
+	if cb < CBLLBase || cb >= CBLUTModeBase {
+		return -1, -1
+	}
+	rel := cb - CBLLBase
+	return rel / LLDrvBits, rel % LLDrvBits
+}
+
+// SiteCBRanges returns the half-open per-CLB configuration-bit ranges
+// [lo, hi) owned by site l: truth table, input-mux selects, flip-flop
+// fields, output mux, and SRL mode bit.
+func SiteCBRanges(l int) [5][2]int {
+	return [5][2]int{
+		{CBLUTBase + l*LUTBits, CBLUTBase + (l+1)*LUTBits},
+		{CBInMuxBase + l*LUTInputs*InMuxSelBits, CBInMuxBase + (l+1)*LUTInputs*InMuxSelBits},
+		{CBFFBase + l*FFCfgBits, CBFFBase + (l+1)*FFCfgBits},
+		{CBOutMuxBase + l, CBOutMuxBase + l + 1},
+		{CBLUTModeBase + l, CBLUTModeBase + l + 1},
+	}
+}

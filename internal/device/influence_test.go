@@ -1,0 +1,88 @@
+package device
+
+import "testing"
+
+// TestCLBBitPartition proves the influence maps tile the per-CLB
+// configuration space exactly: every modeled bit is owned by exactly one
+// site or one long-line driver slot, padding by neither, and the SiteCBRanges
+// enumeration is the precise inverse of CLBBitSite.
+func TestCLBBitPartition(t *testing.T) {
+	owners := make([]int, CLBConfigBits)
+	for l := 0; l < LUTsPerCLB; l++ {
+		for _, rng := range SiteCBRanges(l) {
+			if rng[0] < 0 || rng[1] > CLBConfigBits || rng[0] >= rng[1] {
+				t.Fatalf("site %d range %v out of bounds", l, rng)
+			}
+			for cb := rng[0]; cb < rng[1]; cb++ {
+				owners[cb]++
+				if got := CLBBitSite(cb); got != l {
+					t.Fatalf("bit %d in site %d ranges but CLBBitSite = %d", cb, l, got)
+				}
+			}
+		}
+	}
+	var siteBits, llBits int
+	for cb := 0; cb < CLBConfigBits; cb++ {
+		site := CLBBitSite(cb)
+		d, k := CLBBitLLDrv(cb)
+		switch {
+		case site >= 0 && d >= 0:
+			t.Fatalf("bit %d claimed by both site %d and LL driver %d", cb, site, d)
+		case site >= 0:
+			if owners[cb] != 1 {
+				t.Fatalf("site bit %d covered %d times by SiteCBRanges", cb, owners[cb])
+			}
+			siteBits++
+		case d >= 0:
+			if d >= LLDriversPerCLB || k < 0 || k >= LLDrvBits {
+				t.Fatalf("bit %d maps to invalid LL driver (%d, %d)", cb, d, k)
+			}
+			if owners[cb] != 0 {
+				t.Fatalf("LL bit %d also covered by SiteCBRanges", cb)
+			}
+			llBits++
+		default:
+			if cb < CBModeledBits {
+				t.Fatalf("modeled bit %d owned by no resource", cb)
+			}
+			if owners[cb] != 0 {
+				t.Fatalf("padding bit %d covered by SiteCBRanges", cb)
+			}
+		}
+	}
+	if siteBits+llBits != CBModeledBits {
+		t.Errorf("site %d + LL %d bits != modeled %d", siteBits, llBits, CBModeledBits)
+	}
+	if llBits != LLDriversPerCLB*LLDrvBits {
+		t.Errorf("LL bits = %d, want %d", llBits, LLDriversPerCLB*LLDrvBits)
+	}
+}
+
+// TestInfluenceAgreesWithClassify cross-checks the influence maps against
+// the campaign classifier over one full CLB.
+func TestInfluenceAgreesWithClassify(t *testing.T) {
+	g := Tiny()
+	const r, c = 3, 5
+	for cb := 0; cb < CLBConfigBits; cb++ {
+		info := g.Classify(g.CLBBitOf(r, c, cb))
+		if info.Kind != KindPad && (info.R != r || info.C != c || info.CB != cb) {
+			t.Fatalf("Classify(CLBBitOf(%d,%d,%d)) = %+v", r, c, cb, info)
+		}
+		site := CLBBitSite(cb)
+		d, _ := CLBBitLLDrv(cb)
+		switch info.Kind {
+		case KindLongLine:
+			if d < 0 {
+				t.Fatalf("bit %d is %v but CLBBitLLDrv rejects it", cb, info.Kind)
+			}
+		case KindPad:
+			if site >= 0 || d >= 0 {
+				t.Fatalf("padding bit %d claims site %d / driver %d", cb, site, d)
+			}
+		default:
+			if site < 0 {
+				t.Fatalf("bit %d is %v but CLBBitSite rejects it", cb, info.Kind)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package fpga
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/device"
+)
+
+// Static cone-of-influence analysis over a decoded configuration. Starting
+// from a set of observed output nets, the analysis walks backwards through
+// the golden fabric — LUT input-mux fan-in, routed clock enables, long-line
+// wired-AND drivers, BRAM port sources — and closes over every net, site,
+// long line, and BRAM block whose value or state can reach an observation.
+// Configuration bits belonging only to fabric outside the closure are
+// provably inert under single-bit corruption: a flip changes config at its
+// own resource alone, every in-cone reader keeps its golden configuration,
+// and any bit that could splice a NEW edge into the cone (a long-line
+// driver enable, a dout enable, anything on an in-cone site) is kept
+// potentially-sensitive by construction.
+
+// Cone is the result of a cone-of-influence analysis.
+type Cone struct {
+	// Net marks dense net IDs (device.NetID space) that can reach an
+	// observed output.
+	Net []bool
+	// Site marks LUT/FF/output sites (clbIdx*LUTsPerCLB + l) in the cone.
+	Site []bool
+	// Line marks dense long-line indices in the cone.
+	Line []bool
+	// Block marks BRAM blocks whose output register can reach the cone.
+	Block []bool
+	// LiveBRAMCol marks BRAM columns containing any configured block; their
+	// frames interleave live port/content state and stay untriaged.
+	LiveBRAMCol []bool
+	// Volatile marks configurations whose per-injection outcomes depend on
+	// accumulated campaign history rather than on the bitstream alone:
+	// SRL16 LUTs (truth bits are shifting design state the column scrub
+	// itself rewrites), BRAM blocks that can write their content, or a
+	// stuck-fault overlay bypassing the decoded netlist. A volatile design
+	// admits no triage at all — skipping any injection would change the
+	// step history every later injection observes.
+	Volatile bool
+}
+
+// ConeOfInfluence computes the backward closure of outNets (dense net IDs,
+// e.g. board.OutputNetIDs) over this device's decoded configuration.
+func (f *FPGA) ConeOfInfluence(outNets []int) *Cone {
+	g := f.geom
+	nLL := device.LongLinesPerRow*g.Rows + device.LongLinesPerCol*g.Cols
+	cone := &Cone{
+		Net:         make([]bool, g.NumNets()),
+		Site:        make([]bool, g.CLBs()*device.LUTsPerCLB),
+		Line:        make([]bool, nLL),
+		Block:       make([]bool, g.BRAMBlocks()),
+		LiveBRAMCol: make([]bool, g.BRAMCols),
+		Volatile:    f.hasStuck,
+	}
+	queue := make([]int32, 0, 64)
+	addNet := func(id int) {
+		if id >= 0 && !cone.Net[id] {
+			cone.Net[id] = true
+			queue = append(queue, int32(id))
+		}
+	}
+	addBlock := func(bi int) {
+		if cone.Block[bi] {
+			return
+		}
+		cone.Block[bi] = true
+		cfg := &f.brams[bi]
+		bc, blk := f.bramColBlk(bi)
+		adj := g.BRAMAdjCol(bc)
+		src := func(sel bramPortSel) {
+			if !sel.valid {
+				return
+			}
+			r := g.BRAMRowBase(blk) + int(sel.rowOff)
+			if r >= g.Rows {
+				r = g.Rows - 1
+			}
+			addNet((r*g.Cols+adj)*4 + int(sel.out))
+		}
+		for j := range cfg.addr {
+			src(cfg.addr[j])
+		}
+		for j := range cfg.din {
+			src(cfg.din[j])
+		}
+		src(cfg.we)
+		src(cfg.en)
+	}
+	for _, id := range outNets {
+		addNet(id)
+	}
+	clbOuts := 4 * g.CLBs()
+	for len(queue) > 0 {
+		id := int(queue[len(queue)-1])
+		queue = queue[:len(queue)-1]
+		switch {
+		case id < clbOuts:
+			clbIdx, o := id/4, id&3
+			cone.Site[clbIdx*device.LUTsPerCLB+o] = true
+			cfg := &f.clbs[clbIdx]
+			for in := 0; in < device.LUTInputs; in++ {
+				addNet(int(f.candID[clbIdx*device.InMuxWays+int(cfg.lut[o].inSel[in])]))
+			}
+			if cfg.ff[o].ceMode == device.CERouted {
+				addNet(int(f.candID[clbIdx*device.InMuxWays+int(cfg.ff[o].ceSel)]))
+			}
+		case id < clbOuts+nLL:
+			ll := id - clbOuts
+			cone.Line[ll] = true
+			for _, ref := range f.llDrivers[ll] {
+				if ref.bram {
+					addBlock(ref.idx)
+				} else {
+					addNet(ref.idx*4 + ref.out)
+				}
+			}
+		default:
+			// Pins carry board stimulus; no configuration behind them.
+		}
+	}
+	for idx := range f.clbs {
+		for l := 0; l < device.LUTsPerCLB; l++ {
+			if f.clbs[idx].lut[l].srl {
+				cone.Volatile = true
+			}
+		}
+	}
+	for bi := range f.brams {
+		cfg := &f.brams[bi]
+		if *cfg == (bramCfg{}) {
+			continue
+		}
+		bc, _ := f.bramColBlk(bi)
+		cone.LiveBRAMCol[bc] = true
+		if cfg.en.valid && cfg.we.valid {
+			cone.Volatile = true // content can drift with step history
+		}
+	}
+	return cone
+}
+
+// SensitivityMask classifies every configuration bit of the decoded design:
+// a set bit is potentially-sensitive and must be injected for real; a clear
+// bit is provably-inert — flipping it cannot change any net, state element,
+// or keeper read by the cone of outNets, nor perturb campaign scrubbing.
+// The classification is conservative, so tallying clear bits as benign
+// yields reports byte-identical to injecting them.
+func (f *FPGA) SensitivityMask(outNets []int) (*bitstream.Memory, *Cone) {
+	g := f.geom
+	cone := f.ConeOfInfluence(outNets)
+	mask := bitstream.NewMemory(g)
+	fl := int64(g.FrameLength())
+	markFrames := func(lo, hi int) {
+		for a := int64(lo) * fl; a < int64(hi)*fl; a++ {
+			mask.Set(device.BitAddr(a), true)
+		}
+	}
+	if cone.Volatile {
+		markFrames(0, g.TotalFrames())
+		return mask, cone
+	}
+	for c := 0; c < g.Cols; c++ {
+		for r := 0; r < g.Rows; r++ {
+			idx := r*g.Cols + c
+			cfg := &f.clbs[idx]
+			for l := 0; l < device.LUTsPerCLB; l++ {
+				if !cone.Site[idx*device.LUTsPerCLB+l] {
+					continue
+				}
+				for _, rng := range device.SiteCBRanges(l) {
+					for cb := rng[0]; cb < rng[1]; cb++ {
+						mask.Set(g.CLBBitOf(r, c, cb), true)
+					}
+				}
+			}
+			for d := 0; d < device.LLDriversPerCLB; d++ {
+				if !cone.Line[f.llIndexOf(r, c, d)] {
+					continue
+				}
+				// The enable bit of even a disabled driver can splice a new
+				// wired-AND contributor onto an in-cone line; the source
+				// select matters only while the driver is enabled.
+				mask.Set(g.LLDrvBitAddr(r, c, d, device.LLEnableBit), true)
+				if cfg.ll[d].enable {
+					mask.Set(g.LLDrvBitAddr(r, c, d, device.LLSrcBase), true)
+					mask.Set(g.LLDrvBitAddr(r, c, d, device.LLSrcBase+1), true)
+				}
+			}
+		}
+	}
+	for bc := 0; bc < g.BRAMCols; bc++ {
+		if cone.LiveBRAMCol[bc] {
+			base := g.CLBFrames() + bc*device.BRAMFramesPerCol
+			markFrames(base, base+device.BRAMFramesPerCol)
+			continue
+		}
+		// Every block in this column is unconfigured (a configured one would
+		// have marked the column live). A single flip can still gate a
+		// wired-AND: a dout enable forces its line to the frozen output
+		// register's bit. Those enables stay sensitive when the line is in
+		// the cone; all other bits of a dead column are inert.
+		adj := g.BRAMAdjCol(bc)
+		for blk := 0; blk < g.BRAMBlocksPerCol(); blk++ {
+			for ch := 0; ch < device.LongLinesPerCol; ch++ {
+				ll := device.LongLinesPerRow*g.Rows + adj*device.LongLinesPerCol + ch
+				if cone.Line[ll] {
+					k := device.BRAMPortDoutBase + ch*device.BRAMDoutLLBits
+					mask.Set(g.BRAMPortBitAddr(bc, blk, k), true)
+				}
+			}
+		}
+	}
+	// Frames beyond the CLB and BRAM columns configure nothing: inert.
+	return mask, cone
+}

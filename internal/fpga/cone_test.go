@@ -1,0 +1,197 @@
+package fpga
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+// twoBufferDesign wires west pin -> buffer at (2,0) -> buffer at (2,1) and
+// adds an unrelated configured LUT at (5,5); the observed output is
+// clb(2,1).out0, so only the two buffers can influence it.
+func twoBufferDesign(g device.Geometry) (*ConfigBuilder, int) {
+	b := NewConfigBuilder(g)
+	b.SetLUT(2, 0, 0, TruthBuf)
+	b.RouteInput(2, 0, 0, 0, 4) // west of column 0: a device pin
+	b.SetLUT(2, 1, 0, TruthBuf)
+	b.RouteInput(2, 1, 0, 0, 4) // west neighbour: clb(2,0).out0
+	b.SetLUT(5, 5, 1, TruthXor2)
+	b.RouteInput(5, 5, 1, 0, 4)
+	obs := g.NetID(device.NetRef{Kind: device.NetCLBOut, R: 2, C: 1, O: 0})
+	return b, obs
+}
+
+func TestConeOfInfluenceBasic(t *testing.T) {
+	g := device.Tiny()
+	b, obs := twoBufferDesign(g)
+	f := configure(t, b)
+	cone := f.ConeOfInfluence([]int{obs})
+	if cone.Volatile {
+		t.Fatal("plain combinational design marked volatile")
+	}
+	inCone := func(r, c, l int) bool { return cone.Site[(r*g.Cols+c)*device.LUTsPerCLB+l] }
+	if !inCone(2, 1, 0) || !inCone(2, 0, 0) {
+		t.Error("observed buffer chain not in cone")
+	}
+	if inCone(5, 5, 1) {
+		t.Error("unrelated configured LUT pulled into cone")
+	}
+	sites := 0
+	for _, s := range cone.Site {
+		if s {
+			sites++
+		}
+	}
+	if sites != 2 {
+		t.Errorf("cone holds %d sites, want exactly the 2 buffers", sites)
+	}
+}
+
+func TestSensitivityMaskBasic(t *testing.T) {
+	g := device.Tiny()
+	b, obs := twoBufferDesign(g)
+	f := configure(t, b)
+	mask, cone := f.SensitivityMask([]int{obs})
+	if cone.Volatile {
+		t.Fatal("design marked volatile")
+	}
+	if !mask.Get(g.LUTBitAddr(2, 1, 0, 3)) || !mask.Get(g.InMuxBitAddr(2, 0, 0, 0)) {
+		t.Error("in-cone site bits not marked sensitive")
+	}
+	if mask.Get(g.LUTBitAddr(5, 5, 1, 3)) {
+		t.Error("out-of-cone LUT truth bit marked sensitive")
+	}
+	if mask.Get(g.LUTBitAddr(2, 1, 1, 0)) {
+		t.Error("unused sibling LUT of an in-cone CLB marked sensitive")
+	}
+	// Padding of an in-cone CLB configures nothing.
+	if mask.Get(g.CLBBitOf(2, 1, device.CBModeledBits)) {
+		t.Error("CLB padding bit marked sensitive")
+	}
+	// Frame pad bits beyond the CLB rows configure nothing.
+	padBit := device.BitAddr(int64(g.FrameLength()) - 1)
+	if mask.Get(padBit) {
+		t.Error("frame padding bit marked sensitive")
+	}
+}
+
+func TestSensitivityMaskLongLines(t *testing.T) {
+	g := device.Tiny()
+	b := NewConfigBuilder(g)
+	b.SetLUT(3, 3, 0, TruthBuf)
+	b.RouteInput(3, 3, 0, 0, 4)
+	b.DriveLL(3, 3, 0, 0) // row long line, row 3, channel 0
+	b.SetLUT(3, 6, 0, TruthBuf)
+	b.RouteInput(3, 6, 0, 0, 24) // tap row LL channel 0
+	obs := g.NetID(device.NetRef{Kind: device.NetCLBOut, R: 3, C: 6, O: 0})
+	f := configure(t, b)
+	mask, cone := f.SensitivityMask([]int{obs})
+
+	if !cone.Line[3*device.LongLinesPerRow+0] {
+		t.Fatal("tapped row long line not in cone")
+	}
+	if !cone.Site[(3*g.Cols+3)*device.LUTsPerCLB] {
+		t.Error("wired-AND driver's source site not in cone")
+	}
+	// Any CLB on the in-cone line could splice a NEW driver onto it: every
+	// enable bit along the row stays sensitive, but the source select only
+	// matters while its driver is enabled.
+	if !mask.Get(g.LLDrvBitAddr(3, 0, 0, device.LLEnableBit)) {
+		t.Error("enable bit of a disabled driver on an in-cone line marked inert")
+	}
+	if mask.Get(g.LLDrvBitAddr(3, 0, 0, device.LLSrcBase)) {
+		t.Error("source select of a disabled driver marked sensitive")
+	}
+	if !mask.Get(g.LLDrvBitAddr(3, 3, 0, device.LLSrcBase)) {
+		t.Error("source select of the live driver marked inert")
+	}
+	// A long line outside the cone is dead weight: all its driver bits are
+	// inert, enables included.
+	if mask.Get(g.LLDrvBitAddr(5, 0, 0, device.LLEnableBit)) {
+		t.Error("enable bit of an out-of-cone row line marked sensitive")
+	}
+	if mask.Get(g.LLDrvBitAddr(3, 3, 4, device.LLEnableBit)) {
+		t.Error("enable bit of an out-of-cone column line marked sensitive")
+	}
+}
+
+func TestSensitivityMaskVolatileSRL(t *testing.T) {
+	g := device.Tiny()
+	b, obs := twoBufferDesign(g)
+	// An SRL anywhere — even outside the cone — couples outcomes to campaign
+	// step history, so triage must refuse the whole design.
+	b.SetSRL(5, 5, 1, true)
+	f := configure(t, b)
+	mask, cone := f.SensitivityMask([]int{obs})
+	if !cone.Volatile {
+		t.Fatal("SRL design not marked volatile")
+	}
+	if !mask.Get(g.LUTBitAddr(5, 5, 1, 3)) || !mask.Get(g.CLBBitOf(7, 7, device.CBModeledBits)) {
+		t.Error("volatile design's mask is not all-sensitive")
+	}
+}
+
+func TestSensitivityMaskDeadBRAMColumn(t *testing.T) {
+	g := device.Tiny()
+	adj := g.BRAMAdjCol(0)
+	b := NewConfigBuilder(g)
+	b.SetLUT(4, adj, 0, TruthBuf)
+	b.RouteInput(4, adj, 0, 0, 28+2) // tap own column's LL channel 2
+	obs := g.NetID(device.NetRef{Kind: device.NetCLBOut, R: 4, C: adj, O: 0})
+	f := configure(t, b)
+	mask, cone := f.SensitivityMask([]int{obs})
+	if cone.LiveBRAMCol[0] {
+		t.Fatal("unconfigured BRAM column reported live")
+	}
+	// Flipping a dout enable of even an unconfigured block forces its frozen
+	// output register bit onto the wired-AND line; for the in-cone channel
+	// that enable must stay sensitive, everything else in the column is inert.
+	ch2 := device.BRAMPortDoutBase + 2*device.BRAMDoutLLBits
+	if !mask.Get(g.BRAMPortBitAddr(0, 0, ch2)) {
+		t.Error("dout enable onto an in-cone column line marked inert")
+	}
+	if mask.Get(g.BRAMPortBitAddr(0, 0, ch2+1)) {
+		t.Error("dout bit-select of a dead block marked sensitive")
+	}
+	if mask.Get(g.BRAMPortBitAddr(0, 0, device.BRAMPortDoutBase)) {
+		t.Error("dout enable onto an out-of-cone channel marked sensitive")
+	}
+	if mask.Get(g.BRAMContentBitAddr(0, 0, 0, 0)) {
+		t.Error("content bit of a dead BRAM column marked sensitive")
+	}
+}
+
+func TestSensitivityMaskLiveBRAMColumn(t *testing.T) {
+	g := device.Tiny()
+	b, obs := twoBufferDesign(g)
+	// A read-only port binding (EN without WE) makes the column live but not
+	// volatile: its interleaved frames stay untriaged, the rest of the
+	// fabric still triages normally.
+	b.BindBRAMEN(0, 0, 0, 0)
+	f := configure(t, b)
+	mask, cone := f.SensitivityMask([]int{obs})
+	if cone.Volatile {
+		t.Fatal("read-only BRAM design marked volatile")
+	}
+	if !cone.LiveBRAMCol[0] {
+		t.Fatal("configured BRAM column not reported live")
+	}
+	if !mask.Get(g.BRAMContentBitAddr(0, 0, 0, 0)) {
+		t.Error("live BRAM column's content bit marked inert")
+	}
+	if mask.Get(g.LUTBitAddr(5, 5, 1, 3)) {
+		t.Error("live BRAM column disabled CLB triage")
+	}
+}
+
+func TestSensitivityMaskVolatileWritableBRAM(t *testing.T) {
+	g := device.Tiny()
+	b, obs := twoBufferDesign(g)
+	b.BindBRAMEN(0, 0, 0, 0)
+	b.BindBRAMWE(0, 0, 0, 1)
+	f := configure(t, b)
+	_, cone := f.SensitivityMask([]int{obs})
+	if !cone.Volatile {
+		t.Fatal("writable BRAM design not marked volatile")
+	}
+}

@@ -29,13 +29,14 @@ const minInjectionsPerWorker = 64
 
 // shardAccum accumulates one chunk's share of the report.
 type shardAccum struct {
-	injections int64
-	failures   int64
-	persistent int64
-	simTime    time.Duration
-	injByKind  map[device.BitKind]int64
-	failByKind map[device.BitKind]int64
-	bits       []BitRecord
+	injections    int64
+	failures      int64
+	persistent    int64
+	triageSkipped int64
+	simTime       time.Duration
+	injByKind     map[device.BitKind]int64
+	failByKind    map[device.BitKind]int64
+	bits          []BitRecord
 }
 
 func newShardAccum() *shardAccum {
@@ -55,6 +56,7 @@ func mergeInto(rep *Report, acc *shardAccum) {
 	rep.Injections += acc.injections
 	rep.Failures += acc.failures
 	rep.Persistent += acc.persistent
+	rep.TriageSkipped += acc.triageSkipped
 	rep.SimulatedTime += acc.simTime
 	for k, n := range acc.injByKind {
 		rep.InjectionsByKind[k] += n
@@ -66,7 +68,9 @@ func mergeInto(rep *Report, acc *shardAccum) {
 }
 
 // runRange executes the injection loop over bit addresses [lo, hi) on bd.
-func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum) error {
+// tri is the shared read-only sensitivity triage (nil = disabled); fs is
+// bd's dirty-frame tracker, owned by the worker driving bd.
+func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum, tri *triage, fs *frameScrub) error {
 	g := bd.Geometry()
 	for a := device.BitAddr(lo); int64(a) < hi; a++ {
 		if !selected(opts, a) {
@@ -79,7 +83,11 @@ func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Op
 		if opts.FastPadSkip && (info.Kind == device.KindPad || info.Kind == device.KindExtra) {
 			continue // provably benign: no decoded behaviour depends on it
 		}
-		if err := injectOne(bd, golden, a, info, opts, acc); err != nil {
+		if tri.inert(a) {
+			acc.triageSkipped++
+			continue // provably outside every observed output's cone
+		}
+		if err := injectOne(bd, golden, a, info, opts, acc, fs); err != nil {
 			return err
 		}
 	}
@@ -88,7 +96,7 @@ func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Op
 
 // runSharded fans the range [0, limit) out over workers cloned boards and
 // returns the per-chunk accumulators in chunk order.
-func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, workers int, opts Options) ([]*shardAccum, error) {
+func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, workers int, opts Options, tri *triage) ([]*shardAccum, error) {
 	chunks := workers * chunksPerWorker
 	if int64(chunks) > limit {
 		chunks = int(limit)
@@ -111,6 +119,10 @@ func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, worker
 		wg.Add(1)
 		go func(wb *board.SLAAC1V) {
 			defer wg.Done()
+			// The dirty-frame tracker is per replica: it certifies frames of
+			// THIS board's configuration memory, so it must live as long as
+			// the replica, not per chunk.
+			fs := newFrameScrub(wb.Geometry())
 			for {
 				ci := atomic.AddInt64(&cursor, 1) - 1
 				if ci >= int64(chunks) || failed.Load() {
@@ -123,7 +135,7 @@ func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, worker
 				}
 				acc := newShardAccum()
 				accs[ci] = acc
-				if err := runRange(wb, golden, lo, hi, opts, acc); err != nil {
+				if err := runRange(wb, golden, lo, hi, opts, acc, tri, fs); err != nil {
 					failed.Store(true)
 					errCh <- err
 					return

@@ -47,28 +47,34 @@ func stimulusSeed(seed int64, a device.BitAddr) int64 {
 	return int64(bitHash(seed^0x5eed5eed5eed5eed, a))
 }
 
-// selectionLimit returns the exclusive upper bit address of the campaign:
-// TotalBits normally, or — under MaxBits — the address just past the
-// MaxBits-th selected bit, so "the first MaxBits selected bits in address
-// order" is a well-defined set that sharding cannot change.
-func selectionLimit(opts Options, total int64) int64 {
-	if opts.MaxBits <= 0 {
-		return total
-	}
+// selectionPlan returns the exclusive upper bit address of the campaign and
+// the exact number of injections it will perform. The limit is TotalBits
+// normally, or — under MaxBits — the address just past the MaxBits-th
+// selected bit, so "the first MaxBits selected bits in address order" is a
+// well-defined set that sharding cannot change. The count comes from the
+// actual selection model (hash sampling capped by MaxBits), never from
+// multiplying an already-capped limit by Sample, so the worker-count
+// heuristic sees the true campaign size.
+func selectionPlan(opts Options, total int64) (limit, count int64) {
 	if opts.Sample >= 1 {
-		if opts.MaxBits < total {
-			return opts.MaxBits
+		if opts.MaxBits > 0 && opts.MaxBits < total {
+			return opts.MaxBits, opts.MaxBits
 		}
-		return total
+		return total, total
 	}
-	var count int64
+	if opts.Sample <= 0 {
+		return total, 0
+	}
+	// One pass over the hash stream: exact count, and under MaxBits the
+	// earliest address range containing exactly that many selections. The
+	// scan costs one splitmix64 per bit — noise next to the injections.
 	for a := device.BitAddr(0); int64(a) < total; a++ {
 		if selected(opts, a) {
 			count++
 			if count == opts.MaxBits {
-				return int64(a) + 1
+				return int64(a) + 1, count
 			}
 		}
 	}
-	return total
+	return total, count
 }

@@ -53,6 +53,16 @@ type Options struct {
 	// without running the clock. Their decode is provably unchanged, so
 	// this is exact, not an approximation.
 	FastPadSkip bool
+	// Triage enables the campaign-scoped static cone-of-influence analysis:
+	// configuration bits that provably cannot influence any observed output
+	// are tallied as benign without touching the board. The analysis is
+	// conservative — any bit whose flip could create a new long-line driver,
+	// re-route a live mux, or reach an observed net stays potentially-
+	// sensitive, and designs with history-coupled state (SRL16 shift
+	// registers, writable BRAM, stuck-fault overlays) disable it wholesale —
+	// so reports are byte-identical to triage-off runs; only WallTime and
+	// the TriageSkipped tally differ.
+	Triage bool
 }
 
 // DefaultOptions returns the standard campaign parameters.
@@ -65,6 +75,7 @@ func DefaultOptions() Options {
 		ClassifyPersistence: true,
 		CollectBits:         true,
 		FastPadSkip:         true,
+		Triage:              true,
 	}
 }
 
@@ -96,6 +107,12 @@ type Report struct {
 	FailuresByKind   map[device.BitKind]int64
 
 	SensitiveBits []BitRecord
+
+	// TriageSkipped counts the injections the static cone-of-influence
+	// triage tallied as benign without board activity — a subset of
+	// Injections. A triage-off run of the same campaign reports 0 here and
+	// identical values everywhere else (except WallTime).
+	TriageSkipped int64
 
 	// SimulatedTime is the virtual test time on the modelled SLAAC-1V
 	// (InjectLoopTime per injection), the figure behind the paper's
@@ -161,26 +178,26 @@ func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 	}
 	start := time.Now()
 
-	limit := selectionLimit(opts, g.TotalBits())
+	limit, expected := selectionPlan(opts, g.TotalBits())
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	expected := float64(limit)
-	if opts.Sample < 1 {
-		expected *= opts.Sample
-	}
 	if maxw := int(expected/minInjectionsPerWorker) + 1; workers > maxw {
 		workers = maxw // not enough work to amortize board clones
 	}
+	var tri *triage
+	if opts.Triage {
+		tri = newTriage(bd)
+	}
 	if workers == 1 {
 		acc := newShardAccum()
-		if err := runRange(bd, golden, 0, limit, opts, acc); err != nil {
+		if err := runRange(bd, golden, 0, limit, opts, acc, tri, newFrameScrub(g)); err != nil {
 			return nil, err
 		}
 		mergeInto(rep, acc)
 	} else {
-		accs, err := runSharded(bd, golden, limit, workers, opts)
+		accs, err := runSharded(bd, golden, limit, workers, opts, tri)
 		if err != nil {
 			return nil, err
 		}
@@ -197,8 +214,11 @@ func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// injectOne performs one corrupt/observe/repair/classify iteration.
-func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, info device.BitInfo, opts Options, acc *shardAccum) error {
+// injectOne performs one corrupt/observe/repair/classify iteration. fs is
+// the board replica's dirty-frame tracker: it persists across injections so
+// the repair scrub only re-verifies frames actually touched since their
+// last golden verification.
+func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, info device.BitInfo, opts Options, acc *shardAccum, fs *frameScrub) error {
 	g := bd.Geometry()
 	// Canonical pre-injection state: stimulus seeded by (Seed, address),
 	// pins low, user state reset. Each injection's outcome then depends
@@ -231,22 +251,30 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 	// bit turns the LUT into a live shift register whose truth-table
 	// configuration bits change every clock (the paper's §II-C dynamic-
 	// content pathology) — so scrub every frame that differs from golden.
-	if err := bd.Port.WriteFrame(golden.Frame(a.Frame(g))); err != nil {
-		return fmt.Errorf("seu: repairing frame %d: %w", a.Frame(g), err)
+	frame := a.Frame(g)
+	if err := bd.Port.WriteFrame(golden.Frame(frame)); err != nil {
+		return fmt.Errorf("seu: repairing frame %d: %w", frame, err)
 	}
+	cm := bd.DUT.ConfigMemory()
+	fs.markClean(cm, frame)
 	// The spread is confined to the injected bit's column (an SRL shifts
 	// only its own truth-table frames); residual divergence anywhere else
 	// is caught by the clean-run check and the full-reconfiguration
-	// fallback below.
-	frame := a.Frame(g)
-	colBase := (frame / device.FramesPerCLBCol) * device.FramesPerCLBCol
+	// fallback below. Frames whose generation counter hasn't moved since
+	// they were last verified golden are provably untouched and skip even
+	// the compare.
 	if frame < g.CLBFrames() {
+		colBase := (frame / device.FramesPerCLBCol) * device.FramesPerCLBCol
 		for fidx := colBase; fidx < colBase+device.FramesPerCLBCol; fidx++ {
-			if !bd.DUT.ConfigMemory().FrameEqual(golden, fidx) {
+			if fs.isClean(cm, fidx) {
+				continue
+			}
+			if !cm.FrameEqual(golden, fidx) {
 				if err := bd.Port.WriteFrame(golden.Frame(fidx)); err != nil {
 					return fmt.Errorf("seu: scrubbing frame %d: %w", fidx, err)
 				}
 			}
+			fs.markClean(cm, fidx)
 		}
 	}
 
