@@ -165,18 +165,25 @@ func BenchmarkFig8_InjectionLoop(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	// Sequential vs sharded vs triage-off throughput on the same campaign:
-	// the reports are identical by construction, only wall-us/bit moves.
+	// Sequential vs sharded vs triage-off vs fastsim-off throughput on the
+	// same campaign: the reports are identical by construction, only
+	// wall-us/bit moves.
 	type variant struct {
 		name    string
 		workers int
 		triage  bool
+		fastsim bool
 	}
-	variants := []variant{{"workers-1", 1, true}, {"workers-1-triage-off", 1, false}}
+	variants := []variant{
+		{"workers-1", 1, true, true},
+		{"workers-1-triage-off", 1, false, true},
+		{"workers-1-fastsim-off", 1, true, false},
+	}
 	if n := runtime.GOMAXPROCS(0); n > 1 {
 		variants = append(variants,
-			variant{fmt.Sprintf("workers-%d", n), n, true},
-			variant{fmt.Sprintf("workers-%d-triage-off", n), n, false})
+			variant{fmt.Sprintf("workers-%d", n), n, true, true},
+			variant{fmt.Sprintf("workers-%d-triage-off", n), n, false, true},
+			variant{fmt.Sprintf("workers-%d-fastsim-off", n), n, true, false})
 	}
 	for _, v := range variants {
 		v := v
@@ -192,8 +199,9 @@ func BenchmarkFig8_InjectionLoop(b *testing.B) {
 			opts.MaxBits = 2000
 			opts.Sample = 1
 			opts.Triage = v.triage
+			opts.FastSim = v.fastsim
 			b.ResetTimer()
-			var injections, skipped int64
+			var injections, skipped, cyclesRun, cyclesSkipped int64
 			for i := 0; i < b.N; i++ {
 				rep, err := seu.Run(bd, opts)
 				if err != nil {
@@ -201,11 +209,15 @@ func BenchmarkFig8_InjectionLoop(b *testing.B) {
 				}
 				injections += rep.Injections
 				skipped += rep.TriageSkipped
+				cyclesRun += rep.CyclesSimulated
+				cyclesSkipped += rep.CyclesSkipped
 			}
 			b.StopTimer()
 			perInj := b.Elapsed() / time.Duration(maxi64(1, injections))
 			b.ReportMetric(float64(perInj.Nanoseconds())/1000, "wall-us/bit")
 			b.ReportMetric(float64(skipped)/float64(maxi64(1, injections))*100, "triage-skipped%")
+			b.ReportMetric(float64(cyclesRun)/float64(maxi64(1, int64(b.N))), "cycles-simulated")
+			b.ReportMetric(float64(cyclesSkipped)/float64(maxi64(1, cyclesRun+cyclesSkipped))*100, "early-exit-skipped%")
 			b.ReportMetric(214, "virtual-us/bit")
 			full := time.Duration(device.XQVR1000().TotalBits()) * board.InjectLoopTime
 			b.ReportMetric(full.Minutes(), "virtual-min/5.8Mbit-sweep")

@@ -1,0 +1,188 @@
+// Command fig8bench times the Fig. 8 injection loop across the kernel and
+// scheduling variants (fastsim on/off, triage on/off, sequential/sharded)
+// and emits a machine-readable JSON report. CI commits the result as
+// BENCH_PR3.json so the event-kernel speedup is tracked in-repo, next to the
+// code that produces it.
+//
+// Example:
+//
+//	fig8bench -out BENCH_PR3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/place"
+	"repro/internal/seu"
+)
+
+// variantResult is one timed campaign configuration. All variants run the
+// identical campaign (same design, seed, and bit sample) and produce
+// byte-identical reports; only the wall time moves.
+type variantResult struct {
+	Name            string  `json:"name"`
+	Workers         int     `json:"workers"`
+	Triage          bool    `json:"triage"`
+	FastSim         bool    `json:"fastsim"`
+	Injections      int64   `json:"injections"`
+	Failures        int64   `json:"failures"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	NsPerInjection  float64 `json:"ns_per_injection"`
+	CyclesSimulated int64   `json:"cycles_simulated"`
+	CyclesSkipped   int64   `json:"cycles_skipped"`
+	EarlyExitPct    float64 `json:"early_exit_pct"`
+}
+
+type benchReport struct {
+	Design     string          `json:"design"`
+	Geometry   string          `json:"geometry"`
+	MaxBits    int64           `json:"max_bits"`
+	Seed       int64           `json:"seed"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Variants   []variantResult `json:"variants"`
+	// SpeedupFastSim is the wall-time ratio of the sequential fastsim-off
+	// run over the sequential fastsim-on run — the headline number for the
+	// event kernel plus convergence early exit.
+	SpeedupFastSim float64 `json:"speedup_fastsim_x"`
+}
+
+func main() {
+	var (
+		design  = flag.String("design", "MULT 12", "catalogued design")
+		geom    = flag.String("geom", "small", "device geometry: tiny|small|xqvr1000")
+		maxBits = flag.Int64("maxbits", 2000, "bits injected per variant")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "write JSON here (default stdout)")
+	)
+	flag.Parse()
+
+	var g device.Geometry
+	switch *geom {
+	case "tiny":
+		g = device.Tiny()
+	case "small":
+		g = device.Small()
+	case "xqvr1000":
+		g = device.XQVR1000()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown geometry %q\n", *geom)
+		os.Exit(2)
+	}
+
+	spec, err := designs.ByName(*design)
+	check(err)
+	p, err := place.Place(spec.Build(), g)
+	check(err)
+
+	type variant struct {
+		name    string
+		workers int
+		triage  bool
+		fastsim bool
+	}
+	nproc := runtime.GOMAXPROCS(0)
+	variants := []variant{
+		{"workers-1-fastsim-off-triage-off", 1, false, false},
+		{"workers-1-fastsim-off", 1, true, false},
+		{"workers-1-triage-off", 1, false, true},
+		{"workers-1", 1, true, true},
+	}
+	if nproc > 1 {
+		variants = append(variants,
+			variant{fmt.Sprintf("workers-%d-fastsim-off", nproc), nproc, true, false},
+			variant{fmt.Sprintf("workers-%d", nproc), nproc, true, true})
+	}
+
+	rep := benchReport{
+		Design:     *design,
+		Geometry:   g.String(),
+		MaxBits:    *maxBits,
+		Seed:       *seed,
+		GoMaxProcs: nproc,
+	}
+	var refInjections int64 = -1
+	var offWall, onWall float64
+	for _, v := range variants {
+		bd, err := board.New(p, 1)
+		check(err)
+		opts := seu.DefaultOptions()
+		opts.ClassifyPersistence = false
+		opts.Seed = *seed
+		opts.Workers = v.workers
+		opts.MaxBits = *maxBits
+		opts.Sample = 1
+		opts.Triage = v.triage
+		opts.FastSim = v.fastsim
+		start := time.Now()
+		r, err := seu.Run(bd, opts)
+		check(err)
+		wall := time.Since(start)
+		if refInjections < 0 {
+			refInjections = r.Injections
+		} else if r.Injections != refInjections {
+			fmt.Fprintf(os.Stderr, "fig8bench: variant %s injected %d bits, reference injected %d — campaigns diverged\n",
+				v.name, r.Injections, refInjections)
+			os.Exit(1)
+		}
+		total := r.CyclesSimulated + r.CyclesSkipped
+		res := variantResult{
+			Name:            v.name,
+			Workers:         v.workers,
+			Triage:          v.triage,
+			FastSim:         v.fastsim,
+			Injections:      r.Injections,
+			Failures:        r.Failures,
+			WallSeconds:     wall.Seconds(),
+			NsPerInjection:  float64(wall.Nanoseconds()) / float64(max64(1, r.Injections)),
+			CyclesSimulated: r.CyclesSimulated,
+			CyclesSkipped:   r.CyclesSkipped,
+			EarlyExitPct:    100 * float64(r.CyclesSkipped) / float64(max64(1, total)),
+		}
+		rep.Variants = append(rep.Variants, res)
+		if v.workers == 1 && v.triage {
+			if v.fastsim {
+				onWall = res.WallSeconds
+			} else {
+				offWall = res.WallSeconds
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-34s %8d inj  %8.3fs  %10.0f ns/inj  early-exit %5.1f%%\n",
+			v.name, res.Injections, res.WallSeconds, res.NsPerInjection, res.EarlyExitPct)
+	}
+	if onWall > 0 {
+		rep.SpeedupFastSim = offWall / onWall
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(rep))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig8bench:", err)
+		os.Exit(1)
+	}
+}

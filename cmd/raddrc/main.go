@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -26,6 +28,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "parallelism for any injection campaigns in the flow (0 = GOMAXPROCS)")
 		triage  = flag.Bool("triage", true, "skip provably-inert configuration bits in injection campaigns; results are identical either way")
+		fastsim = flag.Bool("fastsim", true, "use the activity-driven settling kernel and lock-step convergence early exit; results are identical either way")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	g := map[string]device.Geometry{
@@ -35,7 +40,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown geometry %q\n", *geom)
 		os.Exit(2)
 	}
-	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1, Workers: *workers, NoTriage: !*triage}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "raddrc:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "raddrc:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "raddrc:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "raddrc:", err)
+			}
+		}()
+	}
+	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1, Workers: *workers, NoTriage: !*triage, NoFastSim: !*fastsim}
 	rep, err := core.HalfLatchStudy(cfg, *design, *obs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raddrc:", err)

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/board"
 	"repro/internal/core"
@@ -60,6 +62,9 @@ type campaignJSON struct {
 	Seed             int64            `json:"seed"`
 	Workers          int              `json:"workers"`
 	Triage           bool             `json:"triage"`
+	FastSim          bool             `json:"fastsim"`
+	CyclesSimulated  int64            `json:"cycles_simulated"`
+	CyclesSkipped    int64            `json:"cycles_skipped"`
 }
 
 func campaignToJSON(rep *seu.Report, cfg core.Config) campaignJSON {
@@ -83,6 +88,9 @@ func campaignToJSON(rep *seu.Report, cfg core.Config) campaignJSON {
 		Seed:             cfg.Seed,
 		Workers:          cfg.Workers,
 		Triage:           !cfg.NoTriage,
+		FastSim:          !cfg.NoFastSim,
+		CyclesSimulated:  rep.CyclesSimulated,
+		CyclesSkipped:    rep.CyclesSkipped,
 	}
 	for k, n := range rep.InjectionsByKind {
 		out.InjectionsByKind[k.String()] = n
@@ -109,10 +117,29 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "parallel injection workers, each on a cloned board replica; results are identical at any count (0 = GOMAXPROCS)")
 		triage  = flag.Bool("triage", true, "skip provably-inert configuration bits via static cone-of-influence analysis; reports are byte-identical either way")
+		fastsim = flag.Bool("fastsim", true, "use the activity-driven settling kernel and lock-step convergence early exit; reports are byte-identical either way")
 		jsonOut = flag.Bool("json", false, "emit results as JSON (table and design modes)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample, Workers: *workers, NoTriage: !*triage}
+	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample, Workers: *workers, NoTriage: !*triage, NoFastSim: !*fastsim}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			check(err)
+			defer f.Close()
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+		}()
+	}
 
 	switch {
 	case *table == 1:

@@ -145,6 +145,17 @@ func (m *Memory) Equal(o *Memory) bool {
 	return true
 }
 
+// Hash folds the full memory content into the running FNV-1a-style hash h.
+// Used by the state-hash diagnostics; not comparison-grade on its own (use
+// Equal for exactness).
+func (m *Memory) Hash(h uint64) uint64 {
+	for _, w := range m.words {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
 // PopCount returns the number of set bits (useful for corruption audits).
 func (m *Memory) PopCount() int {
 	n := 0

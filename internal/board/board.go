@@ -47,6 +47,18 @@ type SLAAC1V struct {
 	// mismatch is the scratch buffer MismatchBits reuses between calls, so
 	// the per-clock comparator stays allocation-free on the hot path.
 	mismatch []int
+	// lock caches per-frame configuration-compare verdicts for Locked (see
+	// lockstep.go).
+	lock lockTracker
+}
+
+// SetFastSim switches both devices between the activity-driven settling
+// kernel and the full-sweep kernel (the -fastsim escape hatch). Both
+// devices always run the same kernel so their sweep-bounded trajectories
+// stay comparable.
+func (b *SLAAC1V) SetFastSim(on bool) {
+	b.Golden.SetEventDriven(on)
+	b.DUT.SetEventDriven(on)
 }
 
 // New builds the testbed: both devices are fully configured with the placed

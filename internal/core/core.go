@@ -44,6 +44,10 @@ type Config struct {
 	// campaigns use to skip provably-inert configuration bits. The zero
 	// value keeps triage on; reports are byte-identical either way.
 	NoTriage bool
+	// NoFastSim disables the activity-driven settling kernel and the
+	// lock-step convergence early exit. The zero value keeps both on;
+	// reports are byte-identical either way.
+	NoFastSim bool
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -86,6 +90,7 @@ func Sensitivity(cfg Config, name string, classifyPersistence bool) (*seu.Report
 	opts.Seed = cfg.Seed
 	opts.Workers = cfg.Workers
 	opts.Triage = !cfg.NoTriage
+	opts.FastSim = !cfg.NoFastSim
 	opts.ClassifyPersistence = classifyPersistence
 	return seu.Run(bd, opts)
 }
@@ -193,6 +198,7 @@ func Fig7(cfg Config) ([]seu.TracePoint, device.BitAddr, error) {
 	opts.Seed = cfg.Seed
 	opts.Workers = cfg.Workers
 	opts.Triage = !cfg.NoTriage
+	opts.FastSim = !cfg.NoFastSim
 	rep, err := seu.Run(bd, opts)
 	if err != nil {
 		return nil, 0, err
@@ -232,6 +238,7 @@ func BeamValidation(cfg Config, name string, observations int) (*radiation.BeamR
 	opts.Seed = cfg.Seed
 	opts.Workers = cfg.Workers
 	opts.Triage = !cfg.NoTriage
+	opts.FastSim = !cfg.NoFastSim
 	opts.ClassifyPersistence = false
 	simRep, err := seu.Run(bd, opts)
 	if err != nil {
@@ -330,6 +337,7 @@ func HalfLatchStudy(cfg Config, name string, observations int) (*HalfLatchReport
 		if err != nil {
 			return 0, err
 		}
+		bd.SetFastSim(!cfg.NoFastSim)
 		src := radiation.NewSource(2, xs, cfg.Seed+7)
 		rep, err := radiation.RunBeam(bd, src, nil, radiation.BeamOptions{
 			Observations:         observations,
@@ -381,6 +389,7 @@ func TMRStudy(cfg Config, name string) (plain, hardened *seu.Report, err error) 
 		opts.Seed = cfg.Seed
 		opts.Workers = cfg.Workers
 		opts.Triage = !cfg.NoTriage
+	opts.FastSim = !cfg.NoFastSim
 		opts.ClassifyPersistence = false
 		return seu.Run(bd, opts)
 	}
@@ -449,6 +458,7 @@ func SelectiveTMRStudy(cfg Config, name string) (*SelectiveTMRReport, error) {
 	opts.Seed = cfg.Seed
 	opts.Workers = cfg.Workers
 	opts.Triage = !cfg.NoTriage
+	opts.FastSim = !cfg.NoFastSim
 	opts.ClassifyPersistence = false
 	plain, err := seu.Run(bd, opts)
 	if err != nil {

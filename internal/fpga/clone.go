@@ -41,6 +41,16 @@ func (f *FPGA) Clone() *FPGA {
 		cycle:        f.cycle,
 		MaxSweeps:    f.MaxSweeps,
 		lastSweeps:   f.lastSweeps,
+		eventSim:     f.eventSim,
+		// Fanout lists are rebuilt lazily on the clone's first settle —
+		// cheaper than deep-copying a slice per net.
+		fanStale:    true,
+		pos:         append([]int32(nil), f.pos...),
+		sched:       append([]uint8(nil), f.sched...),
+		listNext:    append([]int32(nil), f.listNext...),
+		staleLL:     append([]int32(nil), f.staleLL...),
+		staleLLMark: append([]bool(nil), f.staleLLMark...),
+		hiddenGen:   f.hiddenGen,
 	}
 	n.bramMem = make([][]uint16, len(f.bramMem))
 	for i := range f.bramMem {
@@ -55,6 +65,12 @@ func (f *FPGA) Clone() *FPGA {
 		n.llByOut = make([][]int32, len(f.llByOut))
 		for i := range f.llByOut {
 			n.llByOut[i] = append([]int32(nil), f.llByOut[i]...)
+		}
+	}
+	if f.llByBRAM != nil {
+		n.llByBRAM = make([][]int32, len(f.llByBRAM))
+		for i := range f.llByBRAM {
+			n.llByBRAM[i] = append([]int32(nil), f.llByBRAM[i]...)
 		}
 	}
 	n.stuck = make(map[device.Segment]bool, len(f.stuck))

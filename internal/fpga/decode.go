@@ -25,6 +25,7 @@ func (f *FPGA) decodeAll() {
 	f.rebuildLLDrivers()
 	f.loadBRAMContentAll()
 	f.orderStale = true
+	f.fanStale = true
 }
 
 // redecodeFrame re-decodes the resources a just-written frame configures.
@@ -57,6 +58,10 @@ func (f *FPGA) decodeCLB(r, c int, incremental bool) {
 	idx := r*g.Cols + c
 	if incremental {
 		f.removeLLDriversOf(idx)
+		// Unsubscribe against the old decode before it is overwritten.
+		if f.eventSim && !f.fanStale {
+			f.dropFanoutOf(idx)
+		}
 	}
 	var cfg clbCfg
 	for l := 0; l < device.LUTsPerCLB; l++ {
@@ -118,6 +123,18 @@ func (f *FPGA) decodeCLB(r, c int, incremental bool) {
 	f.evalStale = true
 	if incremental {
 		f.addLLDriversOf(r, c, idx)
+		if f.eventSim {
+			if !f.fanStale {
+				f.addFanoutOf(idx)
+			}
+			// Mirror the dirty-CLB forcing: the decoded CLB settles once
+			// even if it left the active set, and any long line it can
+			// drive may have gained or lost a driver.
+			f.scheduleCLB(idx)
+			for d := 0; d < device.LLDriversPerCLB; d++ {
+				f.markLLStale(f.llIndexOf(r, c, d))
+			}
+		}
 	}
 }
 
@@ -135,17 +152,26 @@ func (f *FPGA) llNetID(ll int) int {
 	return 4*f.geom.CLBs() + ll
 }
 
-// rebuildLLByOut refreshes the reverse driver index used by Settle.
+// rebuildLLByOut refreshes the reverse driver indexes used by Settle: CLB
+// output -> driven lines, and BRAM block -> driven lines.
 func (f *FPGA) rebuildLLByOut() {
 	if f.llByOut == nil {
 		f.llByOut = make([][]int32, 4*f.geom.CLBs())
 	}
+	if f.llByBRAM == nil {
+		f.llByBRAM = make([][]int32, len(f.brams))
+	}
 	for i := range f.llByOut {
 		f.llByOut[i] = f.llByOut[i][:0]
 	}
+	for i := range f.llByBRAM {
+		f.llByBRAM[i] = f.llByBRAM[i][:0]
+	}
 	for ll, drv := range f.llDrivers {
 		for _, ref := range drv {
-			if !ref.bram {
+			if ref.bram {
+				f.llByBRAM[ref.idx] = append(f.llByBRAM[ref.idx], int32(ll))
+			} else {
 				id := ref.idx*4 + ref.out
 				f.llByOut[id] = append(f.llByOut[id], int32(ll))
 			}
@@ -244,6 +270,14 @@ func (f *FPGA) decodeBRAM(bc, blk int, incremental bool) {
 	f.brams[bi] = cfg
 	if incremental {
 		f.addBRAMDrivers(bi)
+		if f.eventSim {
+			// Any line in the adjacent column may have gained or lost this
+			// block's driver.
+			adj := f.geom.BRAMAdjCol(bc)
+			for ch := 0; ch < device.LongLinesPerCol; ch++ {
+				f.markLLStale(device.LongLinesPerRow*f.geom.Rows + adj*device.LongLinesPerCol + ch)
+			}
+		}
 	}
 }
 
@@ -400,6 +434,9 @@ func (f *FPGA) rebuildOrder() {
 		}
 	}
 	f.order = order
+	for p, li := range order {
+		f.pos[li] = int32(p)
+	}
 	f.orderStale = false
 }
 

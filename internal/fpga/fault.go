@@ -106,15 +106,20 @@ func (f *FPGA) HalfLatchSites() []HalfLatchSite {
 // recovery modelled by the radiation package) restores it.
 func (f *FPGA) FlipHalfLatch(s HalfLatchSite) {
 	g := f.geom
+	f.hiddenGen++
 	switch s.Kind {
 	case HLInput:
 		i := (s.R*g.Cols+s.C)*device.InMuxWays + s.Slot
 		f.inHL[i] = !f.inHL[i]
+		// Only LUTs of this CLB can read its input keepers.
+		f.scheduleCLB(s.R*g.Cols + s.C)
 	case HLCE:
+		// CE keepers are read at the clock edge only.
 		i := (s.R*g.Cols+s.C)*device.FFsPerCLB + s.FF
 		f.ceHL[i] = !f.ceHL[i]
 	case HLLongLine:
 		f.llHL[s.LL] = !f.llHL[s.LL]
+		f.markLLStale(s.LL)
 	}
 }
 
@@ -137,11 +142,24 @@ func (f *FPGA) RestoreHalfLatch(s HalfLatchSite) {
 	g := f.geom
 	switch s.Kind {
 	case HLInput:
-		f.inHL[(s.R*g.Cols+s.C)*device.InMuxWays+s.Slot] = true
+		i := (s.R*g.Cols+s.C)*device.InMuxWays + s.Slot
+		if !f.inHL[i] {
+			f.inHL[i] = true
+			f.hiddenGen++
+			f.scheduleCLB(s.R*g.Cols + s.C)
+		}
 	case HLCE:
-		f.ceHL[(s.R*g.Cols+s.C)*device.FFsPerCLB+s.FF] = true
+		i := (s.R*g.Cols+s.C)*device.FFsPerCLB + s.FF
+		if !f.ceHL[i] {
+			f.ceHL[i] = true
+			f.hiddenGen++
+		}
 	case HLLongLine:
-		f.llHL[s.LL] = true
+		if !f.llHL[s.LL] {
+			f.llHL[s.LL] = true
+			f.hiddenGen++
+			f.markLLStale(s.LL)
+		}
 	}
 }
 
@@ -160,18 +178,26 @@ func (f *FPGA) UpsetControlLogic() { f.unprogrammed = true }
 func (f *FPGA) SetStuck(seg device.Segment, v bool) {
 	f.stuck[seg] = v
 	f.hasStuck = true
+	f.hiddenGen++
+	f.scheduleCLB(seg.R*f.geom.Cols + seg.C)
 }
 
 // ClearStuck removes one stuck-at fault.
 func (f *FPGA) ClearStuck(seg device.Segment) {
 	delete(f.stuck, seg)
 	f.hasStuck = len(f.stuck) > 0
+	f.hiddenGen++
+	f.scheduleCLB(seg.R*f.geom.Cols + seg.C)
 }
 
 // ClearAllStuck removes every permanent fault.
 func (f *FPGA) ClearAllStuck() {
+	for seg := range f.stuck {
+		f.scheduleCLB(seg.R*f.geom.Cols + seg.C)
+	}
 	f.stuck = make(map[device.Segment]bool)
 	f.hasStuck = false
+	f.hiddenGen++
 }
 
 // StuckFaults returns a copy of the active permanent-fault overlay.

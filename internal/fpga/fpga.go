@@ -140,6 +140,28 @@ type FPGA struct {
 	// output register is corrupted (paper §II-C, §IV-A).
 	bramInterference []bool
 
+	// Event-kernel state (see event.go). fanout maps dense net IDs to the
+	// LUTs reading them; sched/heapCur/listNext hold the dirty-LUT worklist;
+	// staleLL the long lines needing an out-of-Settle refresh; pos each
+	// LUT's position in order; llByBRAM a BRAM block's driven lines.
+	eventSim    bool
+	fanout      [][]int32
+	fanStale    bool
+	pos         []int32
+	sched       []uint8
+	heapCur     []int32
+	listNext    []int32
+	staleLL     []int32
+	staleLLMark []bool
+	llByBRAM    [][]int32
+
+	// srlScratch is clock()'s reusable buffer of pending SRL16 shifts.
+	srlScratch []srlUpdate
+
+	// hiddenGen counts mutations of hidden state (half-latch keepers, the
+	// stuck-at overlay) so lock-step detection can cache its comparison.
+	hiddenGen uint64
+
 	// Cycle counter since the last full configuration or reset.
 	cycle int64
 
@@ -174,7 +196,12 @@ func New(g device.Geometry) *FPGA {
 		llDrivers: make([][]driverRef, device.LongLinesPerRow*g.Rows+device.LongLinesPerCol*g.Cols),
 		stuck:     make(map[device.Segment]bool),
 		MaxSweeps: 64,
+		eventSim:  true,
+		fanStale:  true,
 	}
+	f.pos = make([]int32, g.CLBs()*device.LUTsPerCLB)
+	f.sched = make([]uint8, g.CLBs()*device.LUTsPerCLB)
+	f.staleLLMark = make([]bool, device.LongLinesPerRow*g.Rows+device.LongLinesPerCol*g.Cols)
 	f.bramMem = make([][]uint16, g.BRAMBlocks())
 	for i := range f.bramMem {
 		f.bramMem[i] = make([]uint16, device.BRAMWords)
@@ -276,7 +303,9 @@ func (f *FPGA) startup() {
 	}
 	f.unprogrammed = false
 	f.cycle = 0
+	f.hiddenGen++
 	f.rebuildOrder()
+	f.invalidateEvents()
 	f.Settle()
 }
 
@@ -288,11 +317,21 @@ func (f *FPGA) startup() {
 func (f *FPGA) Reset() {
 	for i := range f.clbs {
 		for k := 0; k < device.FFsPerCLB; k++ {
-			f.ffVal[i*device.FFsPerCLB+k] = f.clbs[i].ff[k].init
+			init := f.clbs[i].ff[k].init
+			li := i*device.FFsPerCLB + k
+			if f.ffVal[li] != init {
+				f.ffVal[li] = init
+				if f.clbs[i].outMuxFF[k] {
+					f.scheduleLUT(int32(li))
+				}
+			}
 		}
 	}
 	for i := range f.bramOut {
-		f.bramOut[i] = 0
+		if f.bramOut[i] != 0 {
+			f.bramOut[i] = 0
+			f.markBRAMLLStale(i)
+		}
 	}
 	f.cycle = 0
 	f.Settle()

@@ -165,6 +165,7 @@ func (p *Port) applyReadbackHazards(idx int) {
 				// The race corrupts the shift register's live content.
 				clb.lut[l].truth ^= 1
 				p.f.cm.Flip(g.LUTBitAddr(r, c, l, 0))
+				p.f.scheduleLUT(int32((r*g.Cols+c)*device.LUTsPerCLB + l))
 				p.hazards = append(p.hazards, HazardEvent{
 					Kind: HazardSRLCorrupted, Frame: idx, R: r, C: c, L: l,
 				})

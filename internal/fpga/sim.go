@@ -7,7 +7,17 @@ import (
 // SetPin drives device input pin p (global index, see device.Pin*) to v.
 // Pin values persist until changed.
 func (f *FPGA) SetPin(p int, v bool) {
-	f.netVal[f.pinNetID(p)] = v
+	id := f.pinNetID(p)
+	if f.netVal[id] == v {
+		return
+	}
+	f.netVal[id] = v
+	if f.eventSim {
+		if f.fanStale {
+			f.rebuildFanout()
+		}
+		f.scheduleNetConsumers(id)
+	}
 }
 
 // Pin returns the current value of pin p as seen by the fabric.
@@ -43,7 +53,15 @@ func (f *FPGA) FFValue(r, c, k int) bool {
 // SetFFValue overwrites flip-flop state directly; used by the beam model
 // for SEUs in user flip-flops (which do not disturb the bitstream).
 func (f *FPGA) SetFFValue(r, c, k int, v bool) {
-	f.ffVal[(r*f.geom.Cols+c)*device.FFsPerCLB+k] = v
+	clbIdx := r*f.geom.Cols + c
+	li := clbIdx*device.FFsPerCLB + k
+	if f.ffVal[li] == v {
+		return
+	}
+	f.ffVal[li] = v
+	if f.clbs[clbIdx].outMuxFF[k] {
+		f.scheduleLUT(int32(li))
+	}
 }
 
 // readSlot returns the value slot s of CLB clbIdx reads, honouring stuck-at
@@ -121,6 +139,9 @@ func (f *FPGA) Settle() int {
 	if f.unprogrammed {
 		f.lastSweeps = 0
 		return 0
+	}
+	if f.eventSim {
+		return f.settleEvent()
 	}
 	if f.evalStale {
 		f.rebuildEvalLists()
@@ -217,7 +238,7 @@ func (f *FPGA) clock() {
 	}
 	// Flip-flops of active/dirty CLBs. FF next-state reads only pre-clock
 	// combinational values (lutVal, netVal), so in-place update is safe.
-	var srls []srlUpdate
+	srls := f.srlScratch[:0]
 	for _, ci := range f.clockList {
 		clbIdx := int(ci)
 		cfg := &f.clbs[clbIdx]
@@ -228,7 +249,12 @@ func (f *FPGA) clock() {
 				if cfg.ff[k].dInv {
 					d = !d
 				}
-				f.ffVal[i] = d
+				if f.ffVal[i] != d {
+					f.ffVal[i] = d
+					if cfg.outMuxFF[k] {
+						f.scheduleLUT(int32(i))
+					}
+				}
 			}
 		}
 		// SRL16 shifts: the shift-in datum is LUT input 3 by convention.
@@ -262,15 +288,21 @@ func (f *FPGA) clock() {
 		f.dirtyCLBList = f.dirtyCLBList[:0]
 		f.evalStale = true
 	}
-	for _, u := range srls {
-		u := u
-		f.clbs[u.clbIdx].lut[u.l].truth = u.truth
+	for i := range srls {
+		u := &srls[i]
+		lut := &f.clbs[u.clbIdx].lut[u.l]
+		if lut.truth == u.truth {
+			continue
+		}
+		lut.truth = u.truth
+		f.scheduleLUT(int32(u.clbIdx*device.LUTsPerCLB + u.l))
 		g := f.geom
 		r, c := u.clbIdx/g.Cols, u.clbIdx%g.Cols
 		f.cm.Scatter(device.LUTBits, uint64(u.truth), func(i int) device.BitAddr {
 			return g.LUTBitAddr(r, c, u.l, i)
 		})
 	}
+	f.srlScratch = srls
 	f.cycle++
 }
 
@@ -304,7 +336,10 @@ func (f *FPGA) clockBRAM(bi int) {
 	if f.bramInterference[bi] {
 		// Readback stole the address lines this cycle: the write is lost
 		// and the output register is corrupted (paper §IV-A).
-		f.bramOut[bi] = 0
+		if f.bramOut[bi] != 0 {
+			f.bramOut[bi] = 0
+			f.markBRAMLLStale(bi)
+		}
 		f.bramInterference[bi] = false
 		return
 	}
@@ -317,7 +352,10 @@ func (f *FPGA) clockBRAM(bi int) {
 		}
 		f.storeBRAMWord(bi, addr, din)
 	}
-	f.bramOut[bi] = f.bramMem[bi][addr]
+	if out := f.bramMem[bi][addr]; f.bramOut[bi] != out {
+		f.bramOut[bi] = out
+		f.markBRAMLLStale(bi)
+	}
 }
 
 // Step advances the device one clock cycle: settle combinational logic,

@@ -1,0 +1,69 @@
+package seu
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/place"
+)
+
+// TestFastSimEquivalence is the exactness contract for the event-driven
+// kernel and the lock-step convergence early exit: for every catalog design
+// that fits the test geometry, a fastsim-on campaign — with or without
+// triage, sequential or sharded — produces a report byte-identical to a
+// fastsim-off, triage-off, sequential reference.
+func TestFastSimEquivalence(t *testing.T) {
+	ran := 0
+	sawSkip := false
+	for _, spec := range designs.Catalog() {
+		spec := spec
+		p, err := place.Place(spec.Build(), device.Tiny())
+		if err != nil {
+			continue // design exceeds the test geometry; covered at full scale by CI smoke runs
+		}
+		ran++
+		t.Run(spec.Name, func(t *testing.T) {
+			run := func(fastsim, triage bool, workers int) *Report {
+				bd, err := board.New(p, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := DefaultOptions()
+				opts.Sample = 0.06
+				opts.Seed = 31
+				opts.Workers = workers
+				opts.Triage = triage
+				opts.FastSim = fastsim
+				rep, err := Run(bd, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			ref := run(false, false, 1)
+			if ref.Injections == 0 {
+				t.Fatal("campaign injected nothing")
+			}
+			if ref.CyclesSkipped != 0 {
+				t.Fatalf("fastsim-off run skipped %d cycles", ref.CyclesSkipped)
+			}
+			for _, triage := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					got := run(true, triage, workers)
+					assertReportsEqual(t, ref, got)
+					if got.CyclesSkipped > 0 {
+						sawSkip = true
+					}
+				}
+			}
+		})
+	}
+	if ran < 5 {
+		t.Fatalf("only %d catalog designs fit the test geometry", ran)
+	}
+	if !sawSkip {
+		t.Fatal("convergence early exit never skipped a cycle on any catalog design")
+	}
+}

@@ -33,6 +33,8 @@ type shardAccum struct {
 	failures      int64
 	persistent    int64
 	triageSkipped int64
+	cyclesRun     int64
+	cyclesSkipped int64
 	simTime       time.Duration
 	injByKind     map[device.BitKind]int64
 	failByKind    map[device.BitKind]int64
@@ -57,6 +59,8 @@ func mergeInto(rep *Report, acc *shardAccum) {
 	rep.Failures += acc.failures
 	rep.Persistent += acc.persistent
 	rep.TriageSkipped += acc.triageSkipped
+	rep.CyclesSimulated += acc.cyclesRun
+	rep.CyclesSkipped += acc.cyclesSkipped
 	rep.SimulatedTime += acc.simTime
 	for k, n := range acc.injByKind {
 		rep.InjectionsByKind[k] += n
@@ -70,7 +74,7 @@ func mergeInto(rep *Report, acc *shardAccum) {
 // runRange executes the injection loop over bit addresses [lo, hi) on bd.
 // tri is the shared read-only sensitivity triage (nil = disabled); fs is
 // bd's dirty-frame tracker, owned by the worker driving bd.
-func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum, tri *triage, fs *frameScrub) error {
+func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum, tri *triage, fs *frameScrub, fast bool) error {
 	g := bd.Geometry()
 	for a := device.BitAddr(lo); int64(a) < hi; a++ {
 		if !selected(opts, a) {
@@ -87,7 +91,7 @@ func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Op
 			acc.triageSkipped++
 			continue // provably outside every observed output's cone
 		}
-		if err := injectOne(bd, golden, a, info, opts, acc, fs); err != nil {
+		if err := injectOne(bd, golden, a, info, opts, acc, fs, fast); err != nil {
 			return err
 		}
 	}
@@ -96,7 +100,7 @@ func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Op
 
 // runSharded fans the range [0, limit) out over workers cloned boards and
 // returns the per-chunk accumulators in chunk order.
-func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, workers int, opts Options, tri *triage) ([]*shardAccum, error) {
+func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, workers int, opts Options, tri *triage, fast bool) ([]*shardAccum, error) {
 	chunks := workers * chunksPerWorker
 	if int64(chunks) > limit {
 		chunks = int(limit)
@@ -135,7 +139,7 @@ func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, worker
 				}
 				acc := newShardAccum()
 				accs[ci] = acc
-				if err := runRange(wb, golden, lo, hi, opts, acc, tri, fs); err != nil {
+				if err := runRange(wb, golden, lo, hi, opts, acc, tri, fs, fast); err != nil {
 					failed.Store(true)
 					errCh <- err
 					return

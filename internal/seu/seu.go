@@ -63,6 +63,17 @@ type Options struct {
 	// so reports are byte-identical to triage-off runs; only WallTime and
 	// the TriageSkipped tally differ.
 	Triage bool
+	// FastSim enables the activity-driven settling kernel on both devices
+	// and lock-step convergence early exit: once the repaired DUT is
+	// provably state-identical to the golden device (board.SLAAC1V.Locked),
+	// the remaining clean-run and persistence cycles are credited as
+	// mismatch-free instead of simulated. Both mechanisms are exact —
+	// reports are byte-identical to FastSim-off runs; only WallTime and the
+	// CyclesSimulated/CyclesSkipped diagnostics differ. Designs with
+	// history-coupled state (SRL16, writable BRAM, stuck overlays) disable
+	// the early exit automatically, since skipping cycles there would change
+	// the state later injections observe.
+	FastSim bool
 }
 
 // DefaultOptions returns the standard campaign parameters.
@@ -76,6 +87,7 @@ func DefaultOptions() Options {
 		CollectBits:         true,
 		FastPadSkip:         true,
 		Triage:              true,
+		FastSim:             true,
 	}
 }
 
@@ -113,6 +125,13 @@ type Report struct {
 	// Injections. A triage-off run of the same campaign reports 0 here and
 	// identical values everywhere else (except WallTime).
 	TriageSkipped int64
+
+	// CyclesSimulated counts board clocks actually stepped; CyclesSkipped
+	// counts clocks credited by the lock-step convergence early exit without
+	// simulation. Diagnostics only — like WallTime they vary with FastSim
+	// while every report-visible result stays identical.
+	CyclesSimulated int64
+	CyclesSkipped   int64
 
 	// SimulatedTime is the virtual test time on the modelled SLAAC-1V
 	// (InjectLoopTime per injection), the figure behind the paper's
@@ -168,6 +187,11 @@ func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("seu: non-positive cycle counts")
 	}
 	g := bd.Geometry()
+	bd.SetFastSim(opts.FastSim)
+	// Convergence early exit is exact only when no live design state
+	// survives a campaign reset; history-coupled configurations keep
+	// simulating every cycle (the kernel choice alone is always exact).
+	fast := opts.FastSim && !bd.DUT.HistoryCoupled()
 	golden := bd.DUT.ConfigMemory().Clone()
 	rep := &Report{
 		Design:           bd.Placed.Circuit.Name,
@@ -192,12 +216,12 @@ func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 	}
 	if workers == 1 {
 		acc := newShardAccum()
-		if err := runRange(bd, golden, 0, limit, opts, acc, tri, newFrameScrub(g)); err != nil {
+		if err := runRange(bd, golden, 0, limit, opts, acc, tri, newFrameScrub(g), fast); err != nil {
 			return nil, err
 		}
 		mergeInto(rep, acc)
 	} else {
-		accs, err := runSharded(bd, golden, limit, workers, opts, tri)
+		accs, err := runSharded(bd, golden, limit, workers, opts, tri, fast)
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +242,7 @@ func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 // the board replica's dirty-frame tracker: it persists across injections so
 // the repair scrub only re-verifies frames actually touched since their
 // last golden verification.
-func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, info device.BitInfo, opts Options, acc *shardAccum, fs *frameScrub) error {
+func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, info device.BitInfo, opts Options, acc *shardAccum, fs *frameScrub, fast bool) error {
 	g := bd.Geometry()
 	// Canonical pre-injection state: stimulus seeded by (Seed, address),
 	// pins low, user state reset. Each injection's outcome then depends
@@ -226,13 +250,18 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 	// replica or predecessor injection preceded it.
 	bd.ResetCampaignState(stimulusSeed(opts.Seed, a))
 	startCycle := bd.Cycle()
+	defer func() { acc.cyclesRun += bd.Cycle() - startCycle }()
 
 	// Corrupt: flip the bit in the DUT's configuration (modelled as the
 	// single-bit partial reconfiguration the testbed performs in 100 us —
 	// accounted by the campaign's per-iteration loop time).
 	bd.DUT.InjectBit(a)
 
-	// Observe while the clock runs.
+	// Observe while the clock runs. No convergence check here: until the
+	// repair below, the DUT's configuration differs from golden by at least
+	// the injected bit, so (for the non-history-coupled designs the early
+	// exit is enabled for) lock is impossible and checking would be pure
+	// per-step overhead.
 	failed := false
 	firstErr := -1
 	var failedOutputs []int
@@ -284,6 +313,13 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 		// follow; otherwise this bit was sensitive after all.
 		clean := 0
 		for clean < opts.CleanRun {
+			if fast && bd.Locked() {
+				// Provably in lock-step forever: the remaining clean cycles
+				// are guaranteed matches.
+				acc.cyclesSkipped += int64(opts.CleanRun - clean)
+				clean = opts.CleanRun
+				break
+			}
 			if bd.Step() {
 				clean++
 			} else {
@@ -311,6 +347,15 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 		// narrow outputs) is not mistaken for recovery.
 		clean := 0
 		for i := 0; i < opts.PersistWindow; i++ {
+			if fast && bd.Locked() {
+				// Every remaining cycle is a guaranteed match, extending the
+				// current clean streak to the end of the window — exactly
+				// what simulating them would produce.
+				remaining := opts.PersistWindow - i
+				acc.cyclesSkipped += int64(remaining)
+				clean += remaining
+				break
+			}
 			if bd.Step() {
 				clean++
 			} else {
