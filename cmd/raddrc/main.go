@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/seu"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallelism for any injection campaigns in the flow (0 = GOMAXPROCS)")
 		triage  = flag.Bool("triage", true, "skip provably-inert configuration bits in injection campaigns; results are identical either way")
 		fastsim = flag.Bool("fastsim", true, "use the activity-driven settling kernel and lock-step convergence early exit; results are identical either way")
+		kernel  = flag.String("kernel", "auto", "settling kernel for injection campaigns: auto (follow -fastsim), event, or sweep; results are identical at any choice")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -66,7 +68,12 @@ func main() {
 			}
 		}()
 	}
-	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1, Workers: *workers, NoTriage: !*triage, NoFastSim: !*fastsim}
+	kern, err := seu.ParseKernel(*kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raddrc:", err)
+		os.Exit(2)
+	}
+	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1, Workers: *workers, NoTriage: !*triage, NoFastSim: !*fastsim, Kernel: kern}
 	rep, err := core.HalfLatchStudy(cfg, *design, *obs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raddrc:", err)

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Golden-report corpus: canonical -json outputs for the paper-table catalog
+// designs, pinned under testdata/. The campaign pipeline promises its
+// reports are a pure function of (geometry, design, seed, sample, maxbits) —
+// independent of worker count, triage, fastsim, and kernel choice — so these
+// files only legitimately change when the simulator's semantics change.
+// Regenerate with:
+//
+//	go test ./cmd/seusim -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite golden JSON files under testdata/")
+
+// goldenCfg samples 1% of the bitstream uniformly (no MaxBits cap, which
+// would take an ascending-address prefix and land mostly in pad frames), so
+// every design's golden report records real failures and persistence.
+func goldenCfg() core.Config {
+	return core.Config{Geom: device.Small(), Seed: 1, Sample: 0.01, Workers: 1}
+}
+
+func marshalGolden(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// emitJSON uses json.Encoder, which terminates with a newline.
+	return append(b, '\n')
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/seusim -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: -json output diverged from the golden corpus.\nIf the simulator's semantics changed intentionally, regenerate with:\n  go test ./cmd/seusim -run Golden -update\ngot:\n%swant:\n%s", name, got, want)
+	}
+}
+
+func TestGoldenTableI(t *testing.T) {
+	rows, err := core.TableI(goldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.json", marshalGolden(t, rows))
+}
+
+func TestGoldenTableII(t *testing.T) {
+	rows, err := core.TableII(goldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2.json", marshalGolden(t, rows))
+}
+
+func TestGoldenDesignReports(t *testing.T) {
+	cfg := goldenCfg()
+	for _, name := range []string{"LFSR 72", "MULT 12"} {
+		rep, err := core.Sensitivity(cfg, name, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := "design-" + sanitize(name) + ".json"
+		checkGolden(t, file, marshalGolden(t, campaignToJSON(rep, cfg)))
+	}
+}
+
+// TestJSONByteIdentical is the reproducibility acceptance check: the same
+// campaign run twice must serialize to byte-identical -json output.
+func TestJSONByteIdentical(t *testing.T) {
+	cfg := goldenCfg()
+	run := func() []byte {
+		rep, err := core.Sensitivity(cfg, "LFSR 72", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return marshalGolden(t, campaignToJSON(rep, cfg))
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical runs serialized differently:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		if r == ' ' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

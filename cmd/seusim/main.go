@@ -41,34 +41,37 @@ func geometryFlag(name string) device.Geometry {
 }
 
 // campaignJSON is the machine-readable form of one campaign Report, emitted
-// by -json for CI artifacts and downstream analysis.
+// by -json for CI artifacts, golden-report regression corpora, and
+// downstream analysis. It carries only deterministic fields — wall time is
+// deliberately absent, and the per-kind maps marshal in fixed kind order —
+// so re-running the same campaign produces byte-identical output.
 type campaignJSON struct {
-	Design           string           `json:"design"`
-	Geometry         string           `json:"geometry"`
-	Slices           int              `json:"slices"`
-	UtilizationPct   float64          `json:"utilization_pct"`
-	Injections       int64            `json:"injections"`
-	Failures         int64            `json:"failures"`
-	Persistent       int64            `json:"persistent"`
-	TriageSkipped    int64            `json:"triage_skipped"`
-	SensitivityPct   float64          `json:"sensitivity_pct"`
-	NormalizedPct    float64          `json:"normalized_sensitivity_pct"`
-	PersistencePct   float64          `json:"persistence_pct"`
-	InjectionsByKind map[string]int64 `json:"injections_by_kind"`
-	FailuresByKind   map[string]int64 `json:"failures_by_kind"`
-	SimulatedTimeSec float64          `json:"simulated_time_seconds"`
-	WallTimeSec      float64          `json:"wall_time_seconds"`
-	Sample           float64          `json:"sample"`
-	Seed             int64            `json:"seed"`
-	Workers          int              `json:"workers"`
-	Triage           bool             `json:"triage"`
-	FastSim          bool             `json:"fastsim"`
-	CyclesSimulated  int64            `json:"cycles_simulated"`
-	CyclesSkipped    int64            `json:"cycles_skipped"`
+	Design           string         `json:"design"`
+	Geometry         string         `json:"geometry"`
+	Slices           int            `json:"slices"`
+	UtilizationPct   float64        `json:"utilization_pct"`
+	Injections       int64          `json:"injections"`
+	Failures         int64          `json:"failures"`
+	Persistent       int64          `json:"persistent"`
+	TriageSkipped    int64          `json:"triage_skipped"`
+	SensitivityPct   float64        `json:"sensitivity_pct"`
+	NormalizedPct    float64        `json:"normalized_sensitivity_pct"`
+	PersistencePct   float64        `json:"persistence_pct"`
+	InjectionsByKind seu.KindCounts `json:"injections_by_kind"`
+	FailuresByKind   seu.KindCounts `json:"failures_by_kind"`
+	SimulatedTimeSec float64        `json:"simulated_time_seconds"`
+	Sample           float64        `json:"sample"`
+	Seed             int64          `json:"seed"`
+	Workers          int            `json:"workers"`
+	Triage           bool           `json:"triage"`
+	FastSim          bool           `json:"fastsim"`
+	Kernel           string         `json:"kernel"`
+	CyclesSimulated  int64          `json:"cycles_simulated"`
+	CyclesSkipped    int64          `json:"cycles_skipped"`
 }
 
 func campaignToJSON(rep *seu.Report, cfg core.Config) campaignJSON {
-	out := campaignJSON{
+	return campaignJSON{
 		Design:           rep.Design,
 		Geometry:         rep.Geom.String(),
 		Slices:           rep.SlicesUsed,
@@ -80,25 +83,18 @@ func campaignToJSON(rep *seu.Report, cfg core.Config) campaignJSON {
 		SensitivityPct:   100 * rep.Sensitivity(),
 		NormalizedPct:    100 * rep.NormalizedSensitivity(),
 		PersistencePct:   100 * rep.PersistenceRatio(),
-		InjectionsByKind: make(map[string]int64),
-		FailuresByKind:   make(map[string]int64),
+		InjectionsByKind: rep.InjectionsByKind,
+		FailuresByKind:   rep.FailuresByKind,
 		SimulatedTimeSec: rep.SimulatedTime.Seconds(),
-		WallTimeSec:      rep.WallTime.Seconds(),
 		Sample:           cfg.Sample,
 		Seed:             cfg.Seed,
 		Workers:          cfg.Workers,
 		Triage:           !cfg.NoTriage,
 		FastSim:          !cfg.NoFastSim,
+		Kernel:           cfg.Kernel.String(),
 		CyclesSimulated:  rep.CyclesSimulated,
 		CyclesSkipped:    rep.CyclesSkipped,
 	}
-	for k, n := range rep.InjectionsByKind {
-		out.InjectionsByKind[k.String()] = n
-	}
-	for k, n := range rep.FailuresByKind {
-		out.FailuresByKind[k.String()] = n
-	}
-	return out
 }
 
 func emitJSON(v any) {
@@ -114,16 +110,20 @@ func main() {
 		design  = flag.String("design", "", "run a single catalogued design")
 		geom    = flag.String("geom", "small", "device geometry: tiny|small|xqvr1000")
 		sample  = flag.Float64("sample", 0.05, "fraction of configuration bits to inject (1 = exhaustive)")
+		maxBits = flag.Int64("maxbits", 0, "cap injections per design at the first N selected bits (0 = no cap)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "parallel injection workers, each on a cloned board replica; results are identical at any count (0 = GOMAXPROCS)")
 		triage  = flag.Bool("triage", true, "skip provably-inert configuration bits via static cone-of-influence analysis; reports are byte-identical either way")
 		fastsim = flag.Bool("fastsim", true, "use the activity-driven settling kernel and lock-step convergence early exit; reports are byte-identical either way")
+		kernel  = flag.String("kernel", "auto", "settling kernel: auto (follow -fastsim), event, or sweep; reports are byte-identical at any choice")
 		jsonOut = flag.Bool("json", false, "emit results as JSON (table and design modes)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample, Workers: *workers, NoTriage: !*triage, NoFastSim: !*fastsim}
+	kern, err := seu.ParseKernel(*kernel)
+	check(err)
+	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample, MaxBits: *maxBits, Workers: *workers, NoTriage: !*triage, NoFastSim: !*fastsim, Kernel: kern}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -213,6 +213,15 @@ func (b *SLAAC1V) ResetBoth() {
 	b.DUT.Reset()
 }
 
+// StateEqual reports whether golden and DUT are fully state-identical —
+// configuration memory plus all user and hidden state — the condition from
+// which identical stimulus provably yields identical trajectories forever.
+// Conformance harnesses use it to assert that repair genuinely restored the
+// DUT rather than merely re-matching the observed outputs.
+func (b *SLAAC1V) StateEqual() bool {
+	return fpga.StateEqual(b.Golden, b.DUT)
+}
+
 // Geometry returns the device geometry.
 func (b *SLAAC1V) Geometry() device.Geometry { return b.Placed.Geom }
 

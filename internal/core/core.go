@@ -48,6 +48,10 @@ type Config struct {
 	// lock-step convergence early exit. The zero value keeps both on;
 	// reports are byte-identical either way.
 	NoFastSim bool
+	// Kernel overrides the settling kernel independently of NoFastSim
+	// (seu.KernelAuto, the zero value, follows it). Reports are
+	// byte-identical at any choice.
+	Kernel seu.Kernel
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -91,6 +95,7 @@ func Sensitivity(cfg Config, name string, classifyPersistence bool) (*seu.Report
 	opts.Workers = cfg.Workers
 	opts.Triage = !cfg.NoTriage
 	opts.FastSim = !cfg.NoFastSim
+	opts.Kernel = cfg.Kernel
 	opts.ClassifyPersistence = classifyPersistence
 	return seu.Run(bd, opts)
 }
@@ -199,6 +204,7 @@ func Fig7(cfg Config) ([]seu.TracePoint, device.BitAddr, error) {
 	opts.Workers = cfg.Workers
 	opts.Triage = !cfg.NoTriage
 	opts.FastSim = !cfg.NoFastSim
+	opts.Kernel = cfg.Kernel
 	rep, err := seu.Run(bd, opts)
 	if err != nil {
 		return nil, 0, err
@@ -239,6 +245,7 @@ func BeamValidation(cfg Config, name string, observations int) (*radiation.BeamR
 	opts.Workers = cfg.Workers
 	opts.Triage = !cfg.NoTriage
 	opts.FastSim = !cfg.NoFastSim
+	opts.Kernel = cfg.Kernel
 	opts.ClassifyPersistence = false
 	simRep, err := seu.Run(bd, opts)
 	if err != nil {
@@ -390,6 +397,7 @@ func TMRStudy(cfg Config, name string) (plain, hardened *seu.Report, err error) 
 		opts.Workers = cfg.Workers
 		opts.Triage = !cfg.NoTriage
 	opts.FastSim = !cfg.NoFastSim
+	opts.Kernel = cfg.Kernel
 		opts.ClassifyPersistence = false
 		return seu.Run(bd, opts)
 	}
@@ -459,6 +467,7 @@ func SelectiveTMRStudy(cfg Config, name string) (*SelectiveTMRReport, error) {
 	opts.Workers = cfg.Workers
 	opts.Triage = !cfg.NoTriage
 	opts.FastSim = !cfg.NoFastSim
+	opts.Kernel = cfg.Kernel
 	opts.ClassifyPersistence = false
 	plain, err := seu.Run(bd, opts)
 	if err != nil {

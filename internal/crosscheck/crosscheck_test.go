@@ -1,0 +1,56 @@
+package crosscheck
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+// TestConformanceSlice is the CI-sized slice of the conformance suite: a
+// handful of seeded designs (mixing netlist and raw-fabric flavours) swept
+// over the full 24-point lattice plus all metamorphic invariants. The full
+// suite is `go run ./cmd/crosscheck -designs 200 -seed 1`.
+func TestConformanceSlice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance slice is not short")
+	}
+	n := 6 // designs 0..5 include two raw-fabric designs (i%3==2)
+	err := CheckSuite(device.Tiny(), n, 1, 2, func(r Result) {
+		t.Logf("ok %s points=%d injections=%d failures=%d persistent=%d raw=%v",
+			r.Design, r.Points, r.Injections, r.Failures, r.Persistent, r.Raw)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateDeterministic pins the generator's pure-function-of-seed
+// contract: same (geometry, seed, index) must produce the same design
+// (name and configuration memory), different indices different designs.
+func TestGenerateDeterministic(t *testing.T) {
+	g := device.Tiny()
+	for i := 0; i < 4; i++ {
+		a, err := Generate(g, 7, i)
+		if err != nil {
+			t.Fatalf("design %d: %v", i, err)
+		}
+		b, err := Generate(g, 7, i)
+		if err != nil {
+			t.Fatalf("design %d (again): %v", i, err)
+		}
+		if a.Name != b.Name {
+			t.Fatalf("design %d: names differ: %q vs %q", i, a.Name, b.Name)
+		}
+		if !a.Placed.Memory.Equal(b.Placed.Memory) {
+			t.Fatalf("design %d: regenerated configuration differs", i)
+		}
+		if (i%3 == 2) != a.Raw {
+			t.Fatalf("design %d: Raw=%v, want %v", i, a.Raw, i%3 == 2)
+		}
+	}
+	a, _ := Generate(g, 7, 0)
+	b, _ := Generate(g, 8, 0)
+	if a.Placed.Memory.Equal(b.Placed.Memory) {
+		t.Fatal("different seeds produced identical configurations")
+	}
+}

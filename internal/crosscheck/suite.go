@@ -1,0 +1,71 @@
+package crosscheck
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+)
+
+// CheckSuite generates designs 0..n-1 from (g, seed) and runs the full
+// conformance sweep on each, spreading designs over `parallel` goroutines
+// (each design's own campaigns additionally use the lattice's worker axis).
+// progress, if non-nil, is called once per passing design, unordered.
+// The first conformance violation aborts the suite and is returned.
+func CheckSuite(g device.Geometry, n int, seed int64, parallel int, progress func(Result)) error {
+	if parallel < 1 {
+		parallel = 1
+	}
+	p := DefaultParams(seed)
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if failed() {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if failed() {
+				return
+			}
+			d, err := Generate(g, seed, i)
+			if err != nil {
+				fail(fmt.Errorf("design %d: %w", i, err))
+				return
+			}
+			res, err := CheckDesign(d, p)
+			if err != nil {
+				fail(fmt.Errorf("design %d: %w", i, err))
+				return
+			}
+			if progress != nil {
+				mu.Lock()
+				progress(*res)
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -137,6 +137,17 @@ func (b *ConfigBuilder) PartialBitstream(frames []int) *bitstream.Bitstream {
 	return bitstream.Partial(b.m, frames)
 }
 
+// Device constructs a fresh FPGA and fully configures it with the builder's
+// current memory — the pre-flight step design generators use to validate a
+// raw-fabric configuration before handing it to a test harness.
+func (b *ConfigBuilder) Device() (*FPGA, error) {
+	f := New(b.g)
+	if err := f.FullConfigure(b.FullBitstream()); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
 // Common LUT truth tables (inputs are indexed LSB-first: bit i of the
 // table index is LUT input i).
 const (

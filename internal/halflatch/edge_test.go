@@ -1,0 +1,134 @@
+package halflatch
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/fpga"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// TestRadDRCIdempotent: a second RadDRC pass over an already-mitigated
+// design must find nothing left to rewrite and leave the configuration
+// untouched.
+func TestRadDRCIdempotent(t *testing.T) {
+	p := placedLFSR(t)
+	once, n, err := RadDRC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("first pass mitigated nothing; fixture has no CE keepers")
+	}
+	twice, n2, err := RadDRC(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Errorf("second pass mitigated %d sites, want 0", n2)
+	}
+	if !twice.Memory.Equal(once.Memory) {
+		t.Error("second pass modified an already-mitigated configuration")
+	}
+	census, err := Analyze(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census.ByKind[fpga.HLCE] != 0 {
+		t.Errorf("%d CE keepers survive mitigation", census.ByKind[fpga.HLCE])
+	}
+}
+
+// TestRadDRCNoCEDesign: a design whose every flip-flop has an explicitly
+// routed clock enable depends on no CE keepers, so RadDRC must be a no-op.
+func TestRadDRCNoCEDesign(t *testing.T) {
+	b := netlist.NewBuilder("allce")
+	in := b.Input("in", 2)
+	ce := b.Buf(in[1])
+	q0 := b.FFCE(b.Buf(in[0]), ce, false)
+	q1 := b.FFCE(q0, ce, true)
+	b.Output("O", []netlist.SignalID{q1})
+	p, err := place.Place(b.MustBuild(), device.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	census, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census.ByKind[fpga.HLCE] != 0 {
+		t.Fatalf("routed-CE design reports %d CE keepers", census.ByKind[fpga.HLCE])
+	}
+	mitigated, n, err := RadDRC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("mitigated %d sites in a keeper-free design", n)
+	}
+	if !mitigated.Memory.Equal(p.Memory) {
+		t.Error("RadDRC modified a keeper-free configuration")
+	}
+}
+
+// TestKeeperUpsetSurvivesPartialReconfig pins the persistence pathology the
+// paper builds its case on (§III-C): an upset half-latch keeper is invisible
+// to readback, is NOT restored by rewriting the very frame that configures
+// its flip-flop, and is only healed by a full reconfiguration's start-up
+// sequence.
+func TestKeeperUpsetSurvivesPartialReconfig(t *testing.T) {
+	p := placedLFSR(t)
+	f := fpga.New(p.Geom)
+	if err := f.FullConfigure(p.Bitstream()); err != nil {
+		t.Fatal(err)
+	}
+	census, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var site fpga.HalfLatchSite
+	found := false
+	for _, s := range census.UsedSites {
+		if s.Kind == fpga.HLCE {
+			site, found = s, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("fixture has no CE keeper")
+	}
+	if !f.HalfLatchValue(site) {
+		t.Fatal("keeper not at its start-up value after full configuration")
+	}
+
+	golden := f.ConfigMemory().Clone()
+	port := fpga.NewPort(f)
+	f.FlipHalfLatch(site)
+	if f.HalfLatchValue(site) {
+		t.Fatal("flip did not change the keeper")
+	}
+
+	// Readback sees a clean bitstream: the upset lives outside configuration
+	// memory entirely.
+	if diff := f.ConfigMemory().DiffFrames(golden); len(diff) != 0 {
+		t.Fatalf("keeper upset dirtied %d configuration frames", len(diff))
+	}
+
+	// Partial reconfiguration of the keeper's own FF frame does not help.
+	frame := p.Geom.FFBitAddr(site.R, site.C, site.FF, device.FFCEModeLo).Frame(p.Geom)
+	if err := port.WriteFrame(golden.Frame(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if f.HalfLatchValue(site) {
+		t.Fatal("partial reconfiguration restored the keeper; only start-up may do that")
+	}
+
+	// Full reconfiguration (with start-up) heals it.
+	if err := port.FullConfigure(p.Bitstream()); err != nil {
+		t.Fatal(err)
+	}
+	if !f.HalfLatchValue(site) {
+		t.Fatal("full reconfiguration failed to restore the keeper")
+	}
+}

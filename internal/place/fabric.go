@@ -1,0 +1,44 @@
+package place
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/netlist"
+)
+
+// FromFabric wraps a raw-fabric configuration (built directly with
+// fpga.ConfigBuilder) as a Placed, so designs using resources the netlist
+// flow cannot express — SRL16 shift registers, BRAM ports, long-line
+// wired-ANDs — run on the same board/seu harness as placed netlists.
+//
+// inputPins lists the device pins stimulus drives (empty for autonomous
+// designs); outputNets lists the nets the comparator observes; sites lists
+// the occupied LUT/FF sites so SlicesUsed reports utilization. The circuit
+// attached to the result is a port-only shell: it names the design and its
+// boundary, and must not be re-placed or simulated as a netlist.
+func FromFabric(name string, g device.Geometry, m *bitstream.Memory, inputPins []int, outputNets []device.NetRef, sites []Site) *Placed {
+	c := &netlist.Circuit{Name: name}
+	var sig netlist.SignalID
+	inBits := make([]netlist.SignalID, len(inputPins))
+	for i := range inBits {
+		inBits[i] = sig
+		sig++
+	}
+	c.Inputs = []netlist.Port{{Name: "in", Bits: inBits}}
+	outBits := make([]netlist.SignalID, len(outputNets))
+	for i := range outBits {
+		outBits[i] = sig
+		sig++
+	}
+	c.Outputs = []netlist.Port{{Name: "out", Bits: outBits}}
+	c.NumSignals = int(sig)
+
+	return &Placed{
+		Geom:       g,
+		Circuit:    c,
+		Memory:     m,
+		InputPins:  map[string][]int{"in": append([]int(nil), inputPins...)},
+		OutputNets: map[string][]device.NetRef{"out": append([]device.NetRef(nil), outputNets...)},
+		Sites:      append([]Site(nil), sites...),
+	}
+}

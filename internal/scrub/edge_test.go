@@ -1,0 +1,152 @@
+package scrub
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/fpga"
+	"repro/internal/place"
+)
+
+// TestScanCatchesColumnBoundaryFrames pins the fencepost the codebook scan
+// must not have: a frame-CRC mismatch on the LAST frame of a CLB column and
+// on the last frame of the whole device (the tail of the BRAM region) are
+// both detected, attributed to the right frame, and repaired.
+func TestScanCatchesColumnBoundaryFrames(t *testing.T) {
+	g := device.Tiny()
+	m, devs := rig(t, 2, g)
+	bad := []int{
+		device.FramesPerCLBCol - 1,         // last frame of CLB column 0
+		2*device.FramesPerCLBCol - 1,       // last frame of CLB column 1
+		g.CLBFrames() + g.BRAMFrames() - 1, // last frame of the device
+	}
+	for _, frame := range bad {
+		if err := m.InsertArtificialSEU(1, frame, 9); err != nil {
+			t.Fatalf("frame %d: %v", frame, err)
+		}
+	}
+
+	det, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != len(bad) {
+		t.Fatalf("detections = %v, want %d boundary frames", det, len(bad))
+	}
+	got := map[int]bool{}
+	for _, d := range det {
+		if d.Device != 1 || d.Action != ActionRepaired {
+			t.Fatalf("detection = %+v", d)
+		}
+		got[d.Frame] = true
+	}
+	for _, frame := range bad {
+		if !got[frame] {
+			t.Errorf("boundary frame %d not detected", frame)
+		}
+	}
+
+	// The repair restored the exact golden content: a second scan is clean
+	// and the two devices agree frame-for-frame again.
+	det, err = m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 0 {
+		t.Fatalf("post-repair scan still detects: %v", det)
+	}
+	if diff := devs[1].ConfigMemory().DiffFrames(devs[0].ConfigMemory()); len(diff) != 0 {
+		t.Fatalf("devices differ in frames %v after repair", diff)
+	}
+}
+
+// TestMaskedBitOnLastFrameIgnored: an upset confined to masked (don't-care)
+// bits must be invisible to the scrubber even on the last frame of a column,
+// where an off-by-one in codebook indexing would surface first.
+func TestMaskedBitOnLastFrameIgnored(t *testing.T) {
+	g := device.Tiny()
+	spec, err := designs.ByName("MULT 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(spec.Build(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fpga.New(g)
+	if err := f.FullConfigure(p.Bitstream()); err != nil {
+		t.Fatal(err)
+	}
+
+	frame := device.FramesPerCLBCol - 1
+	offset := 11
+	mk := bitstream.NewMask(g)
+	mk.MaskBit(device.BitAddr(int64(frame)*int64(g.FrameLength()) + int64(offset)))
+
+	m, err := New(
+		[]*fpga.Port{fpga.NewPort(f)},
+		[]*bitstream.Memory{f.ConfigMemory().Clone()},
+		[]*bitstream.Mask{mk},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertArtificialSEU(0, frame, offset); err != nil {
+		t.Fatal(err)
+	}
+	det, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 0 {
+		t.Fatalf("masked upset detected: %v", det)
+	}
+	// An unmasked bit in the same frame is still caught.
+	if err := m.InsertArtificialSEU(0, frame, offset+1); err != nil {
+		t.Fatal(err)
+	}
+	det, err = m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 1 || det[0].Frame != frame || det[0].Action != ActionRepaired {
+		t.Fatalf("detections = %v, want one repair of frame %d", det, frame)
+	}
+}
+
+// TestFullReconfigThreshold: when more frames fail than the per-scan repair
+// budget allows, the manager falls back to full reconfiguration — one
+// ActionFullReconfig detection, a healthy device afterwards.
+func TestFullReconfigThreshold(t *testing.T) {
+	m, devs := rig(t, 1, device.Tiny())
+	m.FullReconfigThreshold = 2
+	golden := devs[0].ConfigMemory().Clone()
+	for _, frame := range []int{3, 50, 99, 201} {
+		if err := m.InsertArtificialSEU(0, frame, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	det, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 1 || det[0].Action != ActionFullReconfig {
+		t.Fatalf("detections = %v, want a single full reconfiguration", det)
+	}
+	if st := m.Stats(); st.FullReconfigs != 1 {
+		t.Errorf("stats = %+v, want FullReconfigs=1", st)
+	}
+	if diff := devs[0].ConfigMemory().DiffFrames(golden); len(diff) != 0 {
+		t.Fatalf("device differs from golden in frames %v after full reconfiguration", diff)
+	}
+	det, err = m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 0 {
+		t.Fatalf("post-recovery scan still detects: %v", det)
+	}
+}

@@ -1,0 +1,43 @@
+package seu
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+)
+
+// KindCounts tallies injections or failures per configuration-bit kind.
+// Its JSON form is an object keyed by kind name, emitted in ascending
+// device.BitKind order — a fixed order regardless of map iteration — so
+// golden report files diff cleanly across runs.
+type KindCounts map[device.BitKind]int64
+
+// MarshalJSON emits the counts keyed by kind name in ascending kind order.
+func (kc KindCounts) MarshalJSON() ([]byte, error) {
+	kinds := make([]device.BitKind, 0, len(kc))
+	for k := range kc {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range kinds {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%q:%d", k.String(), kc[k])
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// Total sums all counts.
+func (kc KindCounts) Total() int64 {
+	var n int64
+	for _, v := range kc {
+		n += v
+	}
+	return n
+}

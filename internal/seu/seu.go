@@ -74,6 +74,48 @@ type Options struct {
 	// the early exit automatically, since skipping cycles there would change
 	// the state later injections observe.
 	FastSim bool
+	// Kernel overrides which settling kernel both devices run, independently
+	// of FastSim. KernelAuto follows FastSim (the historical coupling); the
+	// explicit choices let conformance harnesses sweep the kernel axis and
+	// the early-exit axis separately. The kernel choice alone is always
+	// exact, so every combination produces byte-identical reports.
+	Kernel Kernel
+}
+
+// Kernel selects the settling kernel an injection campaign runs on.
+type Kernel int
+
+const (
+	// KernelAuto ties the kernel to FastSim: event-driven when FastSim is
+	// on, full-sweep when it is off.
+	KernelAuto Kernel = iota
+	// KernelEvent forces the activity-driven kernel on both devices.
+	KernelEvent
+	// KernelSweep forces the full-sweep kernel on both devices.
+	KernelSweep
+)
+
+// ParseKernel maps the CLI spelling to a Kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "event":
+		return KernelEvent, nil
+	case "sweep":
+		return KernelSweep, nil
+	}
+	return KernelAuto, fmt.Errorf("seu: unknown kernel %q (auto|event|sweep)", s)
+}
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelEvent:
+		return "event"
+	case KernelSweep:
+		return "sweep"
+	}
+	return "auto"
 }
 
 // DefaultOptions returns the standard campaign parameters.
@@ -115,8 +157,8 @@ type Report struct {
 	Failures   int64
 	Persistent int64
 
-	InjectionsByKind map[device.BitKind]int64
-	FailuresByKind   map[device.BitKind]int64
+	InjectionsByKind KindCounts
+	FailuresByKind   KindCounts
 
 	SensitiveBits []BitRecord
 
@@ -187,7 +229,14 @@ func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("seu: non-positive cycle counts")
 	}
 	g := bd.Geometry()
-	bd.SetFastSim(opts.FastSim)
+	event := opts.FastSim
+	switch opts.Kernel {
+	case KernelEvent:
+		event = true
+	case KernelSweep:
+		event = false
+	}
+	bd.SetFastSim(event)
 	// Convergence early exit is exact only when no live design state
 	// survives a campaign reset; history-coupled configurations keep
 	// simulating every cycle (the kernel choice alone is always exact).
@@ -197,8 +246,8 @@ func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 		Design:           bd.Placed.Circuit.Name,
 		Geom:             g,
 		SlicesUsed:       bd.Placed.SlicesUsed(),
-		InjectionsByKind: make(map[device.BitKind]int64),
-		FailuresByKind:   make(map[device.BitKind]int64),
+		InjectionsByKind: make(KindCounts),
+		FailuresByKind:   make(KindCounts),
 	}
 	start := time.Now()
 

@@ -201,3 +201,17 @@ func ConstBus(b *netlist.Builder, width int, v uint64) []netlist.SignalID {
 	}
 	return out
 }
+
+// ShiftChain registers in through n flip-flops and returns all n taps (tap
+// i is in delayed by i+1 cycles). FF-dense delay structures like this fill
+// CLB columns with state, which is what the conformance harness's random
+// designs use it for.
+func ShiftChain(b *netlist.Builder, in netlist.SignalID, n int) []netlist.SignalID {
+	taps := make([]netlist.SignalID, n)
+	cur := in
+	for i := range taps {
+		cur = b.FF(cur, false)
+		taps[i] = cur
+	}
+	return taps
+}
