@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/bist"
+	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fpga"
 )
@@ -31,12 +32,9 @@ func main() {
 		stuck = flag.String("stuck", "", "inject stuck-at faults first: r,c,slot:v;... (v 0 or 1)")
 	)
 	flag.Parse()
-	g := map[string]device.Geometry{
-		"tiny": device.Tiny(), "small": device.Small(), "xqvr1000": device.XQVR1000(),
-	}[*geom]
-	if g.Rows == 0 {
-		fmt.Fprintf(os.Stderr, "unknown geometry %q\n", *geom)
-		os.Exit(2)
+	g, err := core.ParseGeometry(*geom)
+	if err != nil {
+		fail(err)
 	}
 	f := fpga.New(g)
 	if err := f.FullConfigure(fpga.NewConfigBuilder(g).FullBitstream()); err != nil {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// TestSubmitStreamVerifyGolden is the CI smoke loop in-process: boot the
+// daemon on a random port, submit a catalog-design injection job through the
+// client code, follow the NDJSON stream to completion, and require the
+// served report to be byte-identical to the pinned `seusim -json` golden
+// corpus for the same campaign.
+func TestSubmitStreamVerifyGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden campaign in -short mode")
+	}
+	sched, err := campaign.New(campaign.Config{Dir: t.TempDir(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Stop(time.Minute)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: campaign.Handler(sched)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	a := api{server: "http://" + ln.Addr().String()}
+
+	if text, err := a.text("/healthz"); err != nil || strings.TrimSpace(text) != "ok" {
+		t.Fatalf("healthz: %q, %v", text, err)
+	}
+
+	// The golden corpus campaign: cmd/seusim/testdata pins `seusim -json
+	// -design "LFSR 72"` at small geometry, seed 1, 1% sample.
+	spec := core.CampaignSpec{Design: "LFSR 72", Geom: "small", Seed: 1, Sample: 0.01, Workers: 1}
+	stat, err := a.submit(campaign.JobSpec{Kind: campaign.KindSEU, SEU: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := 0
+	last, err := a.stream(stat.ID, func(ev campaign.Event) bool {
+		events++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.State != campaign.StateDone || !last.Final {
+		t.Fatalf("stream ended %+v, want final done", last)
+	}
+	if events < 2 {
+		t.Fatalf("saw %d events, want streamed progress", events)
+	}
+
+	got, err := a.report(stat.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "seusim", "testdata", "design-LFSR_72.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("campaignd report (%d bytes) differs from seusim golden corpus (%d bytes)", len(got), len(want))
+	}
+
+	metrics, err := a.text("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{
+		`campaignd_jobs{state="done"} 1`,
+		"campaignd_injections_total",
+		"campaignd_checkpoint_age_seconds",
+	} {
+		if !strings.Contains(metrics, m) {
+			t.Errorf("metrics missing %q", m)
+		}
+	}
+}

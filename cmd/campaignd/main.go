@@ -1,0 +1,83 @@
+// Command campaignd is the campaign service daemon and its control client.
+//
+// Serve mode runs the checkpointed job scheduler behind an HTTP API:
+//
+//	campaignd serve -addr 127.0.0.1:8433 -state /var/lib/campaignd -workers 4
+//
+// Every other subcommand is the campaignctl client, speaking to a running
+// daemon — enough for CI smoke tests and shell scripting:
+//
+//	campaignd submit -server http://127.0.0.1:8433 -design "LFSR 72" -sample 0.01
+//	campaignd wait   -server http://127.0.0.1:8433 -job j0123456789ab
+//	campaignd report -server http://127.0.0.1:8433 -job j0123456789ab
+//	campaignd cancel -server http://127.0.0.1:8433 -job j0123456789ab
+//	campaignd status -server ... [-job ID] | stream -job ID | metrics | health
+//
+// A SIGINT/SIGTERM to the daemon drains gracefully: running chunks finish
+// and checkpoint, the active job re-queues, and the next daemon started on
+// the same -state directory resumes it with a byte-identical final report.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = runServe(args)
+	case "submit":
+		err = runSubmit(args)
+	case "status":
+		err = runStatus(args)
+	case "stream":
+		err = runStream(args)
+	case "wait":
+		err = runWait(args)
+	case "cancel":
+		err = runCancel(args)
+	case "report":
+		err = runReport(args)
+	case "metrics":
+		err = runMetrics(args)
+	case "health":
+		err = runHealth(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "campaignd: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: campaignd <command> [flags]
+
+daemon:
+  serve    run the campaign scheduler behind an HTTP API
+
+client (campaignctl):
+  submit   submit a job (flags or -spec JSON), print its status
+  status   print one job's status (-job) or the full job list
+  stream   follow a job's NDJSON progress events
+  wait     follow a job until terminal; exit non-zero unless done
+  cancel   cancel a job
+  report   print a done job's final report (exact stored bytes)
+  metrics  dump the daemon's Prometheus metrics
+  health   check daemon liveness
+
+Run 'campaignd <command> -h' for command flags.`)
+}

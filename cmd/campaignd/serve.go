@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// runServe boots the scheduler and serves the API until SIGINT/SIGTERM.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("campaignd serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8433", "listen address (port 0 picks a free port)")
+		state    = fs.String("state", "campaignd-state", "checkpoint root directory")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		chunks   = fs.Int("chunks", campaign.DefaultChunks, "max checkpoint chunks per SEU sweep")
+		grace    = fs.Duration("grace", 30*time.Second, "drain window before in-flight work is cancelled hard")
+		addrFile = fs.String("addr-file", "", "write the bound address here once listening (for scripts)")
+	)
+	fs.Parse(args)
+
+	sched, err := campaign.New(campaign.Config{Dir: *state, Workers: *workers, Chunks: *chunks})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("campaignd listening on %s (state %s)\n", bound, *state)
+
+	srv := &http.Server{Handler: campaign.Handler(sched)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		sched.Stop(*grace)
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("campaignd: draining (checkpointing in-flight shards)")
+	// Stop the listener first so no new jobs arrive mid-drain, then drain
+	// the scheduler: in-flight chunks checkpoint and the active job
+	// re-queues for the next daemon on this state directory.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "campaignd: http shutdown:", err)
+	}
+	sched.Stop(*grace)
+	fmt.Println("campaignd: stopped")
+	return nil
+}

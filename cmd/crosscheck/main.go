@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/crosscheck"
@@ -58,7 +62,15 @@ func main() {
 		}
 	}
 
-	if err := crosscheck.CheckSuite(g, *designs, *seed, *parallel, progress); err != nil {
+	// Ctrl-C / SIGTERM stops launching designs and lets in-flight checks
+	// finish, so an aborted run still reports what it covered.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := crosscheck.CheckSuiteContext(ctx, g, *designs, *seed, *parallel, progress); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "crosscheck: interrupted after %d/%d designs (all checked designs conformant)\n", done, *designs)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "crosscheck: CONFORMANCE VIOLATION\n%v\n", err)
 		os.Exit(1)
 	}

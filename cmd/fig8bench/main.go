@@ -10,16 +10,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/board"
+	"repro/internal/core"
 	"repro/internal/designs"
-	"repro/internal/device"
 	"repro/internal/place"
 	"repro/internal/seu"
 )
@@ -64,18 +68,8 @@ func main() {
 	)
 	flag.Parse()
 
-	var g device.Geometry
-	switch *geom {
-	case "tiny":
-		g = device.Tiny()
-	case "small":
-		g = device.Small()
-	case "xqvr1000":
-		g = device.XQVR1000()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown geometry %q\n", *geom)
-		os.Exit(2)
-	}
+	g, err := core.ParseGeometry(*geom)
+	check(err)
 
 	spec, err := designs.ByName(*design)
 	check(err)
@@ -108,6 +102,11 @@ func main() {
 		Seed:       *seed,
 		GoMaxProcs: nproc,
 	}
+	// Ctrl-C aborts the in-flight variant between injections rather than
+	// leaving a half-timed report behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var refInjections int64 = -1
 	var offWall, onWall float64
 	for _, v := range variants {
@@ -122,7 +121,11 @@ func main() {
 		opts.Triage = v.triage
 		opts.FastSim = v.fastsim
 		start := time.Now()
-		r, err := seu.Run(bd, opts)
+		r, err := seu.RunContext(ctx, bd, opts)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "fig8bench: interrupted, no report written")
+			os.Exit(130)
+		}
 		check(err)
 		wall := time.Since(start)
 		if refInjections < 0 {

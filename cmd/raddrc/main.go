@@ -17,31 +17,18 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/core"
-	"repro/internal/device"
-	"repro/internal/seu"
 )
 
 func main() {
 	var (
-		design  = flag.String("design", "LFSR 18", "catalogued design")
 		obs     = flag.Int("obs", 200, "beam observations per run")
-		geom    = flag.String("geom", "tiny", "device geometry: tiny|small|xqvr1000")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "parallelism for any injection campaigns in the flow (0 = GOMAXPROCS)")
-		triage  = flag.Bool("triage", true, "skip provably-inert configuration bits in injection campaigns; results are identical either way")
-		fastsim = flag.Bool("fastsim", true, "use the activity-driven settling kernel and lock-step convergence early exit; results are identical either way")
-		kernel  = flag.String("kernel", "auto", "settling kernel for injection campaigns: auto (follow -fastsim), event, or sweep; results are identical at any choice")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	cf := core.RegisterCampaignFlags(flag.CommandLine, core.CampaignSpec{
+		Design: "LFSR 18", Geom: "tiny", Seed: 1, Sample: 1,
+	})
 	flag.Parse()
-	g := map[string]device.Geometry{
-		"tiny": device.Tiny(), "small": device.Small(), "xqvr1000": device.XQVR1000(),
-	}[*geom]
-	if g.Rows == 0 {
-		fmt.Fprintf(os.Stderr, "unknown geometry %q\n", *geom)
-		os.Exit(2)
-	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -68,18 +55,17 @@ func main() {
 			}
 		}()
 	}
-	kern, err := seu.ParseKernel(*kernel)
+	cfg, err := cf.Resolve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raddrc:", err)
 		os.Exit(2)
 	}
-	cfg := core.Config{Geom: g, Seed: *seed, Sample: 1, Workers: *workers, NoTriage: !*triage, NoFastSim: !*fastsim, Kernel: kern}
-	rep, err := core.HalfLatchStudy(cfg, *design, *obs)
+	rep, err := core.HalfLatchStudy(cfg, cf.Spec.Design, *obs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raddrc:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("design %q on %s\n", *design, g)
+	fmt.Printf("design %q on %s\n", cf.Spec.Design, cfg.Geom)
 	fmt.Printf("  %s\n", rep.Census)
 	fmt.Printf("  RadDRC mitigated %d half-latch constants\n", rep.Mitigated)
 	fmt.Printf("  half-latch beam: %d output errors before, %d after\n", rep.ErrorsBefore, rep.ErrorsAfter)

@@ -85,7 +85,7 @@ func TestGoldenDesignReports(t *testing.T) {
 			t.Fatal(err)
 		}
 		file := "design-" + sanitize(name) + ".json"
-		checkGolden(t, file, marshalGolden(t, campaignToJSON(rep, cfg)))
+		checkGolden(t, file, marshalGolden(t, core.NewCampaignReport(rep, cfg)))
 	}
 }
 
@@ -98,7 +98,7 @@ func TestJSONByteIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return marshalGolden(t, campaignToJSON(rep, cfg))
+		return marshalGolden(t, core.NewCampaignReport(rep, cfg))
 	}
 	a, b := run(), run()
 	if !bytes.Equal(a, b) {

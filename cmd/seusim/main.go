@@ -21,81 +21,7 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/core"
-	"repro/internal/device"
-	"repro/internal/seu"
 )
-
-func geometryFlag(name string) device.Geometry {
-	switch name {
-	case "tiny":
-		return device.Tiny()
-	case "small":
-		return device.Small()
-	case "xqvr1000":
-		return device.XQVR1000()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown geometry %q (tiny|small|xqvr1000)\n", name)
-		os.Exit(2)
-	}
-	return device.Geometry{}
-}
-
-// campaignJSON is the machine-readable form of one campaign Report, emitted
-// by -json for CI artifacts, golden-report regression corpora, and
-// downstream analysis. It carries only deterministic fields — wall time is
-// deliberately absent, and the per-kind maps marshal in fixed kind order —
-// so re-running the same campaign produces byte-identical output.
-type campaignJSON struct {
-	Design           string         `json:"design"`
-	Geometry         string         `json:"geometry"`
-	Slices           int            `json:"slices"`
-	UtilizationPct   float64        `json:"utilization_pct"`
-	Injections       int64          `json:"injections"`
-	Failures         int64          `json:"failures"`
-	Persistent       int64          `json:"persistent"`
-	TriageSkipped    int64          `json:"triage_skipped"`
-	SensitivityPct   float64        `json:"sensitivity_pct"`
-	NormalizedPct    float64        `json:"normalized_sensitivity_pct"`
-	PersistencePct   float64        `json:"persistence_pct"`
-	InjectionsByKind seu.KindCounts `json:"injections_by_kind"`
-	FailuresByKind   seu.KindCounts `json:"failures_by_kind"`
-	SimulatedTimeSec float64        `json:"simulated_time_seconds"`
-	Sample           float64        `json:"sample"`
-	Seed             int64          `json:"seed"`
-	Workers          int            `json:"workers"`
-	Triage           bool           `json:"triage"`
-	FastSim          bool           `json:"fastsim"`
-	Kernel           string         `json:"kernel"`
-	CyclesSimulated  int64          `json:"cycles_simulated"`
-	CyclesSkipped    int64          `json:"cycles_skipped"`
-}
-
-func campaignToJSON(rep *seu.Report, cfg core.Config) campaignJSON {
-	return campaignJSON{
-		Design:           rep.Design,
-		Geometry:         rep.Geom.String(),
-		Slices:           rep.SlicesUsed,
-		UtilizationPct:   100 * float64(rep.SlicesUsed) / float64(rep.Geom.Slices()),
-		Injections:       rep.Injections,
-		Failures:         rep.Failures,
-		Persistent:       rep.Persistent,
-		TriageSkipped:    rep.TriageSkipped,
-		SensitivityPct:   100 * rep.Sensitivity(),
-		NormalizedPct:    100 * rep.NormalizedSensitivity(),
-		PersistencePct:   100 * rep.PersistenceRatio(),
-		InjectionsByKind: rep.InjectionsByKind,
-		FailuresByKind:   rep.FailuresByKind,
-		SimulatedTimeSec: rep.SimulatedTime.Seconds(),
-		Sample:           cfg.Sample,
-		Seed:             cfg.Seed,
-		Workers:          cfg.Workers,
-		Triage:           !cfg.NoTriage,
-		FastSim:          !cfg.NoFastSim,
-		Kernel:           cfg.Kernel.String(),
-		CyclesSimulated:  rep.CyclesSimulated,
-		CyclesSkipped:    rep.CyclesSkipped,
-	}
-}
 
 func emitJSON(v any) {
 	enc := json.NewEncoder(os.Stdout)
@@ -107,23 +33,17 @@ func main() {
 	var (
 		table   = flag.Int("table", 0, "reproduce paper table 1 or 2")
 		fig7    = flag.Bool("fig7", false, "reproduce the Fig. 7 persistent-error trace")
-		design  = flag.String("design", "", "run a single catalogued design")
-		geom    = flag.String("geom", "small", "device geometry: tiny|small|xqvr1000")
-		sample  = flag.Float64("sample", 0.05, "fraction of configuration bits to inject (1 = exhaustive)")
-		maxBits = flag.Int64("maxbits", 0, "cap injections per design at the first N selected bits (0 = no cap)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "parallel injection workers, each on a cloned board replica; results are identical at any count (0 = GOMAXPROCS)")
-		triage  = flag.Bool("triage", true, "skip provably-inert configuration bits via static cone-of-influence analysis; reports are byte-identical either way")
-		fastsim = flag.Bool("fastsim", true, "use the activity-driven settling kernel and lock-step convergence early exit; reports are byte-identical either way")
-		kernel  = flag.String("kernel", "auto", "settling kernel: auto (follow -fastsim), event, or sweep; reports are byte-identical at any choice")
 		jsonOut = flag.Bool("json", false, "emit results as JSON (table and design modes)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	cf := core.RegisterCampaignFlags(flag.CommandLine, core.CampaignSpec{
+		Geom: "small", Seed: 1, Sample: 0.05,
+	})
 	flag.Parse()
-	kern, err := seu.ParseKernel(*kernel)
+	cfg, err := cf.Resolve()
 	check(err)
-	cfg := core.Config{Geom: geometryFlag(*geom), Seed: *seed, Sample: *sample, MaxBits: *maxBits, Workers: *workers, NoTriage: !*triage, NoFastSim: !*fastsim, Kernel: kern}
+	design := &cf.Spec.Design
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -149,7 +69,7 @@ func main() {
 			emitJSON(rows)
 			return
 		}
-		fmt.Printf("Table I — SEU sensitivity (geometry %s, sample %.3f)\n", cfg.Geom, *sample)
+		fmt.Printf("Table I — SEU sensitivity (geometry %s, sample %.3f)\n", cfg.Geom, cfg.Sample)
 		fmt.Printf("%-16s %14s %9s %8s %8s %8s\n", "Design", "Slices", "Injects", "Failures", "Sens", "Norm")
 		for _, r := range rows {
 			fmt.Println(r)
@@ -161,7 +81,7 @@ func main() {
 			emitJSON(rows)
 			return
 		}
-		fmt.Printf("Table II — error persistence (geometry %s, sample %.3f)\n", cfg.Geom, *sample)
+		fmt.Printf("Table II — error persistence (geometry %s, sample %.3f)\n", cfg.Geom, cfg.Sample)
 		fmt.Printf("%-16s %6s %8s %8s\n", "Design", "Slices", "Sens", "Persist")
 		for _, r := range rows {
 			fmt.Println(r)
@@ -182,7 +102,7 @@ func main() {
 		rep, err := core.Sensitivity(cfg, *design, true)
 		check(err)
 		if *jsonOut {
-			emitJSON(campaignToJSON(rep, cfg))
+			emitJSON(core.NewCampaignReport(rep, cfg))
 			return
 		}
 		fmt.Println(rep)

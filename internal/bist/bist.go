@@ -9,6 +9,7 @@
 package bist
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
@@ -65,6 +66,12 @@ type wirePlan struct {
 // own configurations; the caller reloads the mission design afterwards,
 // exactly as the flight procedure does.
 func WireTest(f *fpga.FPGA, port *fpga.Port) (*WireTestReport, error) {
+	return WireTestContext(context.Background(), f, port)
+}
+
+// WireTestContext is WireTest with cancellation: ctx is checked between
+// wire classes, so an aborted test never stops mid-reconfiguration.
+func WireTestContext(ctx context.Context, f *fpga.FPGA, port *fpga.Port) (*WireTestReport, error) {
 	rep := &WireTestReport{}
 	// Test the four neighbour-wire groups for each of the four CLB
 	// outputs: 16 wire classes, covering every single-length wire the
@@ -76,6 +83,9 @@ func WireTest(f *fpga.FPGA, port *fpga.Port) (*WireTestReport, error) {
 		{slot: 16, along: false, forward: false},
 	} {
 		for o := 0; o < device.OutputsPerCLB; o++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := wireTestOne(f, port, plan, o, rep); err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bist
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
@@ -30,6 +31,14 @@ func (r *CLBTestReport) String() string {
 // or toggles out of phase — is reported. Sampling two phases covers both
 // stuck-at polarities on the local feedback wires and the register path.
 func CLBTest(f *fpga.FPGA, port *fpga.Port) (*CLBTestReport, error) {
+	return CLBTestContext(context.Background(), f, port)
+}
+
+// CLBTestContext is CLBTest with cancellation, checked between captures.
+func CLBTestContext(ctx context.Context, f *fpga.FPGA, port *fpga.Port) (*CLBTestReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := f.Geometry()
 	b := fpga.NewConfigBuilder(g)
 	for r := 0; r < g.Rows; r++ {
@@ -74,6 +83,9 @@ func CLBTest(f *fpga.FPGA, port *fpga.Port) (*CLBTestReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f.Step()
 	s2, err := snap()
 	if err != nil {
@@ -113,6 +125,14 @@ func (r *BRAMTestReport) String() string {
 // ("each location contains its own address in both upper and lower byte"),
 // reads the content back with the clock stopped, and reports mismatches.
 func BRAMTest(f *fpga.FPGA, port *fpga.Port) (*BRAMTestReport, error) {
+	return BRAMTestContext(context.Background(), f, port)
+}
+
+// BRAMTestContext is BRAMTest with cancellation, checked between blocks.
+func BRAMTestContext(ctx context.Context, f *fpga.FPGA, port *fpga.Port) (*BRAMTestReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := f.Geometry()
 	b := fpga.NewConfigBuilder(g)
 	pattern := func(w int) uint16 { return uint16(w)<<8 | uint16(w) }
@@ -133,6 +153,9 @@ func BRAMTest(f *fpga.FPGA, port *fpga.Port) (*BRAMTestReport, error) {
 	rep := &BRAMTestReport{}
 	for bc := 0; bc < g.BRAMCols; bc++ {
 		for blk := 0; blk < g.BRAMBlocksPerCol(); blk++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Read the content frames back and reassemble each word.
 			seen := map[int]bool{}
 			for w := 0; w < device.BRAMWords; w++ {

@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/seu"
+)
+
+// On-disk layout. One directory per job, keyed by the content-addressed job
+// ID, so a resubmitted spec finds its own history:
+//
+//	<root>/<jobID>/state.json    — Status (rewritten on every transition)
+//	<root>/<jobID>/chunks/N.json — one checkpoint per completed SEU chunk
+//	<root>/<jobID>/report.json   — final report, exact bytes served to clients
+//
+// Every write is write-to-temp + rename, so a crash mid-write leaves either
+// the old file or the new one, never a torn checkpoint.
+
+type store struct{ root string }
+
+func (st store) jobDir(id string) string   { return filepath.Join(st.root, id) }
+func (st store) chunkDir(id string) string { return filepath.Join(st.jobDir(id), "chunks") }
+
+// writeFileAtomic writes b to path via a temp file in the same directory.
+func writeFileAtomic(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+func (st store) saveStatus(stat *Status) error {
+	b, err := json.MarshalIndent(stat, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(st.jobDir(stat.ID), "state.json"), append(b, '\n'))
+}
+
+// loadAll returns every persisted job status, oldest submission first.
+func (st store) loadAll() ([]*Status, error) {
+	entries, err := os.ReadDir(st.root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []*Status
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(st.root, e.Name(), "state.json"))
+		if err != nil {
+			continue // half-created job dir; ignore
+		}
+		var stat Status
+		if err := json.Unmarshal(b, &stat); err != nil || stat.ID != e.Name() {
+			continue
+		}
+		out = append(out, &stat)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SubmittedAt.Before(out[j].SubmittedAt) })
+	return out, nil
+}
+
+// chunkCheckpoint pairs a chunk's result with the plan entry that produced
+// it, so resume can reject checkpoints from a stale decomposition (e.g. a
+// daemon restarted with a different chunk count).
+type chunkCheckpoint struct {
+	Spec   seu.ChunkSpec    `json:"spec"`
+	Result *seu.ChunkResult `json:"result"`
+}
+
+func (st store) saveChunk(id string, spec seu.ChunkSpec, cr *seu.ChunkResult) error {
+	b, err := json.Marshal(chunkCheckpoint{Spec: spec, Result: cr})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(st.chunkDir(id), fmt.Sprintf("%d.json", spec.Index))
+	return writeFileAtomic(path, append(b, '\n'))
+}
+
+// loadChunks returns the job's valid checkpoints keyed by chunk index. A
+// checkpoint whose stored range disagrees with the current plan is dropped
+// (and deleted) rather than trusted.
+func (st store) loadChunks(id string, plan []seu.ChunkSpec) (map[int]*seu.ChunkResult, error) {
+	byIndex := make(map[int]seu.ChunkSpec, len(plan))
+	for _, cs := range plan {
+		byIndex[cs.Index] = cs
+	}
+	entries, err := os.ReadDir(st.chunkDir(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*seu.ChunkResult)
+	for _, e := range entries {
+		path := filepath.Join(st.chunkDir(id), e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var cp chunkCheckpoint
+		if err := json.Unmarshal(b, &cp); err != nil || cp.Result == nil {
+			os.Remove(path)
+			continue
+		}
+		if want, ok := byIndex[cp.Spec.Index]; !ok || want != cp.Spec || cp.Result.Index != cp.Spec.Index {
+			os.Remove(path)
+			continue
+		}
+		out[cp.Spec.Index] = cp.Result
+	}
+	return out, nil
+}
+
+func (st store) saveReport(id string, b []byte) error {
+	return writeFileAtomic(filepath.Join(st.jobDir(id), "report.json"), b)
+}
+
+func (st store) loadReport(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(st.jobDir(id), "report.json"))
+}

@@ -1,0 +1,47 @@
+package campaign
+
+import "sync"
+
+// broker fans job events out to stream subscribers. Subscriber channels are
+// buffered; a subscriber that stops draining loses intermediate events
+// rather than blocking the scheduler — progress records are snapshots, so
+// the latest one supersedes anything dropped.
+type broker struct {
+	mu   sync.Mutex
+	subs map[chan Event]string // channel -> job ID filter ("" = all jobs)
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[chan Event]string)}
+}
+
+// subscribe registers a listener for job's events (all jobs when job == "").
+// The caller must cancel() when done.
+func (b *broker) subscribe(job string) (ch chan Event, cancel func()) {
+	ch = make(chan Event, 64)
+	b.mu.Lock()
+	b.subs[ch] = job
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+}
+
+func (b *broker) publish(ev Event) {
+	b.mu.Lock()
+	for ch, filter := range b.subs {
+		if filter != "" && filter != ev.Job {
+			continue
+		}
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop; a later snapshot supersedes this one
+		}
+	}
+	b.mu.Unlock()
+}

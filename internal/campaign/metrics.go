@@ -1,0 +1,149 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is the scheduler's observability plane, exposed in Prometheus
+// text format by the /metrics endpoint. Everything here is diagnostics —
+// nothing feeds back into scheduling, and none of it touches report
+// determinism.
+type Metrics struct {
+	mu sync.Mutex
+
+	poolSize int
+
+	jobsStarted   int64
+	jobsFinished  map[State]int64
+	chunksRun     int64
+	checkpoints   int64
+	lastCkpt      time.Time
+	injections    int64
+	failures      int64
+	workersBusy   int
+	started       time.Time
+
+	// rate window: cumulative injection samples, pruned past rateWindow.
+	samples []rateSample
+}
+
+type rateSample struct {
+	at  time.Time
+	cum int64
+}
+
+const rateWindow = 60 * time.Second
+
+func newMetrics(poolSize int) *Metrics {
+	return &Metrics{
+		poolSize:     poolSize,
+		jobsFinished: make(map[State]int64),
+		started:      time.Now(),
+	}
+}
+
+func (m *Metrics) jobStarted() {
+	m.mu.Lock()
+	m.jobsStarted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobFinished(st State) {
+	m.mu.Lock()
+	m.jobsFinished[st]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) workerBusy(delta int) {
+	m.mu.Lock()
+	m.workersBusy += delta
+	m.mu.Unlock()
+}
+
+// checkpointed records one persisted chunk and its share of the campaign.
+func (m *Metrics) checkpointed(injections, failures int64) {
+	now := time.Now()
+	m.mu.Lock()
+	m.chunksRun++
+	m.checkpoints++
+	m.lastCkpt = now
+	m.injections += injections
+	m.failures += failures
+	m.samples = append(m.samples, rateSample{at: now, cum: m.injections})
+	m.prune(now)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) prune(now time.Time) {
+	cut := 0
+	for cut < len(m.samples) && now.Sub(m.samples[cut].at) > rateWindow {
+		cut++
+	}
+	m.samples = m.samples[cut:]
+}
+
+// injectionsPerSecond is the rate over the trailing window. With fewer than
+// two samples in the window the rate is 0 — a daemon idle for a minute
+// reads 0, not a stale burst.
+func (m *Metrics) injectionsPerSecond(now time.Time) float64 {
+	m.prune(now)
+	if len(m.samples) == 0 {
+		return 0
+	}
+	first := m.samples[0]
+	dt := now.Sub(first.at).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(m.injections-first.cum) / dt
+}
+
+// WritePrometheus renders the metrics plane. jobsByState is the scheduler's
+// live queue snapshot (current jobs by state, including terminal ones still
+// on disk).
+func (m *Metrics) WritePrometheus(w io.Writer, jobsByState map[State]int) {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP campaignd_jobs Current jobs by state.\n# TYPE campaignd_jobs gauge\n")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "campaignd_jobs{state=%q} %d\n", st, jobsByState[st])
+	}
+
+	fmt.Fprintf(w, "# HELP campaignd_jobs_started_total Jobs the scheduler has started running.\n# TYPE campaignd_jobs_started_total counter\ncampaignd_jobs_started_total %d\n", m.jobsStarted)
+	fmt.Fprintf(w, "# HELP campaignd_jobs_finished_total Jobs finished, by terminal state.\n# TYPE campaignd_jobs_finished_total counter\n")
+	states := make([]string, 0, len(m.jobsFinished))
+	for st := range m.jobsFinished {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "campaignd_jobs_finished_total{state=%q} %d\n", st, m.jobsFinished[State(st)])
+	}
+
+	fmt.Fprintf(w, "# HELP campaignd_injections_total Injections covered by checkpointed chunks.\n# TYPE campaignd_injections_total counter\ncampaignd_injections_total %d\n", m.injections)
+	fmt.Fprintf(w, "# HELP campaignd_failures_total Sensitive bits found in checkpointed chunks.\n# TYPE campaignd_failures_total counter\ncampaignd_failures_total %d\n", m.failures)
+	fmt.Fprintf(w, "# HELP campaignd_injections_per_second Injection throughput over the trailing 60s.\n# TYPE campaignd_injections_per_second gauge\ncampaignd_injections_per_second %g\n", m.injectionsPerSecond(now))
+
+	fmt.Fprintf(w, "# HELP campaignd_checkpoints_total Chunk checkpoints written.\n# TYPE campaignd_checkpoints_total counter\ncampaignd_checkpoints_total %d\n", m.checkpoints)
+	age := -1.0 // no checkpoint written yet
+	if !m.lastCkpt.IsZero() {
+		age = now.Sub(m.lastCkpt).Seconds()
+	}
+	fmt.Fprintf(w, "# HELP campaignd_checkpoint_age_seconds Seconds since the last checkpoint write (-1 before the first).\n# TYPE campaignd_checkpoint_age_seconds gauge\ncampaignd_checkpoint_age_seconds %g\n", age)
+
+	fmt.Fprintf(w, "# HELP campaignd_workers Worker pool size.\n# TYPE campaignd_workers gauge\ncampaignd_workers %d\n", m.poolSize)
+	fmt.Fprintf(w, "# HELP campaignd_workers_busy Workers currently executing a shard.\n# TYPE campaignd_workers_busy gauge\ncampaignd_workers_busy %d\n", m.workersBusy)
+	util := 0.0
+	if m.poolSize > 0 {
+		util = float64(m.workersBusy) / float64(m.poolSize)
+	}
+	fmt.Fprintf(w, "# HELP campaignd_worker_utilization Busy fraction of the worker pool.\n# TYPE campaignd_worker_utilization gauge\ncampaignd_worker_utilization %g\n", util)
+
+	fmt.Fprintf(w, "# HELP campaignd_uptime_seconds Seconds since the daemon started.\n# TYPE campaignd_uptime_seconds gauge\ncampaignd_uptime_seconds %g\n", now.Sub(m.started).Seconds())
+}

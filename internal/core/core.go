@@ -88,16 +88,7 @@ func Sensitivity(cfg Config, name string, classifyPersistence bool) (*seu.Report
 	if err != nil {
 		return nil, err
 	}
-	opts := seu.DefaultOptions()
-	opts.Sample = cfg.Sample
-	opts.MaxBits = cfg.MaxBits
-	opts.Seed = cfg.Seed
-	opts.Workers = cfg.Workers
-	opts.Triage = !cfg.NoTriage
-	opts.FastSim = !cfg.NoFastSim
-	opts.Kernel = cfg.Kernel
-	opts.ClassifyPersistence = classifyPersistence
-	return seu.Run(bd, opts)
+	return seu.Run(bd, cfg.CampaignOptions(classifyPersistence))
 }
 
 // TableIRow is one row of the paper's Table I.
@@ -197,14 +188,12 @@ func Fig7(cfg Config) ([]seu.TracePoint, device.BitAddr, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	// Locate a persistent bit with a short sampled campaign.
-	opts := seu.DefaultOptions()
+	// Locate a persistent bit with a short sampled campaign (the fixed
+	// sample and uncapped sweep are part of the figure's definition, so
+	// cfg's Sample/MaxBits deliberately do not apply).
+	opts := cfg.CampaignOptions(true)
 	opts.Sample = 0.2
-	opts.Seed = cfg.Seed
-	opts.Workers = cfg.Workers
-	opts.Triage = !cfg.NoTriage
-	opts.FastSim = !cfg.NoFastSim
-	opts.Kernel = cfg.Kernel
+	opts.MaxBits = 0
 	rep, err := seu.Run(bd, opts)
 	if err != nil {
 		return nil, 0, err
@@ -239,14 +228,10 @@ func BeamValidation(cfg Config, name string, observations int) (*radiation.BeamR
 	if err != nil {
 		return nil, nil, err
 	}
-	opts := seu.DefaultOptions()
-	opts.Sample = cfg.Sample
-	opts.Seed = cfg.Seed
-	opts.Workers = cfg.Workers
-	opts.Triage = !cfg.NoTriage
-	opts.FastSim = !cfg.NoFastSim
-	opts.Kernel = cfg.Kernel
-	opts.ClassifyPersistence = false
+	// The sensitivity map must stay uncapped: MaxBits would truncate the
+	// address range the beam correlation is checked against.
+	opts := cfg.CampaignOptions(false)
+	opts.MaxBits = 0
 	simRep, err := seu.Run(bd, opts)
 	if err != nil {
 		return nil, nil, err
@@ -390,16 +375,7 @@ func TMRStudy(cfg Config, name string) (plain, hardened *seu.Report, err error) 
 		if err != nil {
 			return nil, err
 		}
-		opts := seu.DefaultOptions()
-		opts.Sample = cfg.Sample
-		opts.MaxBits = cfg.MaxBits
-		opts.Seed = cfg.Seed
-		opts.Workers = cfg.Workers
-		opts.Triage = !cfg.NoTriage
-	opts.FastSim = !cfg.NoFastSim
-	opts.Kernel = cfg.Kernel
-		opts.ClassifyPersistence = false
-		return seu.Run(bd, opts)
+		return seu.Run(bd, cfg.CampaignOptions(false))
 	}
 	plain, err = run(spec.Build())
 	if err != nil {
@@ -460,15 +436,7 @@ func SelectiveTMRStudy(cfg Config, name string) (*SelectiveTMRReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := seu.DefaultOptions()
-	opts.Sample = cfg.Sample
-	opts.MaxBits = cfg.MaxBits
-	opts.Seed = cfg.Seed
-	opts.Workers = cfg.Workers
-	opts.Triage = !cfg.NoTriage
-	opts.FastSim = !cfg.NoFastSim
-	opts.Kernel = cfg.Kernel
-	opts.ClassifyPersistence = false
+	opts := cfg.CampaignOptions(false)
 	plain, err := seu.Run(bd, opts)
 	if err != nil {
 		return nil, err

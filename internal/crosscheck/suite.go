@@ -1,6 +1,7 @@
 package crosscheck
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -13,6 +14,13 @@ import (
 // progress, if non-nil, is called once per passing design, unordered.
 // The first conformance violation aborts the suite and is returned.
 func CheckSuite(g device.Geometry, n int, seed int64, parallel int, progress func(Result)) error {
+	return CheckSuiteContext(context.Background(), g, n, seed, parallel, progress)
+}
+
+// CheckSuiteContext is CheckSuite with cancellation: a cancelled ctx stops
+// launching designs, lets in-flight checks finish, and returns ctx's error
+// (unless a conformance violation already occurred, which wins).
+func CheckSuiteContext(ctx context.Context, g device.Geometry, n int, seed int64, parallel int, progress func(Result)) error {
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -38,7 +46,7 @@ func CheckSuite(g device.Geometry, n int, seed int64, parallel int, progress fun
 	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		if failed() {
+		if failed() || ctx.Err() != nil {
 			break
 		}
 		wg.Add(1)
@@ -46,7 +54,7 @@ func CheckSuite(g device.Geometry, n int, seed int64, parallel int, progress fun
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if failed() {
+			if failed() || ctx.Err() != nil {
 				return
 			}
 			d, err := Generate(g, seed, i)
@@ -67,5 +75,8 @@ func CheckSuite(g device.Geometry, n int, seed int64, parallel int, progress fun
 		}(i)
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,0 +1,101 @@
+package groundlink
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/scrub"
+)
+
+// FuzzSOHRoundTrip drives the state-of-health wire format from both ends.
+// The fuzz input is first read as a detection list (clamped to the wire
+// format's field ranges) and must encode/decode to exactly itself; the raw
+// bytes are then fed straight to the decoder, which must never panic and
+// must only accept payloads whose re-encoding decodes back unchanged.
+func FuzzSOHRoundTrip(f *testing.F) {
+	f.Add(EncodeSOH(nil))
+	f.Add(EncodeSOH([]scrub.Detection{
+		{Device: 3, Frame: 1234, At: 42 * time.Millisecond, Action: scrub.ActionRepaired},
+		{Device: 8, Frame: -1, At: 90 * time.Minute, Action: scrub.ActionFullReconfig},
+	}))
+	f.Add([]byte("SOH1"))
+	f.Add([]byte("SOH1\x00\x00\x00\x02short"))
+	f.Add([]byte("not a record"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Structured direction: interpret the input as detections.
+		dets := detectionsFrom(raw)
+		enc := EncodeSOH(dets)
+		if want := 8 + 17*len(dets); len(enc) != want {
+			t.Fatalf("encoded %d detections into %d bytes, want %d", len(dets), len(enc), want)
+		}
+		back, err := DecodeSOH(enc)
+		if err != nil {
+			t.Fatalf("decoding own encoding of %d detections: %v", len(dets), err)
+		}
+		if len(back) != len(dets) {
+			t.Fatalf("round trip count %d, want %d", len(back), len(dets))
+		}
+		for i := range dets {
+			if back[i] != dets[i] {
+				t.Fatalf("detection %d round-tripped to %+v, want %+v", i, back[i], dets[i])
+			}
+		}
+
+		// Raw direction: the decoder must be total (no panics) and anything
+		// it accepts must re-encode into a payload it decodes identically.
+		got, err := DecodeSOH(raw)
+		if err != nil {
+			return
+		}
+		re := EncodeSOH(got)
+		again, err := DecodeSOH(re)
+		if err != nil {
+			t.Fatalf("re-encoding accepted payload failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, again) {
+			t.Fatalf("normalized payload unstable:\n first %+v\nsecond %+v", got, again)
+		}
+	})
+}
+
+// detectionsFrom deterministically builds a detection list from fuzz bytes,
+// clamped to the ranges the 17-byte record can carry: Device is one byte,
+// Frame an int32, At a full 64-bit duration, Action the two known values.
+func detectionsFrom(raw []byte) []scrub.Detection {
+	const rec = 14 // bytes consumed per generated detection
+	var out []scrub.Detection
+	for len(raw) >= rec && len(out) < 64 {
+		d := scrub.Detection{
+			Device: int(raw[0]),
+			Frame:  int(int32(binary.BigEndian.Uint32(raw[1:5]))),
+			At:     time.Duration(binary.BigEndian.Uint64(raw[5:13])),
+		}
+		if raw[13]&1 == 1 {
+			d.Action = scrub.ActionFullReconfig
+		}
+		out = append(out, d)
+		raw = raw[rec:]
+	}
+	return out
+}
+
+// TestSOHRejectsTruncation pins the decoder's error cases the fuzzer
+// explores: bad magic, short header, and count/payload mismatch.
+func TestSOHRejectsTruncation(t *testing.T) {
+	full := EncodeSOH([]scrub.Detection{{Device: 1, Frame: 7, At: time.Second}})
+	for _, raw := range [][]byte{
+		nil,
+		[]byte("SOH"),
+		[]byte("XXX1\x00\x00\x00\x00"),
+		full[:len(full)-1],
+		append(bytes.Clone(full), 0),
+	} {
+		if _, err := DecodeSOH(raw); err == nil {
+			t.Errorf("DecodeSOH accepted malformed payload %q", raw)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package payload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -140,6 +141,14 @@ func (r *MissionReport) String() string {
 // next scan boundary and repaired by partial reconfiguration; an
 // unprogrammed device costs a full reconfiguration.
 func (s *System) RunMission(opts MissionOptions) (*MissionReport, error) {
+	return s.RunMissionContext(context.Background(), opts)
+}
+
+// RunMissionContext is RunMission with cancellation: ctx is checked at every
+// event-loop step (upset arrival or refresh), so an aborted mission stops
+// with every device in a consistent, fully repaired-or-corrupted state
+// rather than mid-scan.
+func (s *System) RunMissionContext(ctx context.Context, opts MissionOptions) (*MissionReport, error) {
 	if opts.Duration <= 0 {
 		return nil, fmt.Errorf("payload: non-positive mission duration")
 	}
@@ -167,6 +176,9 @@ func (s *System) RunMission(opts MissionOptions) (*MissionReport, error) {
 
 	t := time.Duration(0)
 	for t < opts.Duration {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		src := quiet
 		if inFlare(t) {
 			src = flare

@@ -1,0 +1,204 @@
+package seu
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/board"
+	"repro/internal/device"
+)
+
+// Resumable chunked execution. The campaign service decomposes a sweep into
+// an explicit chunk plan, runs chunks on worker replicas, and checkpoints
+// each completed chunk's serialized result to disk. Because the plan is a
+// pure function of (geometry, options) and every chunk's result is a pure
+// function of (plan entry, options) — the same per-injection determinism the
+// sharded path relies on — a sweep interrupted at any chunk boundary and
+// resumed later (even by a different process at a different worker count)
+// assembles into a Report byte-identical to an uninterrupted Run.
+
+// ChunkSpec is one contiguous bit-address range of a campaign's sweep.
+type ChunkSpec struct {
+	Index int   `json:"index"`
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+}
+
+// PlanChunks decomposes the campaign over g into at most maxChunks
+// contiguous address ranges covering exactly the range Run would sweep.
+// The plan depends only on (g, opts, maxChunks) — never on worker count —
+// so a checkpoint directory written under one scheduler configuration is
+// valid under any other.
+func PlanChunks(g device.Geometry, opts Options, maxChunks int) []ChunkSpec {
+	limit, _ := selectionPlan(opts, g.TotalBits())
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	n := int64(maxChunks)
+	if n > limit {
+		n = limit
+	}
+	if n < 1 {
+		n = 1
+	}
+	span := (limit + n - 1) / n
+	var plan []ChunkSpec
+	for lo := int64(0); lo < limit; lo += span {
+		hi := lo + span
+		if hi > limit {
+			hi = limit
+		}
+		plan = append(plan, ChunkSpec{Index: len(plan), Lo: lo, Hi: hi})
+	}
+	if plan == nil {
+		// Degenerate campaign (nothing selected); one empty chunk keeps
+		// "every plan has at least one chunk" true for schedulers.
+		plan = []ChunkSpec{{Index: 0}}
+	}
+	return plan
+}
+
+// ChunkResult is the serializable outcome of one chunk — the checkpoint
+// unit. It mirrors the internal shard accumulator field for field.
+type ChunkResult struct {
+	Index           int        `json:"index"`
+	Injections      int64      `json:"injections"`
+	Failures        int64      `json:"failures"`
+	Persistent      int64      `json:"persistent"`
+	TriageSkipped   int64      `json:"triage_skipped"`
+	CyclesSimulated int64      `json:"cycles_simulated"`
+	CyclesSkipped   int64      `json:"cycles_skipped"`
+	SimulatedTimeNs int64      `json:"simulated_time_ns"`
+	InjectionsByKind KindCounts `json:"injections_by_kind"`
+	FailuresByKind   KindCounts `json:"failures_by_kind"`
+	Bits             []BitRecord `json:"bits,omitempty"`
+}
+
+// result converts a shard accumulator into its serializable form.
+func (acc *shardAccum) result(index int) *ChunkResult {
+	cr := &ChunkResult{
+		Index:            index,
+		Injections:       acc.injections,
+		Failures:         acc.failures,
+		Persistent:       acc.persistent,
+		TriageSkipped:    acc.triageSkipped,
+		CyclesSimulated:  acc.cyclesRun,
+		CyclesSkipped:    acc.cyclesSkipped,
+		SimulatedTimeNs:  acc.simTime.Nanoseconds(),
+		InjectionsByKind: make(KindCounts, len(acc.injByKind)),
+		FailuresByKind:   make(KindCounts, len(acc.failByKind)),
+		Bits:             acc.bits,
+	}
+	for k, n := range acc.injByKind {
+		cr.InjectionsByKind[k] = n
+	}
+	for k, n := range acc.failByKind {
+		cr.FailuresByKind[k] = n
+	}
+	return cr
+}
+
+// ChunkRunner executes chunks of one campaign on one board replica. The
+// base runner owns the campaign-scoped immutable state (golden snapshot,
+// triage mask); Clone derives additional runners for concurrent workers,
+// sharing that state the same way the internal sharded path does.
+type ChunkRunner struct {
+	bd     *board.SLAAC1V
+	golden *bitstream.Memory
+	tri    *triage
+	fs     *frameScrub
+	fast   bool
+	opts   Options
+}
+
+// NewChunkRunner prepares bd for chunked execution of the campaign opts
+// describes: kernel selection, golden snapshot, and (if enabled) the static
+// triage mask — exactly the preamble of Run.
+func NewChunkRunner(bd *board.SLAAC1V, opts Options) (*ChunkRunner, error) {
+	if opts.ObserveCycles <= 0 || opts.CleanRun <= 0 {
+		return nil, fmt.Errorf("seu: non-positive cycle counts")
+	}
+	event := opts.FastSim
+	switch opts.Kernel {
+	case KernelEvent:
+		event = true
+	case KernelSweep:
+		event = false
+	}
+	bd.SetFastSim(event)
+	r := &ChunkRunner{
+		bd:     bd,
+		golden: bd.DUT.ConfigMemory().Clone(),
+		fs:     newFrameScrub(bd.Geometry()),
+		fast:   opts.FastSim && !bd.DUT.HistoryCoupled(),
+		opts:   opts,
+	}
+	if opts.Triage {
+		r.tri = newTriage(bd)
+	}
+	return r, nil
+}
+
+// Clone returns a runner on a cloned board replica. The triage mask and
+// golden snapshot are immutable and shared; the dirty-frame tracker is per
+// replica. The seed only decorrelates the replica's idle rng — results are
+// independent of it.
+func (r *ChunkRunner) Clone(seed int64) *ChunkRunner {
+	wb := r.bd.Clone(seed)
+	return &ChunkRunner{
+		bd:     wb,
+		golden: r.golden,
+		tri:    r.tri,
+		fs:     newFrameScrub(wb.Geometry()),
+		fast:   r.fast,
+		opts:   r.opts,
+	}
+}
+
+// Run executes one chunk, returning its serializable result. A cancelled
+// context aborts between injections with ctx's error and no result.
+func (r *ChunkRunner) Run(ctx context.Context, spec ChunkSpec) (*ChunkResult, error) {
+	acc := newShardAccum()
+	if err := runRange(ctx, r.bd, r.golden, spec.Lo, spec.Hi, r.opts, acc, r.tri, r.fs, r.fast); err != nil {
+		return nil, err
+	}
+	return acc.result(spec.Index), nil
+}
+
+// AssembleReport folds chunk results — in any order, e.g. fresh runs mixed
+// with checkpoints loaded from disk — into the Report an uninterrupted Run
+// of the same campaign produces. The caller owns WallTime.
+func (r *ChunkRunner) AssembleReport(results []*ChunkResult) *Report {
+	ordered := append([]*ChunkResult(nil), results...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Index < ordered[j].Index })
+	rep := &Report{
+		Design:           r.bd.Placed.Circuit.Name,
+		Geom:             r.bd.Geometry(),
+		SlicesUsed:       r.bd.Placed.SlicesUsed(),
+		InjectionsByKind: make(KindCounts),
+		FailuresByKind:   make(KindCounts),
+	}
+	for _, cr := range ordered {
+		rep.Injections += cr.Injections
+		rep.Failures += cr.Failures
+		rep.Persistent += cr.Persistent
+		rep.TriageSkipped += cr.TriageSkipped
+		rep.CyclesSimulated += cr.CyclesSimulated
+		rep.CyclesSkipped += cr.CyclesSkipped
+		rep.SimulatedTime += time.Duration(cr.SimulatedTimeNs)
+		for k, n := range cr.InjectionsByKind {
+			rep.InjectionsByKind[k] += n
+		}
+		for k, n := range cr.FailuresByKind {
+			rep.FailuresByKind[k] += n
+		}
+		rep.SensitiveBits = append(rep.SensitiveBits, cr.Bits...)
+	}
+	sort.Slice(rep.SensitiveBits, func(i, j int) bool {
+		return rep.SensitiveBits[i].Addr < rep.SensitiveBits[j].Addr
+	})
+	return rep
+}

@@ -2,6 +2,7 @@ package seu
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -31,6 +32,34 @@ func (kc KindCounts) MarshalJSON() ([]byte, error) {
 	}
 	buf.WriteByte('}')
 	return buf.Bytes(), nil
+}
+
+// kindByName inverts BitKind.String over the modelled kinds, so the JSON
+// object form round-trips (campaign checkpoints deserialize per-kind maps).
+var kindByName = func() map[string]device.BitKind {
+	m := make(map[string]device.BitKind)
+	for k := device.KindPad; k <= device.KindExtra; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// UnmarshalJSON parses the object form MarshalJSON emits.
+func (kc *KindCounts) UnmarshalJSON(b []byte) error {
+	var raw map[string]int64
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	out := make(KindCounts, len(raw))
+	for name, n := range raw {
+		k, ok := kindByName[name]
+		if !ok {
+			return fmt.Errorf("seu: unknown bit kind %q", name)
+		}
+		out[k] = n
+	}
+	*kc = out
+	return nil
 }
 
 // Total sums all counts.

@@ -1,6 +1,7 @@
 package seu
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,10 +74,20 @@ func mergeInto(rep *Report, acc *shardAccum) {
 
 // runRange executes the injection loop over bit addresses [lo, hi) on bd.
 // tri is the shared read-only sensitivity triage (nil = disabled); fs is
-// bd's dirty-frame tracker, owned by the worker driving bd.
-func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum, tri *triage, fs *frameScrub, fast bool) error {
+// bd's dirty-frame tracker, owned by the worker driving bd. Cancellation is
+// checked before every injection (and periodically across skipped spans), so
+// a cancelled campaign stops with the board between iterations, never
+// mid-repair.
+func runRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum, tri *triage, fs *frameScrub, fast bool) error {
 	g := bd.Geometry()
 	for a := device.BitAddr(lo); int64(a) < hi; a++ {
+		// The sampling skip path costs one hash per address; amortize the
+		// cancellation check over skipped spans so it stays invisible there.
+		if a&0xFFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if !selected(opts, a) {
 			continue
 		}
@@ -91,6 +102,9 @@ func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Op
 			acc.triageSkipped++
 			continue // provably outside every observed output's cone
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := injectOne(bd, golden, a, info, opts, acc, fs, fast); err != nil {
 			return err
 		}
@@ -100,7 +114,7 @@ func runRange(bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Op
 
 // runSharded fans the range [0, limit) out over workers cloned boards and
 // returns the per-chunk accumulators in chunk order.
-func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, workers int, opts Options, tri *triage, fast bool) ([]*shardAccum, error) {
+func runSharded(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, workers int, opts Options, tri *triage, fast bool) ([]*shardAccum, error) {
 	chunks := workers * chunksPerWorker
 	if int64(chunks) > limit {
 		chunks = int(limit)
@@ -139,7 +153,7 @@ func runSharded(bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, worker
 				}
 				acc := newShardAccum()
 				accs[ci] = acc
-				if err := runRange(wb, golden, lo, hi, opts, acc, tri, fs, fast); err != nil {
+				if err := runRange(ctx, wb, golden, lo, hi, opts, acc, tri, fs, fast); err != nil {
 					failed.Store(true)
 					errCh <- err
 					return

@@ -6,6 +6,7 @@
 package seu
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -225,6 +226,14 @@ func (r *Report) String() string {
 // set, counters, per-kind maps, and SensitiveBits order — is identical at
 // any worker count; only WallTime varies.
 func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
+	return RunContext(context.Background(), bd, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the campaign
+// stops between injections and returns ctx's error. A cancelled campaign
+// returns no partial report — resumable execution is the chunk API's job
+// (PlanChunks / ChunkRunner).
+func RunContext(ctx context.Context, bd *board.SLAAC1V, opts Options) (*Report, error) {
 	if opts.ObserveCycles <= 0 || opts.CleanRun <= 0 {
 		return nil, fmt.Errorf("seu: non-positive cycle counts")
 	}
@@ -265,12 +274,12 @@ func Run(bd *board.SLAAC1V, opts Options) (*Report, error) {
 	}
 	if workers == 1 {
 		acc := newShardAccum()
-		if err := runRange(bd, golden, 0, limit, opts, acc, tri, newFrameScrub(g), fast); err != nil {
+		if err := runRange(ctx, bd, golden, 0, limit, opts, acc, tri, newFrameScrub(g), fast); err != nil {
 			return nil, err
 		}
 		mergeInto(rep, acc)
 	} else {
-		accs, err := runSharded(bd, golden, limit, workers, opts, tri, fast)
+		accs, err := runSharded(ctx, bd, golden, limit, workers, opts, tri, fast)
 		if err != nil {
 			return nil, err
 		}
