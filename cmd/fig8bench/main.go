@@ -1,12 +1,13 @@
 // Command fig8bench times the Fig. 8 injection loop across the kernel and
-// scheduling variants (fastsim on/off, triage on/off, sequential/sharded)
-// and emits a machine-readable JSON report. CI commits the result as
-// BENCH_PR3.json so the event-kernel speedup is tracked in-repo, next to the
-// code that produces it.
+// scheduling variants (fastsim on/off, triage on/off, sequential/sharded,
+// scalar vs 64-lane vector kernel) and emits a machine-readable JSON report.
+// CI commits the result as BENCH_PR6.json (the scalar-era baseline lives in
+// BENCH_PR3.json) so kernel speedups are tracked in-repo, next to the code
+// that produces them.
 //
 // Example:
 //
-//	fig8bench -out BENCH_PR3.json
+//	fig8bench -out BENCH_PR6.json
 package main
 
 import (
@@ -36,6 +37,7 @@ type variantResult struct {
 	Workers         int     `json:"workers"`
 	Triage          bool    `json:"triage"`
 	FastSim         bool    `json:"fastsim"`
+	Kernel          string  `json:"kernel"`
 	Injections      int64   `json:"injections"`
 	Failures        int64   `json:"failures"`
 	WallSeconds     float64 `json:"wall_seconds"`
@@ -56,7 +58,19 @@ type benchReport struct {
 	// run over the sequential fastsim-on run — the headline number for the
 	// event kernel plus convergence early exit.
 	SpeedupFastSim float64 `json:"speedup_fastsim_x"`
+	// SpeedupVector is the wall-time ratio of the best sequential scalar
+	// point (workers-1: triage + fastsim, the PR 3 headline) over the
+	// sequential vector-kernel run of the identical campaign.
+	SpeedupVector float64 `json:"speedup_vector_x"`
+	// PR3BestNsPerInjection is the committed PR 3 baseline for the same
+	// workload (BENCH_PR3.json, "workers-1"), kept here so the vector
+	// kernel's improvement over the scalar era is visible in one file.
+	PR3BestNsPerInjection float64 `json:"pr3_best_ns_per_injection"`
 }
+
+// pr3BestNsPerInjection is BENCH_PR3.json's "workers-1" ns/injection on the
+// default workload (MULT 12, small, 2000 bits, seed 1).
+const pr3BestNsPerInjection = 24449.8025
 
 func main() {
 	var (
@@ -81,18 +95,22 @@ func main() {
 		workers int
 		triage  bool
 		fastsim bool
+		kernel  seu.Kernel
 	}
 	nproc := runtime.GOMAXPROCS(0)
 	variants := []variant{
-		{"workers-1-fastsim-off-triage-off", 1, false, false},
-		{"workers-1-fastsim-off", 1, true, false},
-		{"workers-1-triage-off", 1, false, true},
-		{"workers-1", 1, true, true},
+		{"workers-1-fastsim-off-triage-off", 1, false, false, seu.KernelAuto},
+		{"workers-1-fastsim-off", 1, true, false, seu.KernelAuto},
+		{"workers-1-triage-off", 1, false, true, seu.KernelAuto},
+		{"workers-1", 1, true, true, seu.KernelAuto},
+		{"workers-1-vector-triage-off", 1, false, true, seu.KernelVector},
+		{"workers-1-vector", 1, true, true, seu.KernelVector},
 	}
 	if nproc > 1 {
 		variants = append(variants,
-			variant{fmt.Sprintf("workers-%d-fastsim-off", nproc), nproc, true, false},
-			variant{fmt.Sprintf("workers-%d", nproc), nproc, true, true})
+			variant{fmt.Sprintf("workers-%d-fastsim-off", nproc), nproc, true, false, seu.KernelAuto},
+			variant{fmt.Sprintf("workers-%d", nproc), nproc, true, true, seu.KernelAuto},
+			variant{fmt.Sprintf("workers-%d-vector", nproc), nproc, true, true, seu.KernelVector})
 	}
 
 	rep := benchReport{
@@ -107,8 +125,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var refInjections int64 = -1
-	var offWall, onWall float64
+	var refInjections, refFailures int64 = -1, -1
+	var offWall, onWall, vecWall float64
 	for _, v := range variants {
 		bd, err := board.New(p, 1)
 		check(err)
@@ -120,6 +138,7 @@ func main() {
 		opts.Sample = 1
 		opts.Triage = v.triage
 		opts.FastSim = v.fastsim
+		opts.Kernel = v.kernel
 		start := time.Now()
 		r, err := seu.RunContext(ctx, bd, opts)
 		if errors.Is(err, context.Canceled) {
@@ -129,10 +148,10 @@ func main() {
 		check(err)
 		wall := time.Since(start)
 		if refInjections < 0 {
-			refInjections = r.Injections
-		} else if r.Injections != refInjections {
-			fmt.Fprintf(os.Stderr, "fig8bench: variant %s injected %d bits, reference injected %d — campaigns diverged\n",
-				v.name, r.Injections, refInjections)
+			refInjections, refFailures = r.Injections, r.Failures
+		} else if r.Injections != refInjections || r.Failures != refFailures {
+			fmt.Fprintf(os.Stderr, "fig8bench: variant %s saw %d injections / %d failures, reference saw %d / %d — campaigns diverged\n",
+				v.name, r.Injections, r.Failures, refInjections, refFailures)
 			os.Exit(1)
 		}
 		total := r.CyclesSimulated + r.CyclesSkipped
@@ -141,6 +160,7 @@ func main() {
 			Workers:         v.workers,
 			Triage:          v.triage,
 			FastSim:         v.fastsim,
+			Kernel:          v.kernel.String(),
 			Injections:      r.Injections,
 			Failures:        r.Failures,
 			WallSeconds:     wall.Seconds(),
@@ -151,9 +171,12 @@ func main() {
 		}
 		rep.Variants = append(rep.Variants, res)
 		if v.workers == 1 && v.triage {
-			if v.fastsim {
+			switch {
+			case v.kernel == seu.KernelVector:
+				vecWall = res.WallSeconds
+			case v.fastsim:
 				onWall = res.WallSeconds
-			} else {
+			default:
 				offWall = res.WallSeconds
 			}
 		}
@@ -163,6 +186,10 @@ func main() {
 	if onWall > 0 {
 		rep.SpeedupFastSim = offWall / onWall
 	}
+	if vecWall > 0 {
+		rep.SpeedupVector = onWall / vecWall
+	}
+	rep.PR3BestNsPerInjection = pr3BestNsPerInjection
 
 	w := os.Stdout
 	if *out != "" {

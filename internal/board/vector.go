@@ -1,0 +1,123 @@
+package board
+
+import (
+	"math/rand"
+
+	"repro/internal/fpga"
+)
+
+// VectorBoard is the 64-lane image of the SLAAC-1V harness: a golden and a
+// DUT lane machine driven by per-lane stimulus streams, compared lane-wise
+// on every clock. Lane i of a batch reproduces exactly the scalar
+// golden-vs-DUT run of injection i — same canonical start state (pins low,
+// user state reset), same per-injection stimulus stream, same comparator.
+type VectorBoard struct {
+	Golden *fpga.Vector
+	DUT    *fpga.Vector
+
+	inPins  []int
+	outNets []int
+	rngs    [64]*rand.Rand
+	lanes   int
+	full    uint64
+}
+
+// NewVectorBoard builds the lane harness for b's design. The canonical
+// start state is captured from b's golden device after the campaign reset
+// (pins low, Reset) — the state every scalar injection starts from — and
+// broadcast into both lane machines. b's golden device is left in that
+// canonical state; campaigns re-reset the scalar board before every scalar
+// injection anyway.
+func NewVectorBoard(b *SLAAC1V) *VectorBoard {
+	for _, pin := range b.inPins {
+		b.Golden.SetPin(pin, false)
+	}
+	b.Golden.Reset()
+	snap := b.Golden.CaptureVectorSnapshot()
+	return &VectorBoard{
+		Golden:  fpga.NewVector(b.Golden, snap),
+		DUT:     fpga.NewVector(b.Golden, snap),
+		inPins:  b.inPins,
+		outNets: b.outNets,
+	}
+}
+
+// StartBatch resets all lanes to the canonical state and seeds one
+// stimulus stream per lane — seeds[i] must be the same stimulusSeed the
+// scalar campaign would use for injection i.
+func (vb *VectorBoard) StartBatch(seeds []int64) {
+	vb.lanes = len(seeds)
+	if vb.lanes >= 64 {
+		vb.full = ^uint64(0)
+	} else {
+		vb.full = 1<<uint(vb.lanes) - 1
+	}
+	for i, s := range seeds {
+		if vb.rngs[i] == nil {
+			vb.rngs[i] = rand.New(rand.NewSource(s))
+		} else {
+			vb.rngs[i].Seed(s)
+		}
+	}
+	vb.Golden.ResetBatch(vb.lanes)
+	vb.DUT.ResetBatch(vb.lanes)
+}
+
+// Step drives one clock of per-lane random stimulus into both lane
+// machines and returns the mismatch word: bit i set iff lane i's compared
+// outputs disagree this clock. The stimulus transposition mirrors the
+// scalar board exactly — one 63-bit draw per pin group per lane per clock,
+// pin j of a group reading bit j of its lane's draw.
+func (vb *VectorBoard) Step() uint64 {
+	var draws [64]int64
+	for base := 0; base < len(vb.inPins); base += 63 {
+		end := base + 63
+		if end > len(vb.inPins) {
+			end = len(vb.inPins)
+		}
+		for lane := 0; lane < vb.lanes; lane++ {
+			draws[lane] = vb.rngs[lane].Int63()
+		}
+		for j, pin := range vb.inPins[base:end] {
+			var w uint64
+			for lane := 0; lane < vb.lanes; lane++ {
+				w |= uint64(draws[lane]>>uint(j)&1) << uint(lane)
+			}
+			vb.Golden.SetPinWord(pin, w)
+			vb.DUT.SetPinWord(pin, w)
+		}
+	}
+	vb.Golden.Step()
+	vb.DUT.Step()
+	return vb.MismatchWord()
+}
+
+// MismatchWord compares the settled outputs of both lane machines.
+func (vb *VectorBoard) MismatchWord() uint64 {
+	var m uint64
+	for _, id := range vb.outNets {
+		m |= vb.Golden.NetWord(id) ^ vb.DUT.NetWord(id)
+	}
+	return m & vb.full
+}
+
+// FailedOutputs returns the comparator indices disagreeing in lane —
+// the lane image of SLAAC1V.MismatchBits. The slice is freshly allocated
+// (BitRecords retain it).
+func (vb *VectorBoard) FailedOutputs(lane int) []int {
+	var out []int
+	for i, id := range vb.outNets {
+		if (vb.Golden.NetWord(id)^vb.DUT.NetWord(id))>>uint(lane)&1 == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LockedWord returns the lanes provably in lock-step: bit i set iff lane
+// i's golden and DUT state words are identical everywhere. For lanes whose
+// overlay has been removed (configuration golden by construction) this is
+// exactly the scalar Locked condition restricted to the lane.
+func (vb *VectorBoard) LockedWord() uint64 {
+	return ^fpga.DivergenceWord(vb.Golden, vb.DUT) & vb.full
+}

@@ -518,6 +518,10 @@ func (s *Scheduler) runSEU(ctx context.Context, id string, spec *core.CampaignSp
 						st.Failures += cr.Failures
 					})
 				}
+				// The channel drained without error: every chunk this runner
+				// touched completed, so its replica is a clean substrate —
+				// park it for the next job on this design.
+				r.Release()
 			}(runners[i])
 		}
 		workWG.Wait()

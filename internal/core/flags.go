@@ -26,7 +26,7 @@ func RegisterCampaignFlags(fs *flag.FlagSet, def CampaignSpec) *CampaignFlags {
 	fs.IntVar(&cf.Spec.Workers, "workers", def.Workers, "parallel injection workers, each on a cloned board replica; results are identical at any count (0 = GOMAXPROCS)")
 	fs.BoolVar(&cf.Triage, "triage", !def.NoTriage, "skip provably-inert configuration bits via static cone-of-influence analysis; reports are byte-identical either way")
 	fs.BoolVar(&cf.FastSim, "fastsim", !def.NoFastSim, "use the activity-driven settling kernel and lock-step convergence early exit; reports are byte-identical either way")
-	fs.StringVar(&cf.Spec.Kernel, "kernel", def.Kernel, "settling kernel: auto (follow -fastsim), event, or sweep; reports are byte-identical at any choice")
+	fs.StringVar(&cf.Spec.Kernel, "kernel", def.Kernel, "settling kernel: auto (follow -fastsim), event, sweep, or vector (64 fault universes per pass); reports are byte-identical at any choice")
 	return cf
 }
 

@@ -1,7 +1,7 @@
 // Package crosscheck is the randomized differential conformance harness:
 // seeded random designs (netlist and raw-fabric) run their injection
 // campaign at every point of the configuration lattice — {fastsim on/off} ×
-// {triage on/off} × {worker counts} × {event vs sweep kernel} — and every
+// {triage on/off} × {worker counts} × {sweep/event/auto/vector kernel} — and every
 // point must produce a byte-identical canonical report. A set of metamorphic
 // invariants (sample-subset monotonicity, MaxBits prefixing, classification
 // independence, inert-bit force-injection, repair restoring full state
@@ -41,15 +41,18 @@ func Reference() Point {
 	return Point{FastSim: false, Triage: false, Workers: 1, Kernel: seu.KernelSweep}
 }
 
-// Lattice enumerates the full configuration lattice (24 points). It includes
+// Lattice enumerates the full configuration lattice (48 points). It includes
 // the reference point itself, so a sweep also re-checks run-to-run
-// reproducibility of the slow path.
+// reproducibility of the slow path. The kernel axis spans every ParseKernel
+// spelling: sweep, event, auto (whose scalar behaviour follows fastsim), and
+// vector (the 64-lane batch kernel, which must demote incompatible bits to a
+// scalar path that itself follows auto semantics).
 func Lattice() []Point {
 	var pts []Point
 	for _, fs := range []bool{false, true} {
 		for _, tr := range []bool{false, true} {
 			for _, w := range workerAxis {
-				for _, k := range []seu.Kernel{seu.KernelSweep, seu.KernelEvent} {
+				for _, k := range []seu.Kernel{seu.KernelSweep, seu.KernelEvent, seu.KernelAuto, seu.KernelVector} {
 					pts = append(pts, Point{FastSim: fs, Triage: tr, Workers: w, Kernel: k})
 				}
 			}

@@ -8,7 +8,7 @@ import (
 
 // TestConformanceSlice is the CI-sized slice of the conformance suite: a
 // handful of seeded designs (mixing netlist and raw-fabric flavours) swept
-// over the full 24-point lattice plus all metamorphic invariants. The full
+// over the full 48-point lattice plus all metamorphic invariants. The full
 // suite is `go run ./cmd/crosscheck -designs 200 -seed 1`.
 func TestConformanceSlice(t *testing.T) {
 	if testing.Short() {

@@ -1,0 +1,861 @@
+package fpga
+
+import (
+	"math/bits"
+
+	"repro/internal/device"
+)
+
+// Bit-parallel fault simulation: 64 fault universes evaluated per sweep.
+//
+// A Vector is a lane-parallel re-implementation of the full-sweep kernel in
+// sim.go: every bool of device state (netVal, lutVal, ffVal, BRAM output
+// register bits) becomes one uint64 word whose lane i holds the value that
+// state bit has in fault universe i. All lanes share the golden decoded
+// configuration; a universe's single-bit configuration delta is represented
+// as a per-lane overlay (a patched truth table, a flipped output mux, an
+// extra long-line driver, ...) consulted during evaluation instead of a
+// re-decode. LUTs evaluate all 64 universes at once through the truth-table
+// mux identity; wired-AND long lines are a lane-wise AND of their driver
+// words; the flip-flop update is the classic mux word (d & ce) | (ff &^ ce).
+//
+// Exactness. Per lane, a Vector sweep is the scalar sweep of sim.go run
+// under that lane's configuration:
+//
+//   - the evaluation list is the golden active set extended by every CLB
+//     carrying an overlay — a superset of the scalar active/dirty set in
+//     every lane. The extra evaluations are of inactive un-overlaid LUTs,
+//     which always evaluate to 0, exactly the value the scalar kernel
+//     froze them at (truth 0 and no SRL/registered output implies constant
+//     0), so they never change a lane and never mark the sweep changed;
+//   - in-sweep long-line refresh triggers are the golden llByOut edges
+//     plus the edges added by lane overlays — again a superset in every
+//     lane, and a long-line refresh is a stateless recompute, so spurious
+//     triggers are no-ops — and every sweep ends with a refresh of all
+//     lines, exactly like the scalar kernel;
+//   - the sweep loop runs until no lane changes, bounded by MaxSweeps. A
+//     lane at fixpoint re-evaluates to itself, so extra sweeps forced by a
+//     still-settling (or oscillating) lane are identities; an oscillating
+//     lane freezes after exactly MaxSweeps sweeps, the state the scalar
+//     kernel freezes it in.
+//
+// Configurations a per-lane overlay cannot represent exactly — SRL16 shift
+// registers, writable BRAM, stuck-at overlays, LUT-mode flips — are never
+// given a lane: PlanVectorDelta demotes those bits to the scalar path.
+
+// vectorDeltaKind enumerates the behavioural effects a single configuration
+// bit flip can have relative to the golden decode.
+type vectorDeltaKind uint8
+
+const (
+	// vdNone: the flip provably changes no decoded behaviour (padding,
+	// extra frames, FF init bits, fields of disabled resources).
+	vdNone vectorDeltaKind = iota
+	vdTruth
+	vdInSel
+	vdOutMux
+	vdFFCE
+	vdFFDInv
+	vdLLAdd
+	vdLLRemove
+	vdLLSrc
+)
+
+// VectorDelta is the decoded behavioural effect of flipping one
+// configuration bit, expressed against the golden decode so a lane can
+// apply it as an overlay without re-decoding.
+type VectorDelta struct {
+	kind vectorDeltaKind
+	clb  int32
+	ll   int32 // dense long-line index (vdLL*)
+	l    uint8 // LUT / FF / output index within the CLB
+	in   uint8 // LUT input index (vdInSel)
+	bit  uint8 // truth-table bit (vdTruth)
+	sel  uint8 // new input/CE select (vdInSel, vdFFCE)
+	mode device.CEMode
+	src  uint8 // golden driver source (vdLLRemove, vdLLSrc), new (vdLLAdd)
+	nsrc uint8 // flipped driver source (vdLLSrc)
+}
+
+// Inert reports whether the delta provably changes no behaviour: the lane
+// would be identical to golden, so the campaign can retire the bit as
+// benign without spending a lane on it.
+func (d VectorDelta) Inert() bool { return d.kind == vdNone }
+
+// PlanVectorDelta translates a configuration-bit flip into its lane
+// overlay. ok=false demotes the bit to the scalar path: the flip creates
+// state the lane machinery does not model (an SRL16 whose truth table
+// shifts, BRAM content or port changes). The caller is responsible for
+// only planning against non-history-coupled devices (no SRLs, no writable
+// BRAM, no stuck overlay) whose decode is golden.
+func (f *FPGA) PlanVectorDelta(a device.BitAddr, info device.BitInfo) (VectorDelta, bool) {
+	switch info.Kind {
+	case device.KindPad, device.KindExtra:
+		return VectorDelta{}, true
+	case device.KindBRAMContent, device.KindBRAMPort:
+		return VectorDelta{}, false
+	}
+	clb := int32(info.R*f.geom.Cols + info.C)
+	cfg := &f.clbs[clb]
+	cb := info.CB
+	switch {
+	case cb < device.CBInMuxBase:
+		l := cb / device.LUTBits
+		if cfg.lut[l].srl {
+			return VectorDelta{}, false // live shifting state
+		}
+		return VectorDelta{kind: vdTruth, clb: clb, l: uint8(l), bit: uint8(cb % device.LUTBits)}, true
+	case cb < device.CBFFBase:
+		field := (cb - device.CBInMuxBase) / device.InMuxSelBits
+		k := (cb - device.CBInMuxBase) % device.InMuxSelBits
+		l := field / device.LUTInputs
+		in := field % device.LUTInputs
+		return VectorDelta{kind: vdInSel, clb: clb, l: uint8(l), in: uint8(in),
+			sel: cfg.lut[l].inSel[in] ^ 1<<k}, true
+	case cb < device.CBOutMuxBase:
+		k := (cb - device.CBFFBase) / device.FFCfgBits
+		sub := (cb - device.CBFFBase) % device.FFCfgBits
+		ff := &cfg.ff[k]
+		switch {
+		case sub == device.FFInitBit:
+			// Init values load only at full-configuration start-up, which
+			// never runs mid-campaign.
+			return VectorDelta{}, true
+		case sub == device.FFCEModeLo:
+			return VectorDelta{kind: vdFFCE, clb: clb, l: uint8(k), mode: ff.ceMode ^ 1, sel: ff.ceSel}, true
+		case sub == device.FFCEModeHi:
+			return VectorDelta{kind: vdFFCE, clb: clb, l: uint8(k), mode: ff.ceMode ^ 2, sel: ff.ceSel}, true
+		case sub >= device.FFCESelBase && sub < device.FFCESelBase+device.InMuxSelBits:
+			return VectorDelta{kind: vdFFCE, clb: clb, l: uint8(k), mode: ff.ceMode,
+				sel: ff.ceSel ^ 1<<(sub-device.FFCESelBase)}, true
+		default: // FFDInvBit
+			return VectorDelta{kind: vdFFDInv, clb: clb, l: uint8(k)}, true
+		}
+	case cb < device.CBLLBase:
+		return VectorDelta{kind: vdOutMux, clb: clb, l: uint8(cb - device.CBOutMuxBase)}, true
+	case cb < device.CBLUTModeBase:
+		d := (cb - device.CBLLBase) / device.LLDrvBits
+		sub := (cb - device.CBLLBase) % device.LLDrvBits
+		drv := &cfg.ll[d]
+		ll := int32(f.llIndexOf(info.R, info.C, d))
+		if sub == device.LLEnableBit {
+			if drv.enable {
+				return VectorDelta{kind: vdLLRemove, clb: clb, ll: ll, src: drv.src}, true
+			}
+			return VectorDelta{kind: vdLLAdd, clb: clb, ll: ll, src: drv.src}, true
+		}
+		if !drv.enable {
+			// Source select of a disabled driver: decode-identical.
+			return VectorDelta{}, true
+		}
+		k := sub - device.LLSrcBase
+		return VectorDelta{kind: vdLLSrc, clb: clb, ll: ll, src: drv.src, nsrc: drv.src ^ 1<<k}, true
+	default:
+		// LUT-mode bits (and any CLB bit beyond the modelled range is
+		// KindPad, handled above): flipping one turns a LUT into a live
+		// shift register — history-coupled state the lanes cannot carry.
+		return VectorDelta{}, false
+	}
+}
+
+// VectorSnapshot is the canonical post-reset device state every fault
+// universe starts from, captured once per campaign and broadcast into the
+// lanes of each batch.
+type VectorSnapshot struct {
+	net     []bool
+	lut     []bool
+	ff      []bool
+	bramOut []uint16
+}
+
+// CaptureVectorSnapshot records the device's current settled state. The
+// caller is expected to have put the device into the campaign's canonical
+// state first (pins low, Reset).
+func (f *FPGA) CaptureVectorSnapshot() *VectorSnapshot {
+	return &VectorSnapshot{
+		net:     append([]bool(nil), f.netVal...),
+		lut:     append([]bool(nil), f.lutVal...),
+		ff:      append([]bool(nil), f.ffVal...),
+		bramOut: append([]uint16(nil), f.bramOut...),
+	}
+}
+
+// Per-lane overlay records. Each lane carries at most one single-bit delta,
+// so patch lists stay tiny; they are scanned, not indexed.
+type lutLanePatch struct {
+	lane  uint8
+	truth uint16
+	inSel [device.LUTInputs]uint8
+}
+
+type ceLanePatch struct {
+	lane uint8
+	mode device.CEMode
+	sel  uint8
+}
+
+type llLanePatch struct {
+	lane  uint8
+	skip  int8  // index into the golden driver list to ignore, -1 none
+	addID int32 // dense net ID of an extra driver to AND in, -1 none
+}
+
+// Vector is the 64-lane simulation machine for one device. Two Vectors
+// (golden and DUT) built from the same *FPGA share its decoded
+// configuration read-only; only the DUT Vector carries overlays.
+type Vector struct {
+	f    *FPGA
+	full uint64 // mask of live lanes
+
+	// Lane-parallel state words (lane i = fault universe i).
+	net     []uint64
+	lut     []uint64
+	ff      []uint64
+	bramOut [][]uint64 // per block, per output-register bit
+
+	// Canonical broadcast of the campaign's post-reset state.
+	canonNet     []uint64
+	canonLut     []uint64
+	canonFF      []uint64
+	canonBRAMOut [][]uint64
+
+	// Precomputed per-block port net IDs (-1 = invalid/constant-0 field).
+	bramEnID   []int32
+	bramAddrID [][]int32
+
+	// Batch evaluation plan: the golden active sets extended by overlay
+	// CLBs, rebuilt lazily after overlays change.
+	evalList  []int32
+	clockList []int32
+	evalStale bool
+
+	// Per-lane overlays (DUT side only), reset per batch. The *Touched
+	// lists make the reset proportional to the batch's overlay count, not
+	// the device size.
+	overCLB     []bool
+	overCLBList []int32
+	lutOver     [][]lutLanePatch
+	lutTouched  []int32
+	muxXor      []uint64 // lanes with a flipped output mux, per LUT
+	muxTouched  []int32
+	ceOver      [][]ceLanePatch
+	ceTouched   []int32
+	dinvXor     []uint64 // lanes with a flipped D inverter, per FF
+	dinvTouched []int32
+	llOver      [][]llLanePatch
+	llTouched   []int32
+	// llAddByOut holds in-sweep refresh edges for drivers that exist only
+	// in some lane's overlay, keyed by the driving output's net ID.
+	llAddByOut   [][]int32
+	llAddTouched []int32
+
+	// MaxSweeps mirrors the scalar oscillation bound.
+	MaxSweeps int
+}
+
+// NewVector builds a lane machine over f's decoded configuration with snap
+// as the canonical per-lane start state. f must not be history-coupled
+// (the planner's demotions guarantee campaign use never is).
+func NewVector(f *FPGA, snap *VectorSnapshot) *Vector {
+	g := f.geom
+	v := &Vector{
+		f:         f,
+		net:       make([]uint64, g.NumNets()),
+		lut:       make([]uint64, g.LUTs()),
+		ff:        make([]uint64, g.CLBs()*device.FFsPerCLB),
+		overCLB:   make([]bool, g.CLBs()),
+		lutOver:   make([][]lutLanePatch, g.LUTs()),
+		muxXor:    make([]uint64, g.LUTs()),
+		ceOver:    make([][]ceLanePatch, g.CLBs()*device.FFsPerCLB),
+		dinvXor:   make([]uint64, g.CLBs()*device.FFsPerCLB),
+		llOver:    make([][]llLanePatch, len(f.llDrivers)),
+		llAddByOut: make([][]int32, 4*g.CLBs()),
+		MaxSweeps: f.MaxSweeps,
+		evalStale: true,
+	}
+	v.canonNet = broadcastBools(snap.net)
+	v.canonLut = broadcastBools(snap.lut)
+	v.canonFF = broadcastBools(snap.ff)
+	v.bramOut = make([][]uint64, g.BRAMBlocks())
+	v.canonBRAMOut = make([][]uint64, g.BRAMBlocks())
+	for bi := range v.bramOut {
+		v.bramOut[bi] = make([]uint64, device.BRAMWidth)
+		w := make([]uint64, device.BRAMWidth)
+		for j := 0; j < device.BRAMWidth; j++ {
+			if snap.bramOut[bi]&(1<<uint(j)) != 0 {
+				w[j] = ^uint64(0)
+			}
+		}
+		v.canonBRAMOut[bi] = w
+	}
+	v.bramEnID = make([]int32, g.BRAMBlocks())
+	v.bramAddrID = make([][]int32, g.BRAMBlocks())
+	for bi := range v.bramEnID {
+		cfg := &f.brams[bi]
+		v.bramEnID[bi] = v.bramPortNetID(bi, cfg.en)
+		ids := make([]int32, device.BRAMAddrBits)
+		for j := 0; j < device.BRAMAddrBits; j++ {
+			ids[j] = v.bramPortNetID(bi, cfg.addr[j])
+		}
+		v.bramAddrID[bi] = ids
+	}
+	return v
+}
+
+func broadcastBools(src []bool) []uint64 {
+	out := make([]uint64, len(src))
+	for i, b := range src {
+		if b {
+			out[i] = ^uint64(0)
+		}
+	}
+	return out
+}
+
+// bramPortNetID resolves a BRAM port-input field to the dense net ID it
+// samples, mirroring bramPortValue's row clamp. -1 means constant 0.
+func (v *Vector) bramPortNetID(bi int, sel bramPortSel) int32 {
+	if !sel.valid {
+		return -1
+	}
+	f := v.f
+	bc, blk := f.bramColBlk(bi)
+	g := f.geom
+	r := g.BRAMRowBase(blk) + int(sel.rowOff)
+	if r >= g.Rows {
+		r = g.Rows - 1
+	}
+	c := g.BRAMAdjCol(bc)
+	return int32((r*g.Cols+c)*4 + int(sel.out))
+}
+
+// ResetBatch restores every lane to the canonical snapshot, clears all
+// overlays, and sets the live-lane mask to the low n lanes.
+func (v *Vector) ResetBatch(n int) {
+	if n >= 64 {
+		v.full = ^uint64(0)
+	} else {
+		v.full = 1<<uint(n) - 1
+	}
+	copy(v.net, v.canonNet)
+	copy(v.lut, v.canonLut)
+	copy(v.ff, v.canonFF)
+	for bi := range v.bramOut {
+		copy(v.bramOut[bi], v.canonBRAMOut[bi])
+	}
+	for _, li := range v.lutTouched {
+		v.lutOver[li] = v.lutOver[li][:0]
+	}
+	v.lutTouched = v.lutTouched[:0]
+	for _, li := range v.muxTouched {
+		v.muxXor[li] = 0
+	}
+	v.muxTouched = v.muxTouched[:0]
+	for _, i := range v.ceTouched {
+		v.ceOver[i] = v.ceOver[i][:0]
+	}
+	v.ceTouched = v.ceTouched[:0]
+	for _, i := range v.dinvTouched {
+		v.dinvXor[i] = 0
+	}
+	v.dinvTouched = v.dinvTouched[:0]
+	for _, ll := range v.llTouched {
+		v.llOver[ll] = v.llOver[ll][:0]
+	}
+	v.llTouched = v.llTouched[:0]
+	for _, id := range v.llAddTouched {
+		v.llAddByOut[id] = v.llAddByOut[id][:0]
+	}
+	v.llAddTouched = v.llAddTouched[:0]
+	for _, ci := range v.overCLBList {
+		v.overCLB[ci] = false
+	}
+	v.overCLBList = v.overCLBList[:0]
+	v.evalStale = true
+}
+
+func (v *Vector) markCLB(clb int32) {
+	if !v.overCLB[clb] {
+		v.overCLB[clb] = true
+		v.overCLBList = append(v.overCLBList, clb)
+	}
+	v.evalStale = true
+}
+
+func (v *Vector) addEdge(id int32, ll int32) {
+	if len(v.llAddByOut[id]) == 0 {
+		v.llAddTouched = append(v.llAddTouched, id)
+	}
+	v.llAddByOut[id] = append(v.llAddByOut[id], ll)
+}
+
+// goldenDriverIndex finds the golden driver entry of line ll contributed by
+// clb. A CLB drives a given line through exactly one slot, so the entry is
+// unique.
+func (v *Vector) goldenDriverIndex(ll, clb int) int8 {
+	for i, ref := range v.f.llDrivers[ll] {
+		if !ref.bram && ref.idx == clb {
+			return int8(i)
+		}
+	}
+	return -1
+}
+
+// ApplyDelta installs lane's single-bit overlay. Lanes carry at most one
+// delta per batch.
+func (v *Vector) ApplyDelta(lane int, d VectorDelta) {
+	bit := uint64(1) << uint(lane)
+	switch d.kind {
+	case vdNone:
+	case vdTruth, vdInSel:
+		li := d.clb*device.LUTsPerCLB + int32(d.l)
+		g := v.f.clbs[d.clb].lut[d.l]
+		p := lutLanePatch{lane: uint8(lane), truth: g.truth, inSel: g.inSel}
+		if d.kind == vdTruth {
+			p.truth ^= 1 << d.bit
+		} else {
+			p.inSel[d.in] = d.sel
+		}
+		if len(v.lutOver[li]) == 0 {
+			v.lutTouched = append(v.lutTouched, li)
+		}
+		v.lutOver[li] = append(v.lutOver[li], p)
+		v.markCLB(d.clb)
+	case vdOutMux:
+		li := d.clb*device.LUTsPerCLB + int32(d.l)
+		if v.muxXor[li] == 0 {
+			v.muxTouched = append(v.muxTouched, li)
+		}
+		v.muxXor[li] ^= bit
+		v.markCLB(d.clb)
+	case vdFFCE:
+		i := d.clb*device.FFsPerCLB + int32(d.l)
+		if len(v.ceOver[i]) == 0 {
+			v.ceTouched = append(v.ceTouched, i)
+		}
+		v.ceOver[i] = append(v.ceOver[i], ceLanePatch{lane: uint8(lane), mode: d.mode, sel: d.sel})
+		v.markCLB(d.clb)
+	case vdFFDInv:
+		i := d.clb*device.FFsPerCLB + int32(d.l)
+		if v.dinvXor[i] == 0 {
+			v.dinvTouched = append(v.dinvTouched, i)
+		}
+		v.dinvXor[i] ^= bit
+		v.markCLB(d.clb)
+	case vdLLAdd:
+		id := d.clb*4 + int32(d.src)
+		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: -1, addID: id})
+		v.addEdge(id, d.ll)
+	case vdLLRemove:
+		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: v.goldenDriverIndex(int(d.ll), int(d.clb)), addID: -1})
+	case vdLLSrc:
+		id := d.clb*4 + int32(d.nsrc)
+		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: v.goldenDriverIndex(int(d.ll), int(d.clb)), addID: id})
+		v.addEdge(id, d.ll)
+	}
+}
+
+func (v *Vector) addLLPatch(ll int32, p llLanePatch) {
+	if len(v.llOver[ll]) == 0 {
+		v.llTouched = append(v.llTouched, ll)
+	}
+	v.llOver[ll] = append(v.llOver[ll], p)
+}
+
+// RemoveDelta repairs lane's overlay: since every delta is a single bit of
+// a non-history-coupled resource, removing the overlay leaves the lane's
+// effective configuration exactly golden — the lane equivalent of the
+// scalar frame write-back. Refresh-edge entries and the overlay CLB's
+// membership in the evaluation plan are left in place; both are exact
+// no-ops under the golden configuration.
+func (v *Vector) RemoveDelta(lane int, d VectorDelta) {
+	bit := uint64(1) << uint(lane)
+	switch d.kind {
+	case vdNone:
+	case vdTruth, vdInSel:
+		li := d.clb*device.LUTsPerCLB + int32(d.l)
+		v.lutOver[li] = dropLutPatch(v.lutOver[li], uint8(lane))
+	case vdOutMux:
+		li := d.clb*device.LUTsPerCLB + int32(d.l)
+		v.muxXor[li] &^= bit
+	case vdFFCE:
+		i := d.clb*device.FFsPerCLB + int32(d.l)
+		ps := v.ceOver[i]
+		for k := range ps {
+			if ps[k].lane == uint8(lane) {
+				ps[k] = ps[len(ps)-1]
+				v.ceOver[i] = ps[:len(ps)-1]
+				break
+			}
+		}
+	case vdFFDInv:
+		i := d.clb*device.FFsPerCLB + int32(d.l)
+		v.dinvXor[i] &^= bit
+	case vdLLAdd, vdLLRemove, vdLLSrc:
+		ps := v.llOver[d.ll]
+		for k := range ps {
+			if ps[k].lane == uint8(lane) {
+				ps[k] = ps[len(ps)-1]
+				v.llOver[d.ll] = ps[:len(ps)-1]
+				break
+			}
+		}
+	}
+}
+
+func dropLutPatch(ps []lutLanePatch, lane uint8) []lutLanePatch {
+	for k := range ps {
+		if ps[k].lane == lane {
+			ps[k] = ps[len(ps)-1]
+			return ps[:len(ps)-1]
+		}
+	}
+	return ps
+}
+
+// SetPinWord drives input pin p with one bit per lane.
+func (v *Vector) SetPinWord(p int, w uint64) {
+	v.net[v.f.pinNetID(p)] = w
+}
+
+// NetWord returns the lane word of dense net id.
+func (v *Vector) NetWord(id int) uint64 { return v.net[id] }
+
+// rebuildLists recomputes the batch evaluation plan: the golden active
+// sets (in golden topological order) extended by every CLB carrying an
+// overlay this batch.
+func (v *Vector) rebuildLists() {
+	f := v.f
+	v.evalList = v.evalList[:0]
+	for _, li := range f.order {
+		if f.activeLUT[li] || v.overCLB[li/device.LUTsPerCLB] {
+			v.evalList = append(v.evalList, li)
+		}
+	}
+	v.clockList = v.clockList[:0]
+	for idx := range f.clbs {
+		if f.clbActive[idx] || v.overCLB[idx] {
+			v.clockList = append(v.clockList, int32(idx))
+		}
+	}
+	v.evalStale = false
+}
+
+// truthWord evaluates a 16-bit truth table over four lane-word inputs via
+// the mux identity: level 1 collapses input 0 against truth bit pairs,
+// levels 2..4 are generic (hi & s) | (lo &^ s) reductions.
+func truthWord(t uint16, s0, s1, s2, s3 uint64) uint64 {
+	n0 := ^s0
+	var w [8]uint64
+	for k := 0; k < 8; k++ {
+		switch (t >> uint(2*k)) & 3 {
+		case 0:
+			// w[k] stays 0
+		case 1:
+			w[k] = n0
+		case 2:
+			w[k] = s0
+		default:
+			w[k] = ^uint64(0)
+		}
+	}
+	n1 := ^s1
+	w[0] = w[0]&n1 | w[1]&s1
+	w[1] = w[2]&n1 | w[3]&s1
+	w[2] = w[4]&n1 | w[5]&s1
+	w[3] = w[6]&n1 | w[7]&s1
+	n2 := ^s2
+	w[0] = w[0]&n2 | w[1]&s2
+	w[1] = w[2]&n2 | w[3]&s2
+	return w[0]&^s3 | w[1]&s3
+}
+
+// slotWord reads input-mux slot s of CLB clb across all lanes, honouring
+// half-latch keepers on undriven taps. Stuck-at overlays never reach the
+// vector path (stuck devices are history-coupled and demoted wholesale).
+func (v *Vector) slotWord(clb, s int) uint64 {
+	si := clb*device.InMuxWays + s
+	id := v.f.candID[si]
+	if id < 0 {
+		if v.f.inHL[si] {
+			return ^uint64(0)
+		}
+		return 0
+	}
+	return v.net[id]
+}
+
+// laneLUTBit evaluates one overlaid lane's LUT scalar-style.
+func (v *Vector) laneLUTBit(clb int, p *lutLanePatch) uint64 {
+	idx := 0
+	for in := 0; in < device.LUTInputs; in++ {
+		if v.slotWord(clb, int(p.inSel[in]))>>p.lane&1 == 1 {
+			idx |= 1 << uint(in)
+		}
+	}
+	return uint64(p.truth>>uint(idx)) & 1
+}
+
+// laneLineBit recomputes one overlaid lane's long line: the golden wired-
+// AND with the lane's skipped entry removed and its extra driver ANDed in.
+// A lane whose overlay removes the only driver reads the line's keeper.
+func (v *Vector) laneLineBit(ll int, p *llLanePatch) uint64 {
+	f := v.f
+	drv := f.llDrivers[ll]
+	n := 0
+	val := uint64(1)
+	for i := range drv {
+		if int8(i) == p.skip {
+			continue
+		}
+		n++
+		val &= v.driverWord(&drv[i]) >> p.lane
+	}
+	if p.addID >= 0 {
+		n++
+		val &= v.net[p.addID] >> p.lane
+	}
+	if n == 0 {
+		if f.llHL[ll] {
+			return 1
+		}
+		return 0
+	}
+	return val & 1
+}
+
+func (v *Vector) driverWord(ref *driverRef) uint64 {
+	if ref.bram {
+		return v.bramOut[ref.idx][ref.out]
+	}
+	return v.net[ref.idx*4+ref.out]
+}
+
+// refreshLine recomputes long line ll for all lanes and reports whether any
+// lane changed.
+func (v *Vector) refreshLine(ll int) bool {
+	f := v.f
+	drv := f.llDrivers[ll]
+	var w uint64
+	if len(drv) == 0 {
+		if f.llHL[ll] {
+			w = ^uint64(0)
+		}
+	} else {
+		w = ^uint64(0)
+		for i := range drv {
+			w &= v.driverWord(&drv[i])
+		}
+	}
+	if ps := v.llOver[ll]; len(ps) > 0 {
+		for i := range ps {
+			p := &ps[i]
+			w = w&^(1<<p.lane) | v.laneLineBit(ll, p)<<p.lane
+		}
+	}
+	id := 4*f.geom.CLBs() + ll
+	if v.net[id] == w {
+		return false
+	}
+	v.net[id] = w
+	return true
+}
+
+// Settle evaluates combinational logic to a lane-wise fixpoint, mirroring
+// the scalar sweep kernel (same evaluation order, same in-sweep long-line
+// refresh, same end-of-sweep refresh, same MaxSweeps freeze).
+func (v *Vector) Settle() {
+	if v.evalStale {
+		v.rebuildLists()
+	}
+	f := v.f
+	for sweeps := 0; sweeps < v.MaxSweeps; sweeps++ {
+		changed := false
+		for _, li := range v.evalList {
+			clb := int(li) / device.LUTsPerCLB
+			o := int(li) % device.LUTsPerCLB
+			cfg := &f.clbs[clb].lut[o]
+			w := truthWord(cfg.truth,
+				v.slotWord(clb, int(cfg.inSel[0])),
+				v.slotWord(clb, int(cfg.inSel[1])),
+				v.slotWord(clb, int(cfg.inSel[2])),
+				v.slotWord(clb, int(cfg.inSel[3])))
+			if ps := v.lutOver[li]; len(ps) > 0 {
+				for i := range ps {
+					p := &ps[i]
+					w = w&^(1<<p.lane) | v.laneLUTBit(clb, p)<<p.lane
+				}
+			}
+			if v.lut[li] != w {
+				v.lut[li] = w
+				changed = true
+			}
+			var mux uint64
+			if f.clbs[clb].outMuxFF[o] {
+				mux = ^uint64(0)
+			}
+			mux ^= v.muxXor[li]
+			out := v.ff[li]&mux | w&^mux
+			id := clb*4 + o
+			if v.net[id] != out {
+				v.net[id] = out
+				changed = true
+				for _, ll := range f.llByOut[id] {
+					v.refreshLine(int(ll))
+				}
+				for _, ll := range v.llAddByOut[id] {
+					v.refreshLine(int(ll))
+				}
+			}
+		}
+		for ll := range f.llDrivers {
+			if v.refreshLine(ll) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// ceWord resolves the clock-enable lane word of FF k of CLB clb.
+func (v *Vector) ceWord(clb, k int) uint64 {
+	f := v.f
+	i := clb*device.FFsPerCLB + k
+	cfg := &f.clbs[clb].ff[k]
+	var w uint64
+	switch cfg.ceMode {
+	case device.CEHalfLatch:
+		if f.ceHL[i] {
+			w = ^uint64(0)
+		}
+	case device.CERouted:
+		w = v.slotWord(clb, int(cfg.ceSel))
+	case device.CEConstZero:
+		// stays 0
+	default: // CEConstOne
+		w = ^uint64(0)
+	}
+	if ps := v.ceOver[i]; len(ps) > 0 {
+		for idx := range ps {
+			p := &ps[idx]
+			var bit uint64
+			switch p.mode {
+			case device.CEHalfLatch:
+				if f.ceHL[i] {
+					bit = 1
+				}
+			case device.CERouted:
+				bit = v.slotWord(clb, int(p.sel)) >> p.lane & 1
+			case device.CEConstZero:
+				// stays 0
+			default:
+				bit = 1
+			}
+			w = w&^(1<<p.lane) | bit<<p.lane
+		}
+	}
+	return w
+}
+
+// Clock performs one rising edge: flip-flops of the clock list load their
+// (possibly lane-inverted) D inputs under their lane-wise clock enables,
+// then every BRAM block registers its addressed word per enabled lane.
+func (v *Vector) Clock() {
+	if v.evalStale {
+		v.rebuildLists()
+	}
+	f := v.f
+	for _, ci := range v.clockList {
+		clb := int(ci)
+		cfg := &f.clbs[clb]
+		for k := 0; k < device.FFsPerCLB; k++ {
+			i := clb*device.FFsPerCLB + k
+			ce := v.ceWord(clb, k)
+			d := v.lut[clb*device.LUTsPerCLB+k]
+			if cfg.ff[k].dInv {
+				d = ^d
+			}
+			d ^= v.dinvXor[i]
+			v.ff[i] = d&ce | v.ff[i]&^ce
+		}
+	}
+	for bi := range f.brams {
+		v.clockBRAM(bi)
+	}
+}
+
+// clockBRAM registers the addressed content word into each enabled lane's
+// output register. Writable BRAM never reaches the vector path (such
+// designs are history-coupled), so the content array is shared read-only
+// across lanes and the scalar kernel's write/interference paths have no
+// vector counterpart.
+func (v *Vector) clockBRAM(bi int) {
+	enID := v.bramEnID[bi]
+	if enID < 0 {
+		return
+	}
+	en := v.net[enID] & v.full
+	if en == 0 {
+		return
+	}
+	addrIDs := v.bramAddrID[bi]
+	var addrW [device.BRAMAddrBits]uint64
+	for j := 0; j < device.BRAMAddrBits; j++ {
+		if id := addrIDs[j]; id >= 0 {
+			addrW[j] = v.net[id]
+		}
+	}
+	mem := v.f.bramMem[bi]
+	out := v.bramOut[bi]
+	for rest := en; rest != 0; rest &= rest - 1 {
+		lane := uint(bits.TrailingZeros64(rest))
+		addr := 0
+		for j := 0; j < device.BRAMAddrBits; j++ {
+			addr |= int(addrW[j]>>lane&1) << uint(j)
+		}
+		word := mem[addr]
+		mask := uint64(1) << lane
+		for j := 0; j < device.BRAMWidth; j++ {
+			if word>>uint(j)&1 == 1 {
+				out[j] |= mask
+			} else {
+				out[j] &^= mask
+			}
+		}
+	}
+}
+
+// Step advances all lanes one clock: settle, clock, settle — the vector
+// image of the scalar Step.
+func (v *Vector) Step() {
+	v.Settle()
+	v.Clock()
+	v.Settle()
+}
+
+// DivergenceWord ORs the lane-wise XOR of every state word of two Vectors:
+// bit i is set iff lane i of a and b differ anywhere. With overlays
+// removed (lane configuration golden), a clear bit is exactly the scalar
+// lock-step condition — identical state under identical configuration
+// yields identical futures — restricted to that lane.
+func DivergenceWord(a, b *Vector) uint64 {
+	var d uint64
+	for i, w := range a.net {
+		d |= w ^ b.net[i]
+	}
+	for i, w := range a.lut {
+		d |= w ^ b.lut[i]
+	}
+	for i, w := range a.ff {
+		d |= w ^ b.ff[i]
+	}
+	for bi := range a.bramOut {
+		ao, bo := a.bramOut[bi], b.bramOut[bi]
+		for j := range ao {
+			d |= ao[j] ^ bo[j]
+		}
+	}
+	return d
+}

@@ -1,0 +1,197 @@
+package fpga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+)
+
+// vectorEligibleMemory builds the dense random configuration the event-kernel
+// property test uses, then clears every history-coupled feature — SRL mode
+// bits and writable BRAM ports — so the decoded device is vector-eligible
+// while still exercising LUTs, routing, long lines, FFs, and read-only BRAM.
+func vectorEligibleMemory(g device.Geometry, rng *rand.Rand) *bitstream.Memory {
+	total := g.TotalBits()
+	m := bitstream.NewMemory(g)
+	for i := int64(0); i < total/6; i++ {
+		m.Set(device.BitAddr(rng.Int63n(total)), true)
+	}
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			for l := 0; l < device.LUTsPerCLB; l++ {
+				m.Set(g.LUTModeBitAddr(r, c, l), false)
+			}
+		}
+	}
+	for bc := 0; bc < g.BRAMCols; bc++ {
+		for blk := 0; blk < g.BRAMBlocksPerCol(); blk++ {
+			m.Set(g.BRAMPortBitAddr(bc, blk, device.BRAMPortWEBase), false)
+		}
+	}
+	return m
+}
+
+// laneMatchesScalar compares lane of v against the full visible state of a
+// scalar device, returning a description of the first divergence ("" = none).
+func laneMatchesScalar(v *Vector, lane int, s *FPGA) string {
+	for i := range s.netVal {
+		if (v.net[i]>>uint(lane)&1 == 1) != s.netVal[i] {
+			return "net"
+		}
+	}
+	for i := range s.lutVal {
+		if (v.lut[i]>>uint(lane)&1 == 1) != s.lutVal[i] {
+			return "lutVal"
+		}
+	}
+	for i := range s.ffVal {
+		if (v.ff[i]>>uint(lane)&1 == 1) != s.ffVal[i] {
+			return "ffVal"
+		}
+	}
+	for bi := range s.bramOut {
+		for j := 0; j < device.BRAMWidth; j++ {
+			if (v.bramOut[bi][j]>>uint(lane)&1 == 1) != (s.bramOut[bi]>>uint(j)&1 == 1) {
+				return "bramOut"
+			}
+		}
+	}
+	return ""
+}
+
+// checkVectorAgainstScalars drives a batch of `lanes` single-bit fault
+// universes through the vector machine alongside `lanes` independent scalar
+// devices carrying the same injections and identical per-lane stimulus, with
+// a mid-run repair, asserting every lane's full visible state matches its
+// scalar witness after every clock — the property the vector kernel's
+// exactness rests on.
+func checkVectorAgainstScalars(t *testing.T, seed int64, lanes int) {
+	t.Helper()
+	g := device.Tiny()
+	rng := rand.New(rand.NewSource(seed))
+	bs := bitstream.Full(vectorEligibleMemory(g, rng))
+
+	f := New(g)
+	f.SetEventDriven(false)
+	if err := f.FullConfigure(bs); err != nil {
+		t.Fatal(err)
+	}
+	if f.HistoryCoupled() {
+		t.Fatal("eligible memory decoded history-coupled")
+	}
+	// Canonical campaign state: pins low, user state reset.
+	for p := 0; p < g.Pins(); p++ {
+		f.SetPin(p, false)
+	}
+	f.Reset()
+
+	// Pick `lanes` distinct lane-expressible single-bit deltas.
+	total := g.TotalBits()
+	addrs := make([]device.BitAddr, 0, lanes)
+	deltas := make([]VectorDelta, 0, lanes)
+	seen := make(map[device.BitAddr]bool)
+	for len(addrs) < lanes {
+		a := device.BitAddr(rng.Int63n(total))
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		d, ok := f.PlanVectorDelta(a, g.Classify(a))
+		if !ok || d.Inert() {
+			continue
+		}
+		addrs = append(addrs, a)
+		deltas = append(deltas, d)
+	}
+
+	snap := f.CaptureVectorSnapshot()
+	gv := NewVector(f, snap) // clean lanes (the golden side)
+	dv := NewVector(f, snap) // overlaid lanes (the DUT side)
+	gv.ResetBatch(lanes)
+	dv.ResetBatch(lanes)
+	for i, d := range deltas {
+		dv.ApplyDelta(i, d)
+	}
+
+	// Scalar witnesses: per lane, a clean clone and an injected clone.
+	base := make([]*FPGA, lanes)
+	sc := make([]*FPGA, lanes)
+	for i, a := range addrs {
+		base[i] = f.Clone()
+		sc[i] = f.Clone()
+		sc[i].InjectBit(a)
+	}
+
+	repaired := false
+	for step := 0; step < 30; step++ {
+		if step == 15 {
+			// Repair even lanes mid-run: overlay removal on the vector side,
+			// flipping the injected bit back on the scalar side.
+			for i := 0; i < lanes; i += 2 {
+				dv.RemoveDelta(i, deltas[i])
+				sc[i].InjectBit(addrs[i])
+			}
+			repaired = true
+		}
+		for p := 0; p < g.Pins(); p++ {
+			var w uint64
+			for i := 0; i < lanes; i++ {
+				if rng.Intn(2) == 1 {
+					w |= 1 << uint(i)
+					base[i].SetPin(p, true)
+					sc[i].SetPin(p, true)
+				} else {
+					base[i].SetPin(p, false)
+					sc[i].SetPin(p, false)
+				}
+			}
+			gv.SetPinWord(p, w)
+			dv.SetPinWord(p, w)
+		}
+		gv.Step()
+		dv.Step()
+		dw := DivergenceWord(gv, dv)
+		for i := 0; i < lanes; i++ {
+			base[i].Step()
+			sc[i].Step()
+			if what := laneMatchesScalar(gv, i, base[i]); what != "" {
+				t.Fatalf("seed %d step %d: clean lane %d diverged from scalar (%s)", seed, step, i, what)
+			}
+			if what := laneMatchesScalar(dv, i, sc[i]); what != "" {
+				t.Fatalf("seed %d step %d: faulted lane %d (bit %d, repaired=%v) diverged from scalar (%s)",
+					seed, step, i, addrs[i], repaired && i%2 == 0, what)
+			}
+			// DivergenceWord must agree lane-wise with the scalar pair's
+			// visible-state comparison (the lock-step early exit reads it).
+			scalarDiff := laneMatchesScalar(dv, i, base[i]) != ""
+			if (dw>>uint(i)&1 == 1) != scalarDiff {
+				t.Fatalf("seed %d step %d: DivergenceWord lane %d = %v, scalar comparison says %v",
+					seed, step, i, dw>>uint(i)&1 == 1, scalarDiff)
+			}
+		}
+	}
+}
+
+// TestVectorStepMatchesScalarLanes is the 64-lane property test: a random
+// full batch of vector-expressible faults must track 64 independent scalar
+// simulations bit for bit through stimulus, clocking, and mid-run repair.
+func TestVectorStepMatchesScalarLanes(t *testing.T) {
+	run := func(seed int64) bool {
+		checkVectorAgainstScalars(t, seed, 64)
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVectorLaneMaskEdges exercises the live-lane mask at the boundary batch
+// sizes: a single lane, one short of a full word, and a full word.
+func TestVectorLaneMaskEdges(t *testing.T) {
+	for _, lanes := range []int{1, 63, 64} {
+		checkVectorAgainstScalars(t, int64(1000+lanes), lanes)
+	}
+}

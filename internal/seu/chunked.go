@@ -112,6 +112,12 @@ type ChunkRunner struct {
 	fs     *frameScrub
 	fast   bool
 	opts   Options
+	vr     *vectorRunner
+	// tag/pooled drive replica-pool bookkeeping: clones are acquired from
+	// the pool and Release parks them; the base runner's board belongs to
+	// the caller and is never pooled.
+	tag    uint64
+	pooled bool
 }
 
 // NewChunkRunner prepares bd for chunked execution of the campaign opts
@@ -121,14 +127,7 @@ func NewChunkRunner(bd *board.SLAAC1V, opts Options) (*ChunkRunner, error) {
 	if opts.ObserveCycles <= 0 || opts.CleanRun <= 0 {
 		return nil, fmt.Errorf("seu: non-positive cycle counts")
 	}
-	event := opts.FastSim
-	switch opts.Kernel {
-	case KernelEvent:
-		event = true
-	case KernelSweep:
-		event = false
-	}
-	bd.SetFastSim(event)
+	bd.SetFastSim(scalarKernelEvent(opts))
 	r := &ChunkRunner{
 		bd:     bd,
 		golden: bd.DUT.ConfigMemory().Clone(),
@@ -136,18 +135,25 @@ func NewChunkRunner(bd *board.SLAAC1V, opts Options) (*ChunkRunner, error) {
 		fast:   opts.FastSim && !bd.DUT.HistoryCoupled(),
 		opts:   opts,
 	}
+	if poolEligible(bd) {
+		r.tag = bd.CampaignFingerprint()
+	}
 	if opts.Triage {
 		r.tri = newTriage(bd)
 	}
+	r.vr = maybeNewVectorRunner(bd, opts)
 	return r, nil
 }
 
-// Clone returns a runner on a cloned board replica. The triage mask and
-// golden snapshot are immutable and shared; the dirty-frame tracker is per
-// replica. The seed only decorrelates the replica's idle rng — results are
-// independent of it.
+// Clone returns a runner on a worker board replica — a pooled one from an
+// earlier campaign of this design when available, else a fresh clone. The
+// triage mask and golden snapshot are immutable and shared; the
+// dirty-frame tracker and vector batch scheduler are per replica. The seed
+// only decorrelates a fresh replica's idle rng — results are independent
+// of it.
 func (r *ChunkRunner) Clone(seed int64) *ChunkRunner {
-	wb := r.bd.Clone(seed)
+	wb := acquireReplica(r.bd, r.tag, seed)
+	wb.SetFastSim(scalarKernelEvent(r.opts))
 	return &ChunkRunner{
 		bd:     wb,
 		golden: r.golden,
@@ -155,14 +161,30 @@ func (r *ChunkRunner) Clone(seed int64) *ChunkRunner {
 		fs:     newFrameScrub(wb.Geometry()),
 		fast:   r.fast,
 		opts:   r.opts,
+		vr:     maybeNewVectorRunner(wb, r.opts),
+		tag:    r.tag,
+		pooled: true,
 	}
+}
+
+// Release parks a cloned runner's board replica for reuse by later
+// campaigns of the same design. Call it only after every chunk handed to
+// this runner completed without error — an aborted runner may hold a board
+// mid-corruption, and such boards must be discarded (simply don't call
+// Release). No-op on the base runner, whose board belongs to the caller.
+func (r *ChunkRunner) Release() {
+	if !r.pooled {
+		return
+	}
+	releaseReplica(r.bd, r.tag, true)
+	r.pooled = false
 }
 
 // Run executes one chunk, returning its serializable result. A cancelled
 // context aborts between injections with ctx's error and no result.
 func (r *ChunkRunner) Run(ctx context.Context, spec ChunkSpec) (*ChunkResult, error) {
 	acc := newShardAccum()
-	if err := runRange(ctx, r.bd, r.golden, spec.Lo, spec.Hi, r.opts, acc, r.tri, r.fs, r.fast); err != nil {
+	if err := runRange(ctx, r.bd, r.golden, spec.Lo, spec.Hi, r.opts, acc, r.tri, r.fs, r.fast, r.vr); err != nil {
 		return nil, err
 	}
 	return acc.result(spec.Index), nil

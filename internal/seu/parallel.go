@@ -74,11 +74,13 @@ func mergeInto(rep *Report, acc *shardAccum) {
 
 // runRange executes the injection loop over bit addresses [lo, hi) on bd.
 // tri is the shared read-only sensitivity triage (nil = disabled); fs is
-// bd's dirty-frame tracker, owned by the worker driving bd. Cancellation is
-// checked before every injection (and periodically across skipped spans), so
-// a cancelled campaign stops with the board between iterations, never
-// mid-repair.
-func runRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum, tri *triage, fs *frameScrub, fast bool) error {
+// bd's dirty-frame tracker, owned by the worker driving bd; vr is the
+// worker's vector-kernel batch scheduler (nil = scalar-only). Cancellation
+// is checked before every injection (and periodically across skipped
+// spans), so a cancelled campaign stops with the board between iterations,
+// never mid-repair. A pending vector batch always flushes inside the range
+// that enqueued it, so chunk results stay a pure function of their spec.
+func runRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum, tri *triage, fs *frameScrub, fast bool, vr *vectorRunner) error {
 	g := bd.Geometry()
 	for a := device.BitAddr(lo); int64(a) < hi; a++ {
 		// The sampling skip path costs one hash per address; amortize the
@@ -105,9 +107,25 @@ func runRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if vr != nil {
+			if d, ok := vr.golden.PlanVectorDelta(a, info); ok {
+				if d.Inert() {
+					continue // decode-identical to golden: provably benign
+				}
+				vr.enqueue(a, info.Kind, d)
+				if vr.fullBatch() {
+					vr.flush(opts, acc, fast)
+				}
+				continue
+			}
+			// Demoted (SRL truth bits, BRAM, LUT-mode flips): scalar path.
+		}
 		if err := injectOne(bd, golden, a, info, opts, acc, fs, fast); err != nil {
 			return err
 		}
+	}
+	if vr != nil {
+		vr.flush(opts, acc, fast)
 	}
 	return nil
 }
@@ -130,10 +148,17 @@ func runSharded(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory
 		wg     sync.WaitGroup
 	)
 	errCh := make(chan error, workers)
+	var tag uint64
+	if poolEligible(bd) {
+		tag = bd.CampaignFingerprint()
+	}
 	for w := 0; w < workers; w++ {
 		// The clone seed is irrelevant to results (every injection re-seeds
 		// the stimulus stream) but must differ per worker for rng hygiene.
-		wb := bd.Clone(opts.Seed + int64(w) + 1)
+		// Replicas parked by earlier campaigns of the same design are
+		// reused when their fingerprint matches.
+		wb := acquireReplica(bd, tag, opts.Seed+int64(w)+1)
+		wb.SetFastSim(scalarKernelEvent(opts))
 		wg.Add(1)
 		go func(wb *board.SLAAC1V) {
 			defer wg.Done()
@@ -141,9 +166,13 @@ func runSharded(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory
 			// THIS board's configuration memory, so it must live as long as
 			// the replica, not per chunk.
 			fs := newFrameScrub(wb.Geometry())
+			vr := maybeNewVectorRunner(wb, opts)
 			for {
 				ci := atomic.AddInt64(&cursor, 1) - 1
 				if ci >= int64(chunks) || failed.Load() {
+					// Every completed range left wb with a golden substrate;
+					// park it for the next campaign of this design.
+					releaseReplica(wb, tag, !failed.Load())
 					return
 				}
 				lo := ci * span
@@ -153,7 +182,7 @@ func runSharded(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory
 				}
 				acc := newShardAccum()
 				accs[ci] = acc
-				if err := runRange(ctx, wb, golden, lo, hi, opts, acc, tri, fs, fast); err != nil {
+				if err := runRange(ctx, wb, golden, lo, hi, opts, acc, tri, fs, fast, vr); err != nil {
 					failed.Store(true)
 					errCh <- err
 					return

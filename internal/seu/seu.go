@@ -94,6 +94,13 @@ const (
 	KernelEvent
 	// KernelSweep forces the full-sweep kernel on both devices.
 	KernelSweep
+	// KernelVector runs eligible injections through the bit-parallel lane
+	// kernel — 64 fault universes per sweep (internal/fpga/vector.go) —
+	// demoting incompatible bits (SRL16 truth bits, BRAM bits, LUT-mode
+	// flips, history-coupled designs wholesale) to the scalar path, which
+	// then follows KernelAuto semantics. Lane trajectories are exact images
+	// of the scalar sweep kernel, so reports stay byte-identical.
+	KernelVector
 )
 
 // ParseKernel maps the CLI spelling to a Kernel.
@@ -105,8 +112,10 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelEvent, nil
 	case "sweep":
 		return KernelSweep, nil
+	case "vector":
+		return KernelVector, nil
 	}
-	return KernelAuto, fmt.Errorf("seu: unknown kernel %q (auto|event|sweep)", s)
+	return KernelAuto, fmt.Errorf("seu: unknown kernel %q (auto|event|sweep|vector)", s)
 }
 
 func (k Kernel) String() string {
@@ -115,8 +124,24 @@ func (k Kernel) String() string {
 		return "event"
 	case KernelSweep:
 		return "sweep"
+	case KernelVector:
+		return "vector"
 	}
 	return "auto"
+}
+
+// scalarKernelEvent resolves which settling kernel the scalar boards run:
+// the explicit choice, or FastSim's historical coupling under KernelAuto.
+// KernelVector follows auto semantics for its scalar fallback — the vector
+// batches never touch the scalar boards' kernel.
+func scalarKernelEvent(opts Options) bool {
+	switch opts.Kernel {
+	case KernelEvent:
+		return true
+	case KernelSweep:
+		return false
+	}
+	return opts.FastSim
 }
 
 // DefaultOptions returns the standard campaign parameters.
@@ -238,14 +263,7 @@ func RunContext(ctx context.Context, bd *board.SLAAC1V, opts Options) (*Report, 
 		return nil, fmt.Errorf("seu: non-positive cycle counts")
 	}
 	g := bd.Geometry()
-	event := opts.FastSim
-	switch opts.Kernel {
-	case KernelEvent:
-		event = true
-	case KernelSweep:
-		event = false
-	}
-	bd.SetFastSim(event)
+	bd.SetFastSim(scalarKernelEvent(opts))
 	// Convergence early exit is exact only when no live design state
 	// survives a campaign reset; history-coupled configurations keep
 	// simulating every cycle (the kernel choice alone is always exact).
@@ -274,7 +292,8 @@ func RunContext(ctx context.Context, bd *board.SLAAC1V, opts Options) (*Report, 
 	}
 	if workers == 1 {
 		acc := newShardAccum()
-		if err := runRange(ctx, bd, golden, 0, limit, opts, acc, tri, newFrameScrub(g), fast); err != nil {
+		vr := maybeNewVectorRunner(bd, opts)
+		if err := runRange(ctx, bd, golden, 0, limit, opts, acc, tri, newFrameScrub(g), fast, vr); err != nil {
 			return nil, err
 		}
 		mergeInto(rep, acc)

@@ -1,0 +1,247 @@
+package seu
+
+import (
+	"sort"
+
+	"repro/internal/board"
+	"repro/internal/device"
+	"repro/internal/fpga"
+)
+
+// Vector-kernel batch scheduler. Sampled injections that the planner can
+// express as lane overlays are grouped into batches of up to 64 and run
+// through one vectored clock program; each lane's phase machine reproduces
+// the scalar injectOne outcome (failure verdict, first-error cycle, failed
+// outputs, persistence) exactly, retiring individually on lock-step
+// convergence. Bits the planner demotes (SRL truth bits, BRAM bits,
+// LUT-mode flips) fall through to the scalar path inline, and provably
+// inert bits (padding, FF init, fields of disabled resources) retire as
+// benign without consuming a lane — the same verdict the scalar run of
+// those bits produces, minus the cycles.
+//
+// Lanes are mutually independent — every lane word operation is bitwise,
+// BRAM lanes are gathered and scattered individually, and overlays are
+// per-lane — so batch composition (which varies with chunk boundaries and
+// worker count) cannot influence any lane's outcome. Outcome accounting is
+// folded in ascending bit-address order regardless of retirement order
+// (emitBatch), keeping reports byte-identical to the scalar kernel at any
+// worker count.
+
+// Lane phases, mirroring the scalar injectOne control flow.
+const (
+	lanePhaseObserve = iota
+	lanePhaseClean
+	lanePhasePersist
+	lanePhaseDone
+)
+
+// laneRun is one in-flight injection's phase machine.
+type laneRun struct {
+	addr  device.BitAddr
+	kind  device.BitKind
+	delta fpga.VectorDelta
+
+	phase        uint8
+	stepsInPhase int
+	clean        int
+
+	failed        bool
+	firstErr      int
+	failedOutputs []int
+	persistent    bool
+
+	cycles  int64
+	skipped int64
+}
+
+// vectorRunner batches vector-eligible injections for one worker.
+type vectorRunner struct {
+	vb     *board.VectorBoard
+	golden *fpga.FPGA // planning reference: the worker's golden decode
+
+	addrs  []device.BitAddr
+	kinds  []device.BitKind
+	deltas []fpga.VectorDelta
+
+	seeds []int64
+	lanes [64]laneRun
+}
+
+// maybeNewVectorRunner builds the worker's batch scheduler when the
+// campaign runs the vector kernel and the design is eligible. Designs with
+// history-coupled state (SRL16, writable BRAM, stuck overlays) run every
+// bit on the scalar path — the overlays lanes carry cannot represent
+// state that feeds back into configuration memory.
+func maybeNewVectorRunner(bd *board.SLAAC1V, opts Options) *vectorRunner {
+	if opts.Kernel != KernelVector {
+		return nil
+	}
+	if bd.DUT.HistoryCoupled() || bd.DUT.Unprogrammed() {
+		return nil
+	}
+	return &vectorRunner{vb: board.NewVectorBoard(bd), golden: bd.Golden}
+}
+
+// enqueue adds one planned injection; the caller flushes when full.
+func (vr *vectorRunner) enqueue(a device.BitAddr, kind device.BitKind, d fpga.VectorDelta) {
+	vr.addrs = append(vr.addrs, a)
+	vr.kinds = append(vr.kinds, kind)
+	vr.deltas = append(vr.deltas, d)
+}
+
+func (vr *vectorRunner) fullBatch() bool { return len(vr.addrs) == 64 }
+
+// flush runs the pending batch to completion and folds the lane outcomes
+// into acc. fast gates the per-lane lock-step early exit, exactly like the
+// scalar path (CyclesSkipped stays 0 when FastSim is off).
+func (vr *vectorRunner) flush(opts Options, acc *shardAccum, fast bool) {
+	n := len(vr.addrs)
+	if n == 0 {
+		return
+	}
+	vr.seeds = vr.seeds[:0]
+	for _, a := range vr.addrs {
+		vr.seeds = append(vr.seeds, stimulusSeed(opts.Seed, a))
+	}
+	vr.vb.StartBatch(vr.seeds)
+	for i := 0; i < n; i++ {
+		vr.vb.DUT.ApplyDelta(i, vr.deltas[i])
+		vr.lanes[i] = laneRun{addr: vr.addrs[i], kind: vr.kinds[i], delta: vr.deltas[i], firstErr: -1}
+	}
+	live := n
+	cycle := 0
+	// needLock tracks whether any live lane is past its repair — the only
+	// phases where the scalar path consults Locked. During observation the
+	// lane's overlay is still active, so lock is impossible and checking
+	// would be pure overhead (the same argument injectOne makes).
+	needLock := false
+	for live > 0 {
+		if fast && needLock {
+			lw := vr.vb.LockedWord()
+			for i := 0; i < n && lw != 0; i++ {
+				if lw>>uint(i)&1 == 0 {
+					continue
+				}
+				ln := &vr.lanes[i]
+				switch ln.phase {
+				case lanePhaseClean:
+					// Provably in lock-step forever: the remaining clean
+					// cycles are guaranteed matches.
+					ln.skipped += int64(opts.CleanRun - ln.clean)
+					ln.phase = lanePhaseDone
+					live--
+				case lanePhasePersist:
+					remaining := opts.PersistWindow - ln.stepsInPhase
+					ln.skipped += int64(remaining)
+					ln.clean += remaining
+					ln.persistent = ln.clean < opts.CleanRun
+					ln.phase = lanePhaseDone
+					live--
+				}
+			}
+			if live == 0 {
+				break
+			}
+		}
+		mm := vr.vb.Step()
+		cycle++
+		needLock = false
+		for i := 0; i < n; i++ {
+			ln := &vr.lanes[i]
+			if ln.phase == lanePhaseDone {
+				continue
+			}
+			ln.cycles++
+			miss := mm>>uint(i)&1 == 1
+			switch ln.phase {
+			case lanePhaseObserve:
+				if miss {
+					ln.failed = true
+					ln.firstErr = cycle
+					ln.failedOutputs = vr.vb.FailedOutputs(i)
+					vr.vb.DUT.RemoveDelta(i, ln.delta) // repair
+					vr.finishFailed(ln, opts, &live)
+				} else if ln.stepsInPhase++; ln.stepsInPhase == opts.ObserveCycles {
+					vr.vb.DUT.RemoveDelta(i, ln.delta) // repair
+					ln.phase = lanePhaseClean
+					ln.clean = 0
+				}
+			case lanePhaseClean:
+				if miss {
+					ln.failed = true
+					ln.firstErr = cycle
+					ln.failedOutputs = vr.vb.FailedOutputs(i)
+					vr.finishFailed(ln, opts, &live)
+				} else if ln.clean++; ln.clean == opts.CleanRun {
+					ln.phase = lanePhaseDone
+					live--
+				}
+			case lanePhasePersist:
+				if miss {
+					ln.clean = 0
+				} else {
+					ln.clean++
+				}
+				if ln.stepsInPhase++; ln.stepsInPhase == opts.PersistWindow {
+					ln.persistent = ln.clean < opts.CleanRun
+					ln.phase = lanePhaseDone
+					live--
+				}
+			}
+			if ln.phase == lanePhaseClean || ln.phase == lanePhasePersist {
+				needLock = true
+			}
+		}
+	}
+	emitBatch(vr.lanes[:n], opts, acc)
+	vr.addrs = vr.addrs[:0]
+	vr.kinds = vr.kinds[:0]
+	vr.deltas = vr.deltas[:0]
+}
+
+// finishFailed routes a just-failed lane into the persistence window (the
+// configuration is already repaired) or retires it, mirroring injectOne's
+// post-failure flow.
+func (vr *vectorRunner) finishFailed(ln *laneRun, opts Options, live *int) {
+	if opts.ClassifyPersistence && opts.PersistWindow > 0 {
+		ln.phase = lanePhasePersist
+		ln.stepsInPhase = 0
+		ln.clean = 0
+		return
+	}
+	if opts.ClassifyPersistence {
+		// Degenerate zero-length window: the scalar loop body never runs,
+		// so clean stays 0 and the bit classifies persistent.
+		ln.persistent = 0 < opts.CleanRun
+	}
+	ln.phase = lanePhaseDone
+	*live--
+}
+
+// emitBatch folds completed lane outcomes into the accumulator in
+// ascending bit-address order, independent of the order lanes retired —
+// the invariant that keeps vector reports byte-identical to scalar ones
+// (per-kind maps, persistence tallies, and SensitiveBits all accumulate
+// in the same order injectOne would have produced).
+func emitBatch(lanes []laneRun, opts Options, acc *shardAccum) {
+	sort.SliceStable(lanes, func(i, j int) bool { return lanes[i].addr < lanes[j].addr })
+	for i := range lanes {
+		ln := &lanes[i]
+		acc.cyclesRun += ln.cycles
+		acc.cyclesSkipped += ln.skipped
+		if !ln.failed {
+			continue
+		}
+		acc.failures++
+		acc.failByKind[ln.kind]++
+		if ln.persistent {
+			acc.persistent++
+		}
+		if opts.CollectBits {
+			acc.bits = append(acc.bits, BitRecord{
+				Addr: ln.addr, Kind: ln.kind, Persistent: ln.persistent,
+				FirstErrorCycle: ln.firstErr, FailedOutputs: ln.failedOutputs,
+			})
+		}
+	}
+}

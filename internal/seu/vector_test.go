@@ -1,0 +1,182 @@
+package seu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/device"
+)
+
+// compareReports asserts every report-visible field the campaign promises is
+// kernel-invariant. WallTime and the cycle diagnostics are excluded: the
+// vector kernel's per-lane lock detection legitimately skips a different
+// number of cycles than the scalar frame-compare tracker.
+func compareReports(t *testing.T, label string, want, got *Report) {
+	t.Helper()
+	if got.Design != want.Design || got.Geom != want.Geom || got.SlicesUsed != want.SlicesUsed {
+		t.Fatalf("%s: header differs: %q/%v/%d vs %q/%v/%d",
+			label, got.Design, got.Geom, got.SlicesUsed, want.Design, want.Geom, want.SlicesUsed)
+	}
+	if got.Injections != want.Injections || got.Failures != want.Failures || got.Persistent != want.Persistent {
+		t.Fatalf("%s: tallies differ: inj %d/%d fail %d/%d persist %d/%d",
+			label, got.Injections, want.Injections, got.Failures, want.Failures, got.Persistent, want.Persistent)
+	}
+	if !reflect.DeepEqual(got.InjectionsByKind, want.InjectionsByKind) {
+		t.Fatalf("%s: InjectionsByKind differ: %v vs %v", label, got.InjectionsByKind, want.InjectionsByKind)
+	}
+	if !reflect.DeepEqual(got.FailuresByKind, want.FailuresByKind) {
+		t.Fatalf("%s: FailuresByKind differ: %v vs %v", label, got.FailuresByKind, want.FailuresByKind)
+	}
+	if got.SimulatedTime != want.SimulatedTime {
+		t.Fatalf("%s: SimulatedTime differs: %v vs %v", label, got.SimulatedTime, want.SimulatedTime)
+	}
+	if !reflect.DeepEqual(got.SensitiveBits, want.SensitiveBits) {
+		t.Fatalf("%s: SensitiveBits differ (%d vs %d records)", label, len(got.SensitiveBits), len(want.SensitiveBits))
+	}
+}
+
+// vectorCampaign runs MULT 12 on Tiny under opts-modifying f and returns the
+// report.
+func vectorCampaign(t *testing.T, mod func(*Options)) *Report {
+	t.Helper()
+	spec, err := designs.ByName("MULT 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := boardFor(t, spec.Build(), device.Tiny())
+	opts := DefaultOptions()
+	opts.Sample = 0.15
+	opts.Seed = 11
+	opts.Workers = 1
+	opts.Triage = false
+	mod(&opts)
+	rep, err := Run(bd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestVectorKernelMatchesSweep pins the tentpole invariant at the batch-size
+// edges: campaigns capped at 1 (single-lane batch), 63 (one short of a
+// word), 64 (exactly one full batch), and 65 (a full batch plus a partial
+// final batch) injections must report byte-identically under the sweep and
+// vector kernels, with the early exit both off and on.
+func TestVectorKernelMatchesSweep(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		for _, maxBits := range []int64{1, 63, 64, 65, 0} {
+			ref := vectorCampaign(t, func(o *Options) {
+				o.Kernel = KernelSweep
+				o.FastSim = fast
+				o.MaxBits = maxBits
+			})
+			got := vectorCampaign(t, func(o *Options) {
+				o.Kernel = KernelVector
+				o.FastSim = fast
+				o.MaxBits = maxBits
+			})
+			label := "maxbits=" + string(rune('0'+maxBits%10))
+			if maxBits == 0 {
+				if ref.Injections < 66 {
+					t.Fatalf("uncapped campaign too small to exercise batching: %d injections", ref.Injections)
+				}
+				label = "uncapped"
+			}
+			if fast {
+				label += "/fast"
+			}
+			compareReports(t, label, ref, got)
+			if !fast && got.CyclesSkipped != 0 {
+				t.Fatalf("%s: vector kernel skipped %d cycles with FastSim off", label, got.CyclesSkipped)
+			}
+		}
+	}
+}
+
+// TestVectorKernelWorkerIndependence pins batch-composition independence:
+// worker count changes where chunk boundaries fall, hence which injections
+// share a batch, and must not change the report.
+func TestVectorKernelWorkerIndependence(t *testing.T) {
+	ref := vectorCampaign(t, func(o *Options) { o.Kernel = KernelVector })
+	for _, w := range []int{2, 4} {
+		got := vectorCampaign(t, func(o *Options) { o.Kernel = KernelVector; o.Workers = w })
+		compareReports(t, "workers", ref, got)
+	}
+}
+
+// TestEmitBatchOrderIndependent is the regression test for the sorted
+// emission path: lanes retire in data-dependent order, and the accumulator
+// fold must not depend on it. Shuffling the lane slice before emitBatch must
+// produce an identical accumulator, including the order of collected bits.
+func TestEmitBatchOrderIndependent(t *testing.T) {
+	opts := DefaultOptions()
+	mkLanes := func() []laneRun {
+		return []laneRun{
+			{addr: 900, kind: device.KindLUT, failed: true, firstErr: 3, failedOutputs: []int{0, 2}, persistent: true, cycles: 51, skipped: 4},
+			{addr: 17, kind: device.KindInMux, failed: true, firstErr: 9, failedOutputs: []int{1}, cycles: 40},
+			{addr: 400, kind: device.KindFF, cycles: 32, skipped: 8},
+			{addr: 23, kind: device.KindLUT, failed: true, firstErr: 1, failedOutputs: []int{3}, persistent: true, cycles: 60},
+			{addr: 1300, kind: device.KindLongLine, cycles: 32},
+		}
+	}
+	ref := newShardAccum()
+	emitBatch(mkLanes(), opts, ref)
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		lanes := mkLanes()
+		rng.Shuffle(len(lanes), func(i, j int) { lanes[i], lanes[j] = lanes[j], lanes[i] })
+		acc := newShardAccum()
+		emitBatch(lanes, opts, acc)
+		if acc.failures != ref.failures || acc.persistent != ref.persistent ||
+			acc.cyclesRun != ref.cyclesRun || acc.cyclesSkipped != ref.cyclesSkipped {
+			t.Fatalf("trial %d: tallies differ after shuffle", trial)
+		}
+		if !reflect.DeepEqual(acc.failByKind, ref.failByKind) {
+			t.Fatalf("trial %d: failByKind differs after shuffle", trial)
+		}
+		if !reflect.DeepEqual(acc.bits, ref.bits) {
+			t.Fatalf("trial %d: bit records differ after shuffle:\n%v\n%v", trial, acc.bits, ref.bits)
+		}
+	}
+}
+
+// TestReplicaPool covers the board-pool soundness rules: a cleanly released
+// replica is reused for a matching fingerprint, a mismatched fingerprint is
+// dropped rather than handed out, and an unclean release discards the board.
+func TestReplicaPool(t *testing.T) {
+	spec, err := designs.ByName("MULT 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := boardFor(t, spec.Build(), device.Tiny())
+	if !poolEligible(bd) {
+		t.Fatal("plain design must be pool-eligible")
+	}
+	tag := bd.CampaignFingerprint()
+
+	wb := acquireReplica(bd, tag, 1)
+	if wb == bd {
+		t.Fatal("acquire must clone, not hand out the base board")
+	}
+	releaseReplica(wb, tag, true)
+	if got := acquireReplica(bd, tag, 2); got != wb {
+		t.Fatal("matching fingerprint must reuse the parked replica")
+	}
+
+	// A replica parked under a different fingerprint must never be handed
+	// out for this base — and is dropped, not re-parked.
+	releaseReplica(wb, tag^0xdeadbeef, true)
+	if got := acquireReplica(bd, tag, 3); got == wb {
+		t.Fatal("fingerprint mismatch handed out a stale substrate")
+	}
+
+	// Unclean completion discards the board entirely.
+	wb2 := acquireReplica(bd, tag, 4)
+	releaseReplica(wb2, tag, false)
+	if got := acquireReplica(bd, tag, 5); got == wb2 {
+		t.Fatal("unclean release parked a possibly-corrupt board")
+	}
+}
