@@ -1,13 +1,18 @@
 // Command fig8bench times the Fig. 8 injection loop across the kernel and
 // scheduling variants (fastsim on/off, triage on/off, sequential/sharded,
 // scalar vs 64-lane vector kernel) and emits a machine-readable JSON report.
-// CI commits the result as BENCH_PR6.json (the scalar-era baseline lives in
-// BENCH_PR3.json) so kernel speedups are tracked in-repo, next to the code
-// that produces them.
+// CI commits the result as BENCH_PR7.json (BENCH_PR3.json preserves the
+// scalar-era baseline, BENCH_PR6.json the pre-amortization vector era) so
+// kernel speedups are tracked in-repo, next to the code that produces them.
 //
-// Example:
+// With -baseline the same run doubles as a regression gate: the process
+// exits non-zero if the best variant's ns/injection is more than
+// -regress-pct percent above the best variant of the committed report.
 //
-//	fig8bench -out BENCH_PR6.json
+// Examples:
+//
+//	fig8bench -out BENCH_PR7.json
+//	fig8bench -baseline BENCH_PR7.json
 package main
 
 import (
@@ -74,11 +79,13 @@ const pr3BestNsPerInjection = 24449.8025
 
 func main() {
 	var (
-		design  = flag.String("design", "MULT 12", "catalogued design")
-		geom    = flag.String("geom", "small", "device geometry: tiny|small|xqvr1000")
-		maxBits = flag.Int64("maxbits", 2000, "bits injected per variant")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "write JSON here (default stdout)")
+		design   = flag.String("design", "MULT 12", "catalogued design")
+		geom     = flag.String("geom", "small", "device geometry: tiny|small|xqvr1000")
+		maxBits  = flag.Int64("maxbits", 2000, "bits injected per variant")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "write JSON here (default stdout)")
+		baseline = flag.String("baseline", "", "prior fig8bench JSON of the identical workload; exit non-zero if the best-variant ns/injection regresses beyond -regress-pct")
+		regress  = flag.Float64("regress-pct", 15, "allowed best-variant ns/injection regression against -baseline, in percent")
 	)
 	flag.Parse()
 
@@ -201,6 +208,66 @@ func main() {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	check(enc.Encode(rep))
+
+	if *baseline != "" {
+		check(checkBaseline(*baseline, &rep, *regress))
+	}
+}
+
+// bestVariant returns the fastest variant of a report by ns/injection — the
+// regression gate's headline figure, deliberately insensitive to which
+// variant wins (a PR may legitimately shift the winner).
+func bestVariant(rep *benchReport) (string, float64, error) {
+	name, best := "", 0.0
+	for _, v := range rep.Variants {
+		if v.NsPerInjection <= 0 {
+			continue
+		}
+		if name == "" || v.NsPerInjection < best {
+			name, best = v.Name, v.NsPerInjection
+		}
+	}
+	if name == "" {
+		return "", 0, errors.New("report has no timed variants")
+	}
+	return name, best, nil
+}
+
+// checkBaseline compares rep's best variant against a committed baseline
+// report and fails on a regression beyond pct percent. The workload must
+// match field for field — comparing ns/injection across different designs,
+// geometries, bit counts, or seeds would be meaningless.
+func checkBaseline(path string, rep *benchReport, pct float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Design != rep.Design || base.Geometry != rep.Geometry ||
+		base.MaxBits != rep.MaxBits || base.Seed != rep.Seed {
+		return fmt.Errorf("baseline %s benchmarks a different workload (%s/%s/%d bits/seed %d vs %s/%s/%d bits/seed %d) — not comparable",
+			path, base.Design, base.Geometry, base.MaxBits, base.Seed,
+			rep.Design, rep.Geometry, rep.MaxBits, rep.Seed)
+	}
+	baseName, baseBest, err := bestVariant(&base)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	curName, curBest, err := bestVariant(rep)
+	if err != nil {
+		return err
+	}
+	limit := baseBest * (1 + pct/100)
+	if curBest > limit {
+		return fmt.Errorf("regression: best variant %s at %.1f ns/injection exceeds baseline %s at %.1f ns/injection by more than %.0f%% (limit %.1f)",
+			curName, curBest, baseName, baseBest, pct, limit)
+	}
+	fmt.Fprintf(os.Stderr, "baseline ok: best %s %.1f ns/inj vs %s %.1f ns/inj (limit +%.0f%%)\n",
+		curName, curBest, baseName, baseBest, pct)
+	return nil
 }
 
 func max64(a, b int64) int64 {

@@ -8,7 +8,6 @@ package board
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/device"
@@ -40,7 +39,7 @@ type SLAAC1V struct {
 	// XCV100 on the real board).
 	Port *fpga.Port
 
-	rng     *rand.Rand
+	rng     *stim
 	inPins  []int
 	outNets []int
 	cycle   int64
@@ -78,7 +77,7 @@ func New(p *place.Placed, seed int64) (*SLAAC1V, error) {
 		Golden: golden,
 		DUT:    dut,
 		Port:   fpga.NewPort(dut),
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    newStim(seed),
 	}
 	for _, port := range p.Circuit.Inputs {
 		for _, pin := range p.InputPins[port.Name] {
@@ -107,7 +106,7 @@ func (b *SLAAC1V) Clone(seed int64) *SLAAC1V {
 		Placed:  b.Placed,
 		Golden:  b.Golden.Clone(),
 		DUT:     b.DUT.Clone(),
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     newStim(seed),
 		inPins:  b.inPins,
 		outNets: b.outNets,
 		cycle:   b.cycle,
@@ -124,7 +123,7 @@ func (b *SLAAC1V) Clone(seed int64) *SLAAC1V {
 // options) — the property that makes sharded campaigns byte-identical to
 // sequential ones regardless of worker count.
 func (b *SLAAC1V) ResetCampaignState(seed int64) {
-	b.rng = rand.New(rand.NewSource(seed))
+	b.rng.Seed(seed)
 	for _, pin := range b.inPins {
 		b.Golden.SetPin(pin, false)
 		b.DUT.SetPin(pin, false)

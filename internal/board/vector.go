@@ -1,8 +1,6 @@
 package board
 
 import (
-	"math/rand"
-
 	"repro/internal/fpga"
 )
 
@@ -17,28 +15,42 @@ type VectorBoard struct {
 
 	inPins  []int
 	outNets []int
-	rngs    [64]*rand.Rand
+	rngs    [64]*stim
 	lanes   int
 	full    uint64
+	groups  int // 63-bit stimulus draws consumed per lane per clock
 }
 
-// NewVectorBoard builds the lane harness for b's design. The canonical
-// start state is captured from b's golden device after the campaign reset
-// (pins low, Reset) — the state every scalar injection starts from — and
-// broadcast into both lane machines. b's golden device is left in that
-// canonical state; campaigns re-reset the scalar board before every scalar
-// injection anyway.
-func NewVectorBoard(b *SLAAC1V) *VectorBoard {
+// CompileVector puts b's golden device into the canonical campaign state
+// (pins low, user state reset — the state every scalar injection starts
+// from) and compiles it into the shared read-only struct-of-arrays form.
+// One compiled design serves every VectorBoard of the campaign, across
+// workers and pooled replicas.
+func CompileVector(b *SLAAC1V) *fpga.CompiledDesign {
 	for _, pin := range b.inPins {
 		b.Golden.SetPin(pin, false)
 	}
 	b.Golden.Reset()
-	snap := b.Golden.CaptureVectorSnapshot()
+	return b.Golden.Compile()
+}
+
+// NewVectorBoard builds the lane harness for b's design, compiling b's
+// golden decode on the spot. b's golden device is left in the canonical
+// campaign state; campaigns re-reset the scalar board before every scalar
+// injection anyway.
+func NewVectorBoard(b *SLAAC1V) *VectorBoard {
+	return NewVectorBoardFrom(b, CompileVector(b))
+}
+
+// NewVectorBoardFrom builds the lane harness over an already-compiled
+// design (shared read-only), allocating only the per-lane state words.
+func NewVectorBoardFrom(b *SLAAC1V, c *fpga.CompiledDesign) *VectorBoard {
 	return &VectorBoard{
-		Golden:  fpga.NewVector(b.Golden, snap),
-		DUT:     fpga.NewVector(b.Golden, snap),
+		Golden:  fpga.NewVector(c),
+		DUT:     fpga.NewVector(c),
 		inPins:  b.inPins,
 		outNets: b.outNets,
+		groups:  (len(b.inPins) + 62) / 63,
 	}
 }
 
@@ -54,13 +66,21 @@ func (vb *VectorBoard) StartBatch(seeds []int64) {
 	}
 	for i, s := range seeds {
 		if vb.rngs[i] == nil {
-			vb.rngs[i] = rand.New(rand.NewSource(s))
+			vb.rngs[i] = newStim(s)
 		} else {
 			vb.rngs[i].Seed(s)
 		}
 	}
 	vb.Golden.ResetBatch(vb.lanes)
 	vb.DUT.ResetBatch(vb.lanes)
+}
+
+// SkipLane fast-forwards lane's stimulus stream past cycles clocks already
+// consumed by the scalar observe phase of a carried (scalar-demoted)
+// injection, so the lane's remaining draws line up with where the scalar
+// run left off.
+func (vb *VectorBoard) SkipLane(lane, cycles int) {
+	vb.rngs[lane].Skip(cycles * vb.groups)
 }
 
 // Step drives one clock of per-lane random stimulus into both lane

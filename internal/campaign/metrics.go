@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/seu"
 )
 
 // Metrics is the scheduler's observability plane, exposed in Prometheus
@@ -146,4 +148,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, jobsByState map[State]int) {
 	fmt.Fprintf(w, "# HELP campaignd_worker_utilization Busy fraction of the worker pool.\n# TYPE campaignd_worker_utilization gauge\ncampaignd_worker_utilization %g\n", util)
 
 	fmt.Fprintf(w, "# HELP campaignd_uptime_seconds Seconds since the daemon started.\n# TYPE campaignd_uptime_seconds gauge\ncampaignd_uptime_seconds %g\n", now.Sub(m.started).Seconds())
+
+	// Vector-kernel caches. These counters are process-wide (the seu package
+	// shares one plan cache and one replica pool across all campaigns), so a
+	// daemon restart resets them like any other counter.
+	planHits, planMisses := seu.PlanCacheStats()
+	fmt.Fprintf(w, "# HELP campaignd_plan_cache_hits_total Vector pre-plan cache hits (campaigns served a cached batch plan).\n# TYPE campaignd_plan_cache_hits_total counter\ncampaignd_plan_cache_hits_total %d\n", planHits)
+	fmt.Fprintf(w, "# HELP campaignd_plan_cache_misses_total Vector pre-plan cache misses (plans built from scratch).\n# TYPE campaignd_plan_cache_misses_total counter\ncampaignd_plan_cache_misses_total %d\n", planMisses)
+	replicaHits, replicaMisses := seu.PoolStats()
+	fmt.Fprintf(w, "# HELP campaignd_replica_pool_hits_total Worker-board acquisitions served from the replica pool.\n# TYPE campaignd_replica_pool_hits_total counter\ncampaignd_replica_pool_hits_total %d\n", replicaHits)
+	fmt.Fprintf(w, "# HELP campaignd_replica_pool_misses_total Worker-board acquisitions that cloned a fresh replica.\n# TYPE campaignd_replica_pool_misses_total counter\ncampaignd_replica_pool_misses_total %d\n", replicaMisses)
 }

@@ -24,6 +24,38 @@ func TestConformanceSlice(t *testing.T) {
 	}
 }
 
+// TestDemotedLaneStress sweeps the demoted-lane stress set — designs built
+// so that sampled injections concentrate on the vector kernel's windowable
+// demotions (LUT-mode flips creating live SRL16s, BRAM content behind a
+// read-only port) and its fully scalar residue (BRAM port fields) — over
+// the complete 48-point lattice. Every point must produce a byte-identical
+// report; a divergence here is a carry-lane exactness bug.
+func TestDemotedLaneStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep is not short")
+	}
+	g := device.Tiny()
+	ds, err := StressDesigns(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(3)
+	// A denser sample than the rotating suite so the demotion classes are
+	// well represented among the sampled bits.
+	p.Sample = 0.02
+	for _, d := range ds {
+		res, err := CheckDesign(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failures == 0 {
+			t.Fatalf("%s: stress design produced no failures — it is not stressing the demoted path", d.Name)
+		}
+		t.Logf("ok %s points=%d injections=%d failures=%d persistent=%d",
+			res.Design, res.Points, res.Injections, res.Failures, res.Persistent)
+	}
+}
+
 // TestGenerateDeterministic pins the generator's pure-function-of-seed
 // contract: same (geometry, seed, index) must produce the same design
 // (name and configuration memory), different indices different designs.

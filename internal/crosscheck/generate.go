@@ -69,6 +69,214 @@ func Generate(g device.Geometry, baseSeed int64, i int) (Design, error) {
 	return Design{}, fmt.Errorf("crosscheck: netlist design %d: no candidate placed after 16 attempts", i)
 }
 
+// StressDesigns returns the demoted-lane stress set: seeded vector-eligible
+// designs that maximize the traffic the vector kernel must demote and carry
+// — LUT-mode bit flips that turn live LUTs into active SRL16s (the
+// windowable demotion riding lanes for its clean/persist windows) and BRAM
+// content/port bits behind a statically read-only port (content flips are
+// windowable, port-field flips stay fully scalar). Unlike the suite's
+// rotating raw designs, none of these is history-coupled, so the vector
+// kernel engages rather than falling back wholesale.
+func StressDesigns(g device.Geometry, seed int64) ([]Design, error) {
+	type gen struct {
+		tag   string
+		build func(device.Geometry, int64) (*place.Placed, error)
+	}
+	gens := []gen{
+		{"srl", stressLUTDense},
+		{"bram", stressBRAMReadOnly},
+		{"mix", stressMixed},
+	}
+	var ds []Design
+	for i, gn := range gens {
+		p, err := gn.build(g, mix(seed, uint64(0x57e55+i)))
+		if err != nil {
+			return nil, fmt.Errorf("crosscheck: stress design %s: %w", gn.tag, err)
+		}
+		ds = append(ds, Design{Name: p.Circuit.Name, Placed: p, Raw: true})
+	}
+	return ds, nil
+}
+
+// stressCells fills rows [rLo, rHi) of columns [0, cols) with a snake of
+// registered accumulators plus combinational taps, seeded by a toggle cell
+// at (rLo, 0). Every LUT is live in normal mode, so any sampled LUT-mode
+// bit flip creates an active SRL16 whose shifting truth table feeds real
+// observers — the densest possible demoted-lane workload. Returns the
+// output refs it wants observed.
+func stressCells(b *fpga.ConfigBuilder, rng *rand.Rand, rLo, rHi, cols int,
+	addSite func(r, c, o int, reg bool)) []device.NetRef {
+	var outs []device.NetRef
+	for r := rLo; r < rHi; r++ {
+		for c := 0; c < cols; c++ {
+			if r == rLo && c == 0 {
+				// Seed toggle: FF0 inverts itself every cycle.
+				b.SetLUT(r, c, 0, fpga.TruthNot)
+				b.RouteInput(r, c, 0, 0, 0)
+			} else {
+				// Accumulator: own registered out0 XOR the neighbour's
+				// out0 (west, or north at a row start).
+				b.SetLUT(r, c, 0, fpga.TruthXor2)
+				b.RouteInput(r, c, 0, 0, 0)
+				if c == 0 {
+					b.RouteInput(r, c, 0, 1, 12) // north out0
+				} else {
+					b.RouteInput(r, c, 0, 1, 4) // west out0
+				}
+			}
+			b.SetFF(r, c, 0, rng.Intn(2) == 1, device.CEConstOne, 0, false)
+			b.SetOutMux(r, c, 0, true)
+			addSite(r, c, 0, true)
+			// Combinational tap: seeded truth of (own out0, west out1).
+			b.SetLUT(r, c, 1, uint16(rng.Uint32())|1) // never constant-zero
+			b.RouteInput(r, c, 1, 0, 0)
+			b.RouteInput(r, c, 1, 1, 5)
+			b.SetOutMux(r, c, 1, false)
+			addSite(r, c, 1, false)
+		}
+	}
+	// Observe the snake ends and a seeded mid-row tap, both slots.
+	last := rHi - 1
+	outs = append(outs,
+		device.NetRef{Kind: device.NetCLBOut, R: last, C: cols - 1, O: 0},
+		device.NetRef{Kind: device.NetCLBOut, R: last, C: cols - 1, O: 1},
+		device.NetRef{Kind: device.NetCLBOut, R: rLo, C: cols - 1, O: 1},
+		device.NetRef{Kind: device.NetCLBOut, R: rLo + (rHi-rLo)/2, C: rng.Intn(cols), O: 0},
+	)
+	return outs
+}
+
+// stressROBRAM attaches a statically read-only port of BRAM block (0, blk):
+// enable tied to a constant-one output, write enable left unbound (the
+// no-WE port keeps the design outside the history-coupled rule), three
+// address bits on registered toggles, full seeded content, and two dout
+// bits observed on column long lines. Content-bit flips become windowable
+// demotions; port-field flips exercise the fully scalar residue.
+func stressROBRAM(b *fpga.ConfigBuilder, rng *rand.Rand, g device.Geometry, blk int,
+	addSite func(r, c, o int, reg bool)) []device.NetRef {
+	rb := g.BRAMRowBase(blk)
+	ac := g.BRAMAdjCol(0)
+	// Constant-one EN driver.
+	b.SetLUT(rb, ac, 2, fpga.TruthOne)
+	b.SetOutMux(rb, ac, 2, false)
+	addSite(rb, ac, 2, false)
+	b.BindBRAMEN(0, blk, 0, 2)
+	// Three toggling address bits with staggered periods: FF k inverts
+	// itself through LUT k, initialized from the seed.
+	for j := 0; j < 3; j++ {
+		r := rb + 1 + j
+		b.SetLUT(r, ac, 2, fpga.TruthNot)
+		b.RouteInput(r, ac, 2, 0, 2)
+		b.SetFF(r, ac, 2, rng.Intn(2) == 1, device.CEConstOne, 0, false)
+		b.SetOutMux(r, ac, 2, true)
+		addSite(r, ac, 2, true)
+		b.BindBRAMAddr(0, blk, j, 1+j, 2)
+	}
+	// Seeded content everywhere: addressed words make dout move; the rest
+	// are benign-but-simulated demotions.
+	for w := 0; w < 1<<device.BRAMAddrBits; w++ {
+		b.SetBRAMWord(0, blk, w, uint16(rng.Uint32()))
+	}
+	ch := rng.Intn(device.LongLinesPerCol)
+	b.DriveBRAMDout(0, blk, ch, rng.Intn(device.BRAMWidth))
+	ch2 := (ch + 1) % device.LongLinesPerCol
+	b.DriveBRAMDout(0, blk, ch2, rng.Intn(device.BRAMWidth))
+	return []device.NetRef{
+		{Kind: device.NetColLL, C: ac, O: ch},
+		{Kind: device.NetColLL, C: ac, O: ch2},
+	}
+}
+
+// stressBounds validates the geometry and returns the usable row band.
+func stressBounds(g device.Geometry) error {
+	if g.Rows < 6 || g.Cols < 4 {
+		return fmt.Errorf("geometry %s too small for stress designs", g)
+	}
+	return nil
+}
+
+// stressLUTDense is the SRL16-heavy stress design: every CLB in a band
+// carries live normal-mode LUTs, so LUT-mode injections create active
+// shift registers wherever they land.
+func stressLUTDense(g device.Geometry, seed int64) (*place.Placed, error) {
+	if err := stressBounds(g); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := fpga.NewConfigBuilder(g)
+	var sites []place.Site
+	node := 0
+	addSite := func(r, c, o int, reg bool) {
+		sites = append(sites, place.Site{R: r, C: c, O: o, Registered: reg, Node: node})
+		node++
+	}
+	outs := stressCells(b, rng, 1, g.Rows-1, g.Cols, addSite)
+	return finishStress(b, fmt.Sprintf("STRS SRL %d", seed), g, outs, sites)
+}
+
+// stressBRAMReadOnly is the BRAM-port stress design: a read-only port with
+// live addressing over seeded content, plus a thin strip of logic for
+// autonomous activity.
+func stressBRAMReadOnly(g device.Geometry, seed int64) (*place.Placed, error) {
+	if err := stressBounds(g); err != nil {
+		return nil, err
+	}
+	if g.BRAMCols < 1 || g.Rows < g.BRAMRowBase(0)+4 {
+		return nil, fmt.Errorf("geometry %s lacks BRAM rows for stress designs", g)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := fpga.NewConfigBuilder(g)
+	var sites []place.Site
+	node := 0
+	addSite := func(r, c, o int, reg bool) {
+		sites = append(sites, place.Site{R: r, C: c, O: o, Registered: reg, Node: node})
+		node++
+	}
+	outs := stressCells(b, rng, 1, 3, g.Cols/2, addSite)
+	outs = append(outs, stressROBRAM(b, rng, g, 0, addSite)...)
+	return finishStress(b, fmt.Sprintf("STRS BRAM %d", seed), g, outs, sites)
+}
+
+// stressMixed combines the dense-LUT band with a second read-only BRAM
+// block, packing both demotion classes into one campaign.
+func stressMixed(g device.Geometry, seed int64) (*place.Placed, error) {
+	if err := stressBounds(g); err != nil {
+		return nil, err
+	}
+	blk := g.BRAMBlocksPerCol() - 1
+	if g.BRAMCols < 1 || g.Rows < g.BRAMRowBase(blk)+4 {
+		return nil, fmt.Errorf("geometry %s lacks BRAM rows for stress designs", g)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := fpga.NewConfigBuilder(g)
+	var sites []place.Site
+	node := 0
+	addSite := func(r, c, o int, reg bool) {
+		sites = append(sites, place.Site{R: r, C: c, O: o, Registered: reg, Node: node})
+		node++
+	}
+	// Columns 0..Cols-2 only: the BRAM-adjacent column belongs to the port
+	// drivers (slot 2 there stays free of the snake's slots 0/1 anyway,
+	// but separate columns keep the routing legible).
+	outs := stressCells(b, rng, 1, g.Rows-1, g.Cols-1, addSite)
+	outs = append(outs, stressROBRAM(b, rng, g, blk, addSite)...)
+	return finishStress(b, fmt.Sprintf("STRS MIX %d", seed), g, outs, sites)
+}
+
+// finishStress pre-flights a stress configuration (it must decode, run, and
+// stay outside the history-coupled rule) and wraps it as a placement.
+func finishStress(b *fpga.ConfigBuilder, name string, g device.Geometry, outs []device.NetRef, sites []place.Site) (*place.Placed, error) {
+	f, err := b.Device()
+	if err != nil {
+		return nil, err
+	}
+	if f.HistoryCoupled() {
+		return nil, fmt.Errorf("%s decoded history-coupled; the vector kernel would fall back wholesale", name)
+	}
+	f.StepN(4)
+	return place.FromFabric(name, g, b.Memory(), nil, outs, sites), nil
+}
+
 // rawDesign builds a seeded raw-fabric design: a toggle cell and a 4-bit
 // LFSR provide autonomous activity; optional features add a static SRL16
 // with live addressing, a long-line wired-AND with a fabric consumer, an

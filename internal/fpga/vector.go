@@ -11,13 +11,14 @@ import (
 // A Vector is a lane-parallel re-implementation of the full-sweep kernel in
 // sim.go: every bool of device state (netVal, lutVal, ffVal, BRAM output
 // register bits) becomes one uint64 word whose lane i holds the value that
-// state bit has in fault universe i. All lanes share the golden decoded
-// configuration; a universe's single-bit configuration delta is represented
-// as a per-lane overlay (a patched truth table, a flipped output mux, an
-// extra long-line driver, ...) consulted during evaluation instead of a
-// re-decode. LUTs evaluate all 64 universes at once through the truth-table
-// mux identity; wired-AND long lines are a lane-wise AND of their driver
-// words; the flip-flop update is the classic mux word (d & ce) | (ff &^ ce).
+// state bit has in fault universe i. All lanes share one read-only
+// CompiledDesign — the struct-of-arrays form of the golden decode — and a
+// universe's single-bit configuration delta is a per-lane overlay (a patched
+// truth table, a flipped output mux, an extra long-line driver, ...)
+// consulted during evaluation instead of a re-decode. LUTs evaluate all 64
+// universes at once through the truth-table mux identity; wired-AND long
+// lines are a lane-wise AND of their driver words; the flip-flop update is
+// the classic mux word (d & ce) | (ff &^ ce).
 //
 // Exactness. Per lane, a Vector sweep is the scalar sweep of sim.go run
 // under that lane's configuration:
@@ -42,6 +43,9 @@ import (
 // Configurations a per-lane overlay cannot represent exactly — SRL16 shift
 // registers, writable BRAM, stuck-at overlays, LUT-mode flips — are never
 // given a lane: PlanVectorDelta demotes those bits to the scalar path.
+// Demoted bits whose post-repair configuration is provably golden
+// (DemotedWindowable) may still ride lanes for their clean-run/persistence
+// windows via ScatterLane.
 
 // vectorDeltaKind enumerates the behavioural effects a single configuration
 // bit flip can have relative to the golden decode.
@@ -158,9 +162,37 @@ func (f *FPGA) PlanVectorDelta(a device.BitAddr, info device.BitInfo) (VectorDel
 	}
 }
 
-// VectorSnapshot is the canonical post-reset device state every fault
-// universe starts from, captured once per campaign and broadcast into the
-// lanes of each batch.
+// DemotedWindowable reports whether a bit PlanVectorDelta demoted to the
+// scalar path still qualifies for lane-carried clean-run/persistence
+// windows: after the scalar observe phase, the single-frame repair plus
+// column scrub provably restore the golden configuration, so the surviving
+// divergence is pure behavioural state a lane can carry via ScatterLane.
+//
+//   - BRAM content flips: the flip lives in the injected frame (restored by
+//     the repair write) and, absent a valid write port (such designs are
+//     history-coupled and never planned), nothing else ever writes BRAM
+//     content.
+//   - LUT-mode flips: the transient SRL16 shifts only its own truth bits,
+//     which share the injected bit's CLB column — all inside the scrub
+//     window.
+//   - BRAM port flips stay fully scalar: a flipped write-enable/port field
+//     can corrupt content words in frames far outside the scrubbed column.
+//   - SRL16 truth bits only demote on history-coupled designs, which never
+//     reach the vector path at all.
+func (f *FPGA) DemotedWindowable(info device.BitInfo) bool {
+	switch info.Kind {
+	case device.KindBRAMContent:
+		return true
+	case device.KindLUT:
+		return info.CB >= device.CBLUTModeBase
+	}
+	return false
+}
+
+// VectorSnapshot is a full behavioural-state snapshot (nets, LUT outputs,
+// FFs, BRAM output registers): the canonical post-reset state every fault
+// universe starts from, or a mid-campaign scalar state being handed to a
+// carried lane.
 type VectorSnapshot struct {
 	net     []bool
 	lut     []bool
@@ -168,65 +200,62 @@ type VectorSnapshot struct {
 	bramOut []uint16
 }
 
-// CaptureVectorSnapshot records the device's current settled state. The
-// caller is expected to have put the device into the campaign's canonical
-// state first (pins low, Reset).
+// CaptureVectorSnapshot records the device's current settled state.
 func (f *FPGA) CaptureVectorSnapshot() *VectorSnapshot {
-	return &VectorSnapshot{
-		net:     append([]bool(nil), f.netVal...),
-		lut:     append([]bool(nil), f.lutVal...),
-		ff:      append([]bool(nil), f.ffVal...),
-		bramOut: append([]uint16(nil), f.bramOut...),
-	}
+	s := &VectorSnapshot{}
+	f.CaptureVectorSnapshotInto(s)
+	return s
+}
+
+// CaptureVectorSnapshotInto records the device's current settled state into
+// s, reusing its slices — the allocation-free variant for per-lane carry
+// captures on the campaign hot path.
+func (f *FPGA) CaptureVectorSnapshotInto(s *VectorSnapshot) {
+	s.net = append(s.net[:0], f.netVal...)
+	s.lut = append(s.lut[:0], f.lutVal...)
+	s.ff = append(s.ff[:0], f.ffVal...)
+	s.bramOut = append(s.bramOut[:0], f.bramOut...)
 }
 
 // Per-lane overlay records. Each lane carries at most one single-bit delta,
-// so patch lists stay tiny; they are scanned, not indexed.
+// so patch lists stay tiny; they are scanned, not indexed. All indirections
+// are resolved to flat state indices at ApplyDelta time.
 type lutLanePatch struct {
 	lane  uint8
 	truth uint16
-	inSel [device.LUTInputs]uint8
+	inID  [device.LUTInputs]int32
 }
 
 type ceLanePatch struct {
 	lane uint8
-	mode device.CEMode
-	sel  uint8
+	ceID int32
 }
 
 type llLanePatch struct {
 	lane  uint8
-	skip  int8  // index into the golden driver list to ignore, -1 none
-	addID int32 // dense net ID of an extra driver to AND in, -1 none
+	skip  int32 // state index of a golden driver to ignore, -1 none
+	addID int32 // state index of an extra driver to AND in, -1 none
 }
 
-// Vector is the 64-lane simulation machine for one device. Two Vectors
-// (golden and DUT) built from the same *FPGA share its decoded
-// configuration read-only; only the DUT Vector carries overlays.
+// Vector is the 64-lane simulation machine for one device. All Vectors
+// built from the same CompiledDesign share it read-only; only DUT Vectors
+// carry overlays. Per-lane state is one flat []uint64 indexed by the
+// compiled layout (dense nets, two constant words, BRAM output bits).
 type Vector struct {
-	f    *FPGA
+	c    *CompiledDesign
 	full uint64 // mask of live lanes
 
 	// Lane-parallel state words (lane i = fault universe i).
-	net     []uint64
-	lut     []uint64
-	ff      []uint64
-	bramOut [][]uint64 // per block, per output-register bit
-
-	// Canonical broadcast of the campaign's post-reset state.
-	canonNet     []uint64
-	canonLut     []uint64
-	canonFF      []uint64
-	canonBRAMOut [][]uint64
-
-	// Precomputed per-block port net IDs (-1 = invalid/constant-0 field).
-	bramEnID   []int32
-	bramAddrID [][]int32
+	state []uint64
+	lut   []uint64
+	ff    []uint64
 
 	// Batch evaluation plan: the golden active sets extended by overlay
 	// CLBs, rebuilt lazily after overlays change.
 	evalList  []int32
 	clockList []int32
+	extraLUTs []int32
+	extraCLBs []int32
 	evalStale bool
 
 	// Per-lane overlays (DUT side only), reset per batch. The *Touched
@@ -253,53 +282,24 @@ type Vector struct {
 	MaxSweeps int
 }
 
-// NewVector builds a lane machine over f's decoded configuration with snap
-// as the canonical per-lane start state. f must not be history-coupled
-// (the planner's demotions guarantee campaign use never is).
-func NewVector(f *FPGA, snap *VectorSnapshot) *Vector {
-	g := f.geom
-	v := &Vector{
-		f:         f,
-		net:       make([]uint64, g.NumNets()),
-		lut:       make([]uint64, g.LUTs()),
-		ff:        make([]uint64, g.CLBs()*device.FFsPerCLB),
-		overCLB:   make([]bool, g.CLBs()),
-		lutOver:   make([][]lutLanePatch, g.LUTs()),
-		muxXor:    make([]uint64, g.LUTs()),
-		ceOver:    make([][]ceLanePatch, g.CLBs()*device.FFsPerCLB),
-		dinvXor:   make([]uint64, g.CLBs()*device.FFsPerCLB),
-		llOver:    make([][]llLanePatch, len(f.llDrivers)),
-		llAddByOut: make([][]int32, 4*g.CLBs()),
-		MaxSweeps: f.MaxSweeps,
-		evalStale: true,
+// NewVector builds a lane machine over a shared compiled design. Only lane
+// words and overlay tables are allocated; everything read-only lives in c.
+func NewVector(c *CompiledDesign) *Vector {
+	return &Vector{
+		c:          c,
+		state:      make([]uint64, c.words),
+		lut:        make([]uint64, len(c.truth)),
+		ff:         make([]uint64, len(c.ceID)),
+		overCLB:    make([]bool, len(c.clbActive)),
+		lutOver:    make([][]lutLanePatch, len(c.truth)),
+		muxXor:     make([]uint64, len(c.truth)),
+		ceOver:     make([][]ceLanePatch, len(c.ceID)),
+		dinvXor:    make([]uint64, len(c.ceID)),
+		llOver:     make([][]llLanePatch, c.lls),
+		llAddByOut: make([][]int32, len(c.byOutStart)-1),
+		MaxSweeps:  c.maxSweeps,
+		evalStale:  true,
 	}
-	v.canonNet = broadcastBools(snap.net)
-	v.canonLut = broadcastBools(snap.lut)
-	v.canonFF = broadcastBools(snap.ff)
-	v.bramOut = make([][]uint64, g.BRAMBlocks())
-	v.canonBRAMOut = make([][]uint64, g.BRAMBlocks())
-	for bi := range v.bramOut {
-		v.bramOut[bi] = make([]uint64, device.BRAMWidth)
-		w := make([]uint64, device.BRAMWidth)
-		for j := 0; j < device.BRAMWidth; j++ {
-			if snap.bramOut[bi]&(1<<uint(j)) != 0 {
-				w[j] = ^uint64(0)
-			}
-		}
-		v.canonBRAMOut[bi] = w
-	}
-	v.bramEnID = make([]int32, g.BRAMBlocks())
-	v.bramAddrID = make([][]int32, g.BRAMBlocks())
-	for bi := range v.bramEnID {
-		cfg := &f.brams[bi]
-		v.bramEnID[bi] = v.bramPortNetID(bi, cfg.en)
-		ids := make([]int32, device.BRAMAddrBits)
-		for j := 0; j < device.BRAMAddrBits; j++ {
-			ids[j] = v.bramPortNetID(bi, cfg.addr[j])
-		}
-		v.bramAddrID[bi] = ids
-	}
-	return v
 }
 
 func broadcastBools(src []bool) []uint64 {
@@ -312,23 +312,6 @@ func broadcastBools(src []bool) []uint64 {
 	return out
 }
 
-// bramPortNetID resolves a BRAM port-input field to the dense net ID it
-// samples, mirroring bramPortValue's row clamp. -1 means constant 0.
-func (v *Vector) bramPortNetID(bi int, sel bramPortSel) int32 {
-	if !sel.valid {
-		return -1
-	}
-	f := v.f
-	bc, blk := f.bramColBlk(bi)
-	g := f.geom
-	r := g.BRAMRowBase(blk) + int(sel.rowOff)
-	if r >= g.Rows {
-		r = g.Rows - 1
-	}
-	c := g.BRAMAdjCol(bc)
-	return int32((r*g.Cols+c)*4 + int(sel.out))
-}
-
 // ResetBatch restores every lane to the canonical snapshot, clears all
 // overlays, and sets the live-lane mask to the low n lanes.
 func (v *Vector) ResetBatch(n int) {
@@ -337,12 +320,10 @@ func (v *Vector) ResetBatch(n int) {
 	} else {
 		v.full = 1<<uint(n) - 1
 	}
-	copy(v.net, v.canonNet)
-	copy(v.lut, v.canonLut)
-	copy(v.ff, v.canonFF)
-	for bi := range v.bramOut {
-		copy(v.bramOut[bi], v.canonBRAMOut[bi])
-	}
+	c := v.c
+	copy(v.state, c.canonState)
+	copy(v.lut, c.canonLut)
+	copy(v.ff, c.canonFF)
 	for _, li := range v.lutTouched {
 		v.lutOver[li] = v.lutOver[li][:0]
 	}
@@ -374,6 +355,45 @@ func (v *Vector) ResetBatch(n int) {
 	v.evalStale = true
 }
 
+// ScatterLane overwrites one lane's state bits from a scalar snapshot,
+// leaving every other lane untouched. Used to hand a scalar-observed
+// injection (post-repair, configuration provably golden) to a lane for its
+// clean-run/persistence window.
+func (v *Vector) ScatterLane(lane int, snap *VectorSnapshot) {
+	bit := uint64(1) << uint(lane)
+	for i, b := range snap.net {
+		if b {
+			v.state[i] |= bit
+		} else {
+			v.state[i] &^= bit
+		}
+	}
+	for i, b := range snap.lut {
+		if b {
+			v.lut[i] |= bit
+		} else {
+			v.lut[i] &^= bit
+		}
+	}
+	for i, b := range snap.ff {
+		if b {
+			v.ff[i] |= bit
+		} else {
+			v.ff[i] &^= bit
+		}
+	}
+	for bi, word := range snap.bramOut {
+		base := int(v.c.bramBase) + bi*device.BRAMWidth
+		for j := 0; j < device.BRAMWidth; j++ {
+			if word>>uint(j)&1 == 1 {
+				v.state[base+j] |= bit
+			} else {
+				v.state[base+j] &^= bit
+			}
+		}
+	}
+}
+
 func (v *Vector) markCLB(clb int32) {
 	if !v.overCLB[clb] {
 		v.overCLB[clb] = true
@@ -389,32 +409,23 @@ func (v *Vector) addEdge(id int32, ll int32) {
 	v.llAddByOut[id] = append(v.llAddByOut[id], ll)
 }
 
-// goldenDriverIndex finds the golden driver entry of line ll contributed by
-// clb. A CLB drives a given line through exactly one slot, so the entry is
-// unique.
-func (v *Vector) goldenDriverIndex(ll, clb int) int8 {
-	for i, ref := range v.f.llDrivers[ll] {
-		if !ref.bram && ref.idx == clb {
-			return int8(i)
-		}
-	}
-	return -1
-}
-
-// ApplyDelta installs lane's single-bit overlay. Lanes carry at most one
+// ApplyDelta installs lane's single-bit overlay, resolving select fields to
+// flat state indices against the compiled design. Lanes carry at most one
 // delta per batch.
 func (v *Vector) ApplyDelta(lane int, d VectorDelta) {
+	c := v.c
 	bit := uint64(1) << uint(lane)
 	switch d.kind {
 	case vdNone:
 	case vdTruth, vdInSel:
 		li := d.clb*device.LUTsPerCLB + int32(d.l)
-		g := v.f.clbs[d.clb].lut[d.l]
-		p := lutLanePatch{lane: uint8(lane), truth: g.truth, inSel: g.inSel}
+		p := lutLanePatch{lane: uint8(lane), truth: c.truth[li]}
+		i4 := int(li) * device.LUTInputs
+		copy(p.inID[:], c.inID[i4:i4+device.LUTInputs])
 		if d.kind == vdTruth {
 			p.truth ^= 1 << d.bit
 		} else {
-			p.inSel[d.in] = d.sel
+			p.inID[d.in] = c.slotID[int(d.clb)*device.InMuxWays+int(d.sel)]
 		}
 		if len(v.lutOver[li]) == 0 {
 			v.lutTouched = append(v.lutTouched, li)
@@ -430,10 +441,21 @@ func (v *Vector) ApplyDelta(lane int, d VectorDelta) {
 		v.markCLB(d.clb)
 	case vdFFCE:
 		i := d.clb*device.FFsPerCLB + int32(d.l)
+		var ceID int32
+		switch d.mode {
+		case device.CEHalfLatch:
+			ceID = c.ceHLConst[i]
+		case device.CERouted:
+			ceID = c.slotID[int(d.clb)*device.InMuxWays+int(d.sel)]
+		case device.CEConstZero:
+			ceID = c.constZero
+		default: // CEConstOne
+			ceID = c.constOne
+		}
 		if len(v.ceOver[i]) == 0 {
 			v.ceTouched = append(v.ceTouched, i)
 		}
-		v.ceOver[i] = append(v.ceOver[i], ceLanePatch{lane: uint8(lane), mode: d.mode, sel: d.sel})
+		v.ceOver[i] = append(v.ceOver[i], ceLanePatch{lane: uint8(lane), ceID: ceID})
 		v.markCLB(d.clb)
 	case vdFFDInv:
 		i := d.clb*device.FFsPerCLB + int32(d.l)
@@ -447,10 +469,12 @@ func (v *Vector) ApplyDelta(lane int, d VectorDelta) {
 		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: -1, addID: id})
 		v.addEdge(id, d.ll)
 	case vdLLRemove:
-		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: v.goldenDriverIndex(int(d.ll), int(d.clb)), addID: -1})
+		// The golden driver entry's value is its CLB-output state index, so
+		// the skip matches by value (BRAM driver indices are disjoint).
+		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: d.clb*4 + int32(d.src), addID: -1})
 	case vdLLSrc:
 		id := d.clb*4 + int32(d.nsrc)
-		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: v.goldenDriverIndex(int(d.ll), int(d.clb)), addID: id})
+		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: d.clb*4 + int32(d.src), addID: id})
 		v.addEdge(id, d.ll)
 	}
 }
@@ -515,49 +539,89 @@ func dropLutPatch(ps []lutLanePatch, lane uint8) []lutLanePatch {
 
 // SetPinWord drives input pin p with one bit per lane.
 func (v *Vector) SetPinWord(p int, w uint64) {
-	v.net[v.f.pinNetID(p)] = w
+	v.state[int(v.c.pinBase)+p] = w
 }
 
 // NetWord returns the lane word of dense net id.
-func (v *Vector) NetWord(id int) uint64 { return v.net[id] }
+func (v *Vector) NetWord(id int) uint64 { return v.state[id] }
 
-// rebuildLists recomputes the batch evaluation plan: the golden active
-// sets (in golden topological order) extended by every CLB carrying an
-// overlay this batch.
+// rebuildLists recomputes the batch evaluation plan: the golden active sets
+// (precompiled, in golden topological order) merged with the LUTs/CLBs that
+// only overlay lanes activated this batch. The merge by topological
+// position reproduces exactly the old full scan of f.order filtered by
+// (active || overlay CLB), at overlay-count cost instead of device cost.
 func (v *Vector) rebuildLists() {
-	f := v.f
+	c := v.c
+	ex := v.extraLUTs[:0]
+	cx := v.extraCLBs[:0]
+	for _, ci := range v.overCLBList {
+		if !c.clbActive[ci] {
+			cx = append(cx, ci)
+		}
+		base := ci * device.LUTsPerCLB
+		for k := int32(0); k < device.LUTsPerCLB; k++ {
+			if li := base + k; !c.activeLUT[li] {
+				ex = append(ex, li)
+			}
+		}
+	}
+	// Insertion sorts: at most 4 LUTs per overlay CLB, 64 lanes per batch.
+	for i := 1; i < len(ex); i++ {
+		for j := i; j > 0 && c.lutPos[ex[j]] < c.lutPos[ex[j-1]]; j-- {
+			ex[j], ex[j-1] = ex[j-1], ex[j]
+		}
+	}
+	for i := 1; i < len(cx); i++ {
+		for j := i; j > 0 && cx[j] < cx[j-1]; j-- {
+			cx[j], cx[j-1] = cx[j-1], cx[j]
+		}
+	}
+	v.extraLUTs, v.extraCLBs = ex, cx
+
 	v.evalList = v.evalList[:0]
-	for _, li := range f.order {
-		if f.activeLUT[li] || v.overCLB[li/device.LUTsPerCLB] {
-			v.evalList = append(v.evalList, li)
+	bi, ei := 0, 0
+	for bi < len(c.evalBase) && ei < len(ex) {
+		if c.evalBasePos[bi] < c.lutPos[ex[ei]] {
+			v.evalList = append(v.evalList, c.evalBase[bi])
+			bi++
+		} else {
+			v.evalList = append(v.evalList, ex[ei])
+			ei++
 		}
 	}
+	v.evalList = append(v.evalList, c.evalBase[bi:]...)
+	v.evalList = append(v.evalList, ex[ei:]...)
+
 	v.clockList = v.clockList[:0]
-	for idx := range f.clbs {
-		if f.clbActive[idx] || v.overCLB[idx] {
-			v.clockList = append(v.clockList, int32(idx))
+	bi, ei = 0, 0
+	for bi < len(c.clockBase) && ei < len(cx) {
+		if c.clockBase[bi] < cx[ei] {
+			v.clockList = append(v.clockList, c.clockBase[bi])
+			bi++
+		} else {
+			v.clockList = append(v.clockList, cx[ei])
+			ei++
 		}
 	}
+	v.clockList = append(v.clockList, c.clockBase[bi:]...)
+	v.clockList = append(v.clockList, cx[ei:]...)
 	v.evalStale = false
 }
 
 // truthWord evaluates a 16-bit truth table over four lane-word inputs via
 // the mux identity: level 1 collapses input 0 against truth bit pairs,
-// levels 2..4 are generic (hi & s) | (lo &^ s) reductions.
+// levels 2..4 are generic (hi & s) | (lo &^ s) reductions. Level 1 is
+// branchless — each truth pair (lo, hi) selects one of {0, ^s0, s0, ^0},
+// all four of which are P ^ (Q & s0) for P = sign-extended lo and
+// Q = sign-extended lo^hi — so lane throughput does not depend on how
+// predictable the design's truth tables are.
 func truthWord(t uint16, s0, s1, s2, s3 uint64) uint64 {
-	n0 := ^s0
 	var w [8]uint64
 	for k := 0; k < 8; k++ {
-		switch (t >> uint(2*k)) & 3 {
-		case 0:
-			// w[k] stays 0
-		case 1:
-			w[k] = n0
-		case 2:
-			w[k] = s0
-		default:
-			w[k] = ^uint64(0)
-		}
+		pair := t >> uint(2*k)
+		p := -uint64(pair & 1)
+		q := -uint64((pair ^ pair>>1) & 1)
+		w[k] = p ^ (q & s0)
 	}
 	n1 := ^s1
 	w[0] = w[0]&n1 | w[1]&s1
@@ -570,26 +634,12 @@ func truthWord(t uint16, s0, s1, s2, s3 uint64) uint64 {
 	return w[0]&^s3 | w[1]&s3
 }
 
-// slotWord reads input-mux slot s of CLB clb across all lanes, honouring
-// half-latch keepers on undriven taps. Stuck-at overlays never reach the
-// vector path (stuck devices are history-coupled and demoted wholesale).
-func (v *Vector) slotWord(clb, s int) uint64 {
-	si := clb*device.InMuxWays + s
-	id := v.f.candID[si]
-	if id < 0 {
-		if v.f.inHL[si] {
-			return ^uint64(0)
-		}
-		return 0
-	}
-	return v.net[id]
-}
-
-// laneLUTBit evaluates one overlaid lane's LUT scalar-style.
-func (v *Vector) laneLUTBit(clb int, p *lutLanePatch) uint64 {
+// laneLUTBit evaluates one overlaid lane's LUT scalar-style through its
+// patched, pre-resolved input indices.
+func (v *Vector) laneLUTBit(p *lutLanePatch) uint64 {
 	idx := 0
 	for in := 0; in < device.LUTInputs; in++ {
-		if v.slotWord(clb, int(p.inSel[in]))>>p.lane&1 == 1 {
+		if v.state[p.inID[in]]>>p.lane&1 == 1 {
 			idx |= 1 << uint(in)
 		}
 	}
@@ -600,51 +650,38 @@ func (v *Vector) laneLUTBit(clb int, p *lutLanePatch) uint64 {
 // AND with the lane's skipped entry removed and its extra driver ANDed in.
 // A lane whose overlay removes the only driver reads the line's keeper.
 func (v *Vector) laneLineBit(ll int, p *llLanePatch) uint64 {
-	f := v.f
-	drv := f.llDrivers[ll]
+	c := v.c
 	n := 0
 	val := uint64(1)
-	for i := range drv {
-		if int8(i) == p.skip {
+	for _, di := range c.llDrv[c.llStart[ll]:c.llStart[ll+1]] {
+		if di == p.skip {
 			continue
 		}
 		n++
-		val &= v.driverWord(&drv[i]) >> p.lane
+		val &= v.state[di] >> p.lane
 	}
 	if p.addID >= 0 {
 		n++
-		val &= v.net[p.addID] >> p.lane
+		val &= v.state[p.addID] >> p.lane
 	}
 	if n == 0 {
-		if f.llHL[ll] {
-			return 1
-		}
-		return 0
+		return c.llKeep[ll] & 1
 	}
 	return val & 1
-}
-
-func (v *Vector) driverWord(ref *driverRef) uint64 {
-	if ref.bram {
-		return v.bramOut[ref.idx][ref.out]
-	}
-	return v.net[ref.idx*4+ref.out]
 }
 
 // refreshLine recomputes long line ll for all lanes and reports whether any
 // lane changed.
 func (v *Vector) refreshLine(ll int) bool {
-	f := v.f
-	drv := f.llDrivers[ll]
+	c := v.c
+	s, e := c.llStart[ll], c.llStart[ll+1]
 	var w uint64
-	if len(drv) == 0 {
-		if f.llHL[ll] {
-			w = ^uint64(0)
-		}
+	if s == e {
+		w = c.llKeep[ll]
 	} else {
 		w = ^uint64(0)
-		for i := range drv {
-			w &= v.driverWord(&drv[i])
+		for _, di := range c.llDrv[s:e] {
+			w &= v.state[di]
 		}
 	}
 	if ps := v.llOver[ll]; len(ps) > 0 {
@@ -653,63 +690,75 @@ func (v *Vector) refreshLine(ll int) bool {
 			w = w&^(1<<p.lane) | v.laneLineBit(ll, p)<<p.lane
 		}
 	}
-	id := 4*f.geom.CLBs() + ll
-	if v.net[id] == w {
+	id := c.llNetBase + int32(ll)
+	if v.state[id] == w {
 		return false
 	}
-	v.net[id] = w
+	v.state[id] = w
 	return true
 }
 
 // Settle evaluates combinational logic to a lane-wise fixpoint, mirroring
 // the scalar sweep kernel (same evaluation order, same in-sweep long-line
-// refresh, same end-of-sweep refresh, same MaxSweeps freeze).
+// refresh, same MaxSweeps freeze; the end-of-sweep refresh is restricted to
+// the lines that can actually have gone stale — see below — which is
+// state-identical to the scalar kernel's full pass, changed flag included).
+// The hot loop is pure flat-slice traffic: truth/input indices/mux words
+// stream from the compiled design, state reads are single-indexed loads.
 func (v *Vector) Settle() {
 	if v.evalStale {
 		v.rebuildLists()
 	}
-	f := v.f
+	c := v.c
+	st := v.state
+	truth, inID, lut := c.truth, c.inID, v.lut
+	muxW, muxXor, ff := c.muxW, v.muxXor, v.ff
 	for sweeps := 0; sweeps < v.MaxSweeps; sweeps++ {
 		changed := false
 		for _, li := range v.evalList {
-			clb := int(li) / device.LUTsPerCLB
-			o := int(li) % device.LUTsPerCLB
-			cfg := &f.clbs[clb].lut[o]
-			w := truthWord(cfg.truth,
-				v.slotWord(clb, int(cfg.inSel[0])),
-				v.slotWord(clb, int(cfg.inSel[1])),
-				v.slotWord(clb, int(cfg.inSel[2])),
-				v.slotWord(clb, int(cfg.inSel[3])))
+			i4 := int(li) * device.LUTInputs
+			in := inID[i4 : i4+4 : i4+4]
+			w := truthWord(truth[li], st[in[0]], st[in[1]], st[in[2]], st[in[3]])
 			if ps := v.lutOver[li]; len(ps) > 0 {
 				for i := range ps {
 					p := &ps[i]
-					w = w&^(1<<p.lane) | v.laneLUTBit(clb, p)<<p.lane
+					w = w&^(1<<p.lane) | v.laneLUTBit(p)<<p.lane
 				}
 			}
-			if v.lut[li] != w {
-				v.lut[li] = w
+			if lut[li] != w {
+				lut[li] = w
 				changed = true
 			}
-			var mux uint64
-			if f.clbs[clb].outMuxFF[o] {
-				mux = ^uint64(0)
-			}
-			mux ^= v.muxXor[li]
-			out := v.ff[li]&mux | w&^mux
-			id := clb*4 + o
-			if v.net[id] != out {
-				v.net[id] = out
+			mux := muxW[li] ^ muxXor[li]
+			out := ff[li]&mux | w&^mux
+			if st[li] != out {
+				st[li] = out
 				changed = true
-				for _, ll := range f.llByOut[id] {
+				for _, ll := range c.byOutLL[c.byOutStart[li]:c.byOutStart[li+1]] {
 					v.refreshLine(int(ll))
 				}
-				for _, ll := range v.llAddByOut[id] {
+				for _, ll := range v.llAddByOut[li] {
 					v.refreshLine(int(ll))
 				}
 			}
 		}
-		for ll := range f.llDrivers {
-			if v.refreshLine(ll) {
+		// End-of-sweep line refresh, restricted to the lines that can have
+		// gone stale: a line whose drivers are all CLB outputs was refreshed
+		// in-sweep at every driver change (byOutLL plus llAddByOut cover the
+		// golden and overlay-added drivers), so re-deriving it here is a
+		// provable no-op — including its contribution to the changed flag.
+		// Only BRAM-driven lines (douts move in Clock, which has no refresh
+		// edges) and lines carrying lane overlays this batch (overlay
+		// install/repair rewrites their per-lane wired-AND out of band) can
+		// differ. llTouched may overlap llExternal; refreshLine is
+		// idempotent, so the duplicate call is harmless.
+		for _, ll := range c.llExternal {
+			if v.refreshLine(int(ll)) {
+				changed = true
+			}
+		}
+		for _, ll := range v.llTouched {
+			if v.refreshLine(int(ll)) {
 				changed = true
 			}
 		}
@@ -719,46 +768,6 @@ func (v *Vector) Settle() {
 	}
 }
 
-// ceWord resolves the clock-enable lane word of FF k of CLB clb.
-func (v *Vector) ceWord(clb, k int) uint64 {
-	f := v.f
-	i := clb*device.FFsPerCLB + k
-	cfg := &f.clbs[clb].ff[k]
-	var w uint64
-	switch cfg.ceMode {
-	case device.CEHalfLatch:
-		if f.ceHL[i] {
-			w = ^uint64(0)
-		}
-	case device.CERouted:
-		w = v.slotWord(clb, int(cfg.ceSel))
-	case device.CEConstZero:
-		// stays 0
-	default: // CEConstOne
-		w = ^uint64(0)
-	}
-	if ps := v.ceOver[i]; len(ps) > 0 {
-		for idx := range ps {
-			p := &ps[idx]
-			var bit uint64
-			switch p.mode {
-			case device.CEHalfLatch:
-				if f.ceHL[i] {
-					bit = 1
-				}
-			case device.CERouted:
-				bit = v.slotWord(clb, int(p.sel)) >> p.lane & 1
-			case device.CEConstZero:
-				// stays 0
-			default:
-				bit = 1
-			}
-			w = w&^(1<<p.lane) | bit<<p.lane
-		}
-	}
-	return w
-}
-
 // Clock performs one rising edge: flip-flops of the clock list load their
 // (possibly lane-inverted) D inputs under their lane-wise clock enables,
 // then every BRAM block registers its addressed word per enabled lane.
@@ -766,22 +775,25 @@ func (v *Vector) Clock() {
 	if v.evalStale {
 		v.rebuildLists()
 	}
-	f := v.f
+	c := v.c
+	st := v.state
 	for _, ci := range v.clockList {
-		clb := int(ci)
-		cfg := &f.clbs[clb]
+		base := int(ci) * device.FFsPerCLB
 		for k := 0; k < device.FFsPerCLB; k++ {
-			i := clb*device.FFsPerCLB + k
-			ce := v.ceWord(clb, k)
-			d := v.lut[clb*device.LUTsPerCLB+k]
-			if cfg.ff[k].dInv {
-				d = ^d
+			i := base + k
+			ce := st[c.ceID[i]]
+			if ps := v.ceOver[i]; len(ps) > 0 {
+				for idx := range ps {
+					p := &ps[idx]
+					bit := st[p.ceID] >> p.lane & 1
+					ce = ce&^(1<<p.lane) | bit<<p.lane
+				}
 			}
-			d ^= v.dinvXor[i]
+			d := v.lut[i] ^ c.dinvW[i] ^ v.dinvXor[i]
 			v.ff[i] = d&ce | v.ff[i]&^ce
 		}
 	}
-	for bi := range f.brams {
+	for bi := range c.bramEnID {
 		v.clockBRAM(bi)
 	}
 }
@@ -792,23 +804,24 @@ func (v *Vector) Clock() {
 // across lanes and the scalar kernel's write/interference paths have no
 // vector counterpart.
 func (v *Vector) clockBRAM(bi int) {
-	enID := v.bramEnID[bi]
+	c := v.c
+	enID := c.bramEnID[bi]
 	if enID < 0 {
 		return
 	}
-	en := v.net[enID] & v.full
+	en := v.state[enID] & v.full
 	if en == 0 {
 		return
 	}
-	addrIDs := v.bramAddrID[bi]
+	addrIDs := c.bramAddrID[bi*device.BRAMAddrBits : (bi+1)*device.BRAMAddrBits]
 	var addrW [device.BRAMAddrBits]uint64
-	for j := 0; j < device.BRAMAddrBits; j++ {
-		if id := addrIDs[j]; id >= 0 {
-			addrW[j] = v.net[id]
+	for j, id := range addrIDs {
+		if id >= 0 {
+			addrW[j] = v.state[id]
 		}
 	}
-	mem := v.f.bramMem[bi]
-	out := v.bramOut[bi]
+	mem := c.bramMem[bi]
+	out := v.state[int(c.bramBase)+bi*device.BRAMWidth:][:device.BRAMWidth]
 	for rest := en; rest != 0; rest &= rest - 1 {
 		lane := uint(bits.TrailingZeros64(rest))
 		addr := 0
@@ -842,20 +855,14 @@ func (v *Vector) Step() {
 // yields identical futures — restricted to that lane.
 func DivergenceWord(a, b *Vector) uint64 {
 	var d uint64
-	for i, w := range a.net {
-		d |= w ^ b.net[i]
+	for i, w := range a.state {
+		d |= w ^ b.state[i]
 	}
 	for i, w := range a.lut {
 		d |= w ^ b.lut[i]
 	}
 	for i, w := range a.ff {
 		d |= w ^ b.ff[i]
-	}
-	for bi := range a.bramOut {
-		ao, bo := a.bramOut[bi], b.bramOut[bi]
-		for j := range ao {
-			d |= ao[j] ^ bo[j]
-		}
 	}
 	return d
 }

@@ -38,7 +38,7 @@ func vectorEligibleMemory(g device.Geometry, rng *rand.Rand) *bitstream.Memory {
 // scalar device, returning a description of the first divergence ("" = none).
 func laneMatchesScalar(v *Vector, lane int, s *FPGA) string {
 	for i := range s.netVal {
-		if (v.net[i]>>uint(lane)&1 == 1) != s.netVal[i] {
+		if (v.state[i]>>uint(lane)&1 == 1) != s.netVal[i] {
 			return "net"
 		}
 	}
@@ -53,8 +53,9 @@ func laneMatchesScalar(v *Vector, lane int, s *FPGA) string {
 		}
 	}
 	for bi := range s.bramOut {
+		base := int(v.c.bramBase) + bi*device.BRAMWidth
 		for j := 0; j < device.BRAMWidth; j++ {
-			if (v.bramOut[bi][j]>>uint(lane)&1 == 1) != (s.bramOut[bi]>>uint(j)&1 == 1) {
+			if (v.state[base+j]>>uint(lane)&1 == 1) != (s.bramOut[bi]>>uint(j)&1 == 1) {
 				return "bramOut"
 			}
 		}
@@ -107,9 +108,9 @@ func checkVectorAgainstScalars(t *testing.T, seed int64, lanes int) {
 		deltas = append(deltas, d)
 	}
 
-	snap := f.CaptureVectorSnapshot()
-	gv := NewVector(f, snap) // clean lanes (the golden side)
-	dv := NewVector(f, snap) // overlaid lanes (the DUT side)
+	comp := f.Compile()
+	gv := NewVector(comp) // clean lanes (the golden side)
+	dv := NewVector(comp) // overlaid lanes (the DUT side)
 	gv.ResetBatch(lanes)
 	dv.ResetBatch(lanes)
 	for i, d := range deltas {
@@ -193,5 +194,63 @@ func TestVectorStepMatchesScalarLanes(t *testing.T) {
 func TestVectorLaneMaskEdges(t *testing.T) {
 	for _, lanes := range []int{1, 63, 64} {
 		checkVectorAgainstScalars(t, int64(1000+lanes), lanes)
+	}
+}
+
+// TestVectorScatterLane drives scalar clones forward independently, scatters
+// their mid-run state into vector lanes, and asserts the lanes track the
+// scalars bit for bit afterwards — the property the demoted-injection
+// clean/persist windows (carry lanes) rest on.
+func TestVectorScatterLane(t *testing.T) {
+	g := device.Tiny()
+	rng := rand.New(rand.NewSource(77))
+	bs := bitstream.Full(vectorEligibleMemory(g, rng))
+	f := New(g)
+	f.SetEventDriven(false)
+	if err := f.FullConfigure(bs); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < g.Pins(); p++ {
+		f.SetPin(p, false)
+	}
+	f.Reset()
+
+	const lanes = 7
+	v := NewVector(f.Compile())
+	v.ResetBatch(lanes)
+	sc := make([]*FPGA, lanes)
+	var snap VectorSnapshot
+	for i := range sc {
+		sc[i] = f.Clone()
+		// Desynchronize: each scalar advances a different number of steps
+		// under its own stimulus before being handed to a lane.
+		for step := 0; step <= i*3; step++ {
+			for p := 0; p < g.Pins(); p++ {
+				sc[i].SetPin(p, rng.Intn(2) == 1)
+			}
+			sc[i].Step()
+		}
+		sc[i].CaptureVectorSnapshotInto(&snap)
+		v.ScatterLane(i, &snap)
+	}
+	for step := 0; step < 20; step++ {
+		for p := 0; p < g.Pins(); p++ {
+			var w uint64
+			for i := 0; i < lanes; i++ {
+				on := rng.Intn(2) == 1
+				sc[i].SetPin(p, on)
+				if on {
+					w |= 1 << uint(i)
+				}
+			}
+			v.SetPinWord(p, w)
+		}
+		v.Step()
+		for i := 0; i < lanes; i++ {
+			sc[i].Step()
+			if what := laneMatchesScalar(v, i, sc[i]); what != "" {
+				t.Fatalf("step %d: scattered lane %d diverged from scalar (%s)", step, i, what)
+			}
+		}
 	}
 }

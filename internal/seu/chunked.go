@@ -112,6 +112,7 @@ type ChunkRunner struct {
 	fs     *frameScrub
 	fast   bool
 	opts   Options
+	plan   *prePlan
 	vr     *vectorRunner
 	// tag/pooled drive replica-pool bookkeeping: clones are acquired from
 	// the pool and Release parks them; the base runner's board belongs to
@@ -141,7 +142,9 @@ func NewChunkRunner(bd *board.SLAAC1V, opts Options) (*ChunkRunner, error) {
 	if opts.Triage {
 		r.tri = newTriage(bd)
 	}
-	r.vr = maybeNewVectorRunner(bd, opts)
+	limit, _ := selectionPlan(opts, bd.Geometry().TotalBits())
+	r.plan = campaignPlan(bd, opts, limit, r.tri)
+	r.vr = maybeNewVectorRunner(bd, opts, r.plan)
 	return r, nil
 }
 
@@ -161,7 +164,8 @@ func (r *ChunkRunner) Clone(seed int64) *ChunkRunner {
 		fs:     newFrameScrub(wb.Geometry()),
 		fast:   r.fast,
 		opts:   r.opts,
-		vr:     maybeNewVectorRunner(wb, r.opts),
+		plan:   r.plan,
+		vr:     maybeNewVectorRunner(wb, r.opts, r.plan),
 		tag:    r.tag,
 		pooled: true,
 	}
@@ -184,7 +188,7 @@ func (r *ChunkRunner) Release() {
 // context aborts between injections with ctx's error and no result.
 func (r *ChunkRunner) Run(ctx context.Context, spec ChunkSpec) (*ChunkResult, error) {
 	acc := newShardAccum()
-	if err := runRange(ctx, r.bd, r.golden, spec.Lo, spec.Hi, r.opts, acc, r.tri, r.fs, r.fast, r.vr); err != nil {
+	if err := runRange(ctx, r.bd, r.golden, spec.Lo, spec.Hi, r.opts, acc, r.tri, r.fs, r.fast, r.vr, r.plan); err != nil {
 		return nil, err
 	}
 	return acc.result(spec.Index), nil

@@ -75,12 +75,16 @@ func mergeInto(rep *Report, acc *shardAccum) {
 // runRange executes the injection loop over bit addresses [lo, hi) on bd.
 // tri is the shared read-only sensitivity triage (nil = disabled); fs is
 // bd's dirty-frame tracker, owned by the worker driving bd; vr is the
-// worker's vector-kernel batch scheduler (nil = scalar-only). Cancellation
-// is checked before every injection (and periodically across skipped
-// spans), so a cancelled campaign stops with the board between iterations,
-// never mid-repair. A pending vector batch always flushes inside the range
-// that enqueued it, so chunk results stay a pure function of their spec.
-func runRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum, tri *triage, fs *frameScrub, fast bool, vr *vectorRunner) error {
+// worker's vector-kernel batch scheduler and plan the campaign pre-plan
+// (both nil on scalar campaigns). Cancellation is checked before every
+// injection (and periodically across skipped spans), so a cancelled
+// campaign stops with the board between iterations, never mid-repair. A
+// pending vector batch always flushes inside the range that enqueued it,
+// so chunk results stay a pure function of their spec.
+func runRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, lo, hi int64, opts Options, acc *shardAccum, tri *triage, fs *frameScrub, fast bool, vr *vectorRunner, plan *prePlan) error {
+	if vr != nil {
+		return runPlannedRange(ctx, bd, golden, plan, lo, hi, opts, acc, fs, fast, vr)
+	}
 	g := bd.Geometry()
 	for a := device.BitAddr(lo); int64(a) < hi; a++ {
 		// The sampling skip path costs one hash per address; amortize the
@@ -107,32 +111,71 @@ func runRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if vr != nil {
-			if d, ok := vr.golden.PlanVectorDelta(a, info); ok {
-				if d.Inert() {
-					continue // decode-identical to golden: provably benign
-				}
-				vr.enqueue(a, info.Kind, d)
-				if vr.fullBatch() {
-					vr.flush(opts, acc, fast)
-				}
-				continue
-			}
-			// Demoted (SRL truth bits, BRAM, LUT-mode flips): scalar path.
-		}
-		if err := injectOne(bd, golden, a, info, opts, acc, fs, fast); err != nil {
+		if err := injectOne(bd, golden, a, info.Kind, stimulusSeed(opts.Seed, a), opts, acc, fs, fast); err != nil {
 			return err
 		}
 	}
-	if vr != nil {
-		vr.flush(opts, acc, fast)
+	return nil
+}
+
+// runPlannedRange is the vector-kernel image of runRange: instead of
+// re-classifying every address, it walks the pre-plan's entries for
+// [lo, hi) and dispatches on each entry's precomputed disposition. The
+// planner never runs here — classification happened exactly once per
+// sampled bit, in buildPrePlan.
+func runPlannedRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, plan *prePlan, lo, hi int64, opts Options, acc *shardAccum, fs *frameScrub, fast bool, vr *vectorRunner) error {
+	entries := plan.window(lo, hi)
+	for i := range entries {
+		e := &entries[i]
+		// Retired entries (pad/triage/benign) cost no board work; amortize
+		// their cancellation checks like the scalar loop does for skips.
+		if i&0xFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		acc.injections++
+		acc.injByKind[e.kind]++
+		acc.simTime += board.InjectLoopTime
+		switch e.act {
+		case planPad, planBenign:
+			// Provably benign without board activity.
+		case planTriage:
+			acc.triageSkipped++
+		case planVector:
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			vr.enqueueVector(e)
+			if vr.fullBatch() {
+				vr.flush(opts, acc, fast)
+			}
+		case planCarry:
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := vr.enqueueCarry(bd, golden, e, opts, acc, fs); err != nil {
+				return err
+			}
+			if vr.fullBatch() {
+				vr.flush(opts, acc, fast)
+			}
+		case planScalar:
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := injectOne(bd, golden, e.addr, e.kind, e.seed, opts, acc, fs, fast); err != nil {
+				return err
+			}
+		}
 	}
+	vr.flush(opts, acc, fast)
 	return nil
 }
 
 // runSharded fans the range [0, limit) out over workers cloned boards and
 // returns the per-chunk accumulators in chunk order.
-func runSharded(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, workers int, opts Options, tri *triage, fast bool) ([]*shardAccum, error) {
+func runSharded(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory, limit int64, workers int, opts Options, tri *triage, fast bool, plan *prePlan) ([]*shardAccum, error) {
 	chunks := workers * chunksPerWorker
 	if int64(chunks) > limit {
 		chunks = int(limit)
@@ -166,7 +209,7 @@ func runSharded(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory
 			// THIS board's configuration memory, so it must live as long as
 			// the replica, not per chunk.
 			fs := newFrameScrub(wb.Geometry())
-			vr := maybeNewVectorRunner(wb, opts)
+			vr := maybeNewVectorRunner(wb, opts, plan)
 			for {
 				ci := atomic.AddInt64(&cursor, 1) - 1
 				if ci >= int64(chunks) || failed.Load() {
@@ -182,7 +225,7 @@ func runSharded(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.Memory
 				}
 				acc := newShardAccum()
 				accs[ci] = acc
-				if err := runRange(ctx, wb, golden, lo, hi, opts, acc, tri, fs, fast, vr); err != nil {
+				if err := runRange(ctx, wb, golden, lo, hi, opts, acc, tri, fs, fast, vr, plan); err != nil {
 					failed.Store(true)
 					errCh <- err
 					return

@@ -46,6 +46,7 @@ func acquireReplica(base *board.SLAAC1V, tag uint64, seed int64) *board.SLAAC1V 
 	if !poolEligible(base) {
 		// Ineligible bases never pool; leave any parked (eligible-era)
 		// replicas of this placement for campaigns that can use them.
+		poolMisses.Add(1)
 		return base.Clone(seed)
 	}
 	if p, ok := replicaPools.Load(base.Placed); ok {
@@ -56,11 +57,13 @@ func acquireReplica(base *board.SLAAC1V, tag uint64, seed int64) *board.SLAAC1V 
 				break
 			}
 			if e.tag == tag {
+				poolHits.Add(1)
 				return e.bd
 			}
 			// Stale substrate from an incompatible campaign state; drop it.
 		}
 	}
+	poolMisses.Add(1)
 	return base.Clone(seed)
 }
 

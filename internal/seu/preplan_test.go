@@ -1,0 +1,125 @@
+package seu
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/device"
+)
+
+// TestPrePlanAmortizesPlanner is the regression test for the amortized
+// batch planner: one campaign may invoke PlanVectorDelta at most once per
+// sampled bit (the pre-plan pass), regardless of worker count, chunking, or
+// batch boundaries — and an identical follow-up campaign over the same
+// substrate must not invoke it at all (plan-cache hit).
+func TestPrePlanAmortizesPlanner(t *testing.T) {
+	spec, err := designs.ByName("MULT 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := boardFor(t, spec.Build(), device.Tiny())
+	opts := DefaultOptions()
+	opts.Kernel = KernelVector
+	opts.Sample = 0.15
+	opts.Seed = 11
+	opts.Workers = 2
+	opts.Triage = false
+
+	limit, _ := selectionPlan(opts, bd.Geometry().TotalBits())
+	var sampled int64
+	for a := device.BitAddr(0); int64(a) < limit; a++ {
+		if selected(opts, a) {
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("campaign sampled no bits")
+	}
+
+	before := plannerCalls.Load()
+	ref, err := Run(bd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := plannerCalls.Load() - before
+	if calls == 0 {
+		t.Fatal("vector campaign never consulted the planner")
+	}
+	if calls > sampled {
+		t.Fatalf("planner invoked %d times for %d sampled bits — classification is not amortized", calls, sampled)
+	}
+
+	// Identical campaign, same substrate: the cached plan must serve it
+	// with zero fresh planner work and a byte-identical report.
+	hitsBefore, _ := PlanCacheStats()
+	before = plannerCalls.Load()
+	got, err := Run(bd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra := plannerCalls.Load() - before; extra != 0 {
+		t.Fatalf("cached campaign invoked the planner %d times", extra)
+	}
+	if hitsAfter, _ := PlanCacheStats(); hitsAfter == hitsBefore {
+		t.Fatal("identical campaign missed the plan cache")
+	}
+	compareReports(t, "cached-plan", ref, got)
+
+	// A different selection over the same substrate rebuilds the
+	// classification (entries depend on the sampled set) but may not
+	// recompile the design — and must still cap planner calls at one per
+	// sampled bit.
+	opts2 := opts
+	opts2.Seed = 12
+	var sampled2 int64
+	for a := device.BitAddr(0); int64(a) < limit; a++ {
+		if selected(opts2, a) {
+			sampled2++
+		}
+	}
+	before = plannerCalls.Load()
+	if _, err := Run(bd, opts2); err != nil {
+		t.Fatal(err)
+	}
+	if extra := plannerCalls.Load() - before; extra > sampled2 {
+		t.Fatalf("re-keyed campaign invoked planner %d times for %d sampled bits", extra, sampled2)
+	}
+}
+
+// TestPrePlanCacheKeying pins the cache-entry lifecycle: a campaign parks
+// its plan under the placement, keyed by substrate fingerprint plus the
+// selection-shaping options.
+func TestPrePlanCacheKeying(t *testing.T) {
+	spec, err := designs.ByName("MULT 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := boardFor(t, spec.Build(), device.Tiny())
+	opts := DefaultOptions()
+	opts.Kernel = KernelVector
+	opts.Sample = 0.1
+	opts.Seed = 7
+	opts.Workers = 1
+	opts.MaxBits = 200
+	if _, err := Run(bd, opts); err != nil {
+		t.Fatal(err)
+	}
+	ce := planCacheFor(bd.Placed)
+	if ce == nil {
+		t.Fatal("vector campaign left no plan-cache entry")
+	}
+	if ce.fp != bd.CampaignFingerprint() {
+		t.Fatal("cached entry fingerprint does not match the board substrate")
+	}
+	if ce.plan == nil {
+		t.Fatalf("small campaign's plan (%d entries) was not cached", len(ce.plan.entries))
+	}
+	if ce.comp == nil {
+		t.Fatal("cache entry lost the compiled design")
+	}
+	for i := 1; i < len(ce.plan.entries); i++ {
+		if ce.plan.entries[i].addr <= ce.plan.entries[i-1].addr {
+			t.Fatal("plan entries not strictly ascending by address")
+		}
+	}
+}

@@ -290,15 +290,16 @@ func RunContext(ctx context.Context, bd *board.SLAAC1V, opts Options) (*Report, 
 	if opts.Triage {
 		tri = newTriage(bd)
 	}
+	plan := campaignPlan(bd, opts, limit, tri)
 	if workers == 1 {
 		acc := newShardAccum()
-		vr := maybeNewVectorRunner(bd, opts)
-		if err := runRange(ctx, bd, golden, 0, limit, opts, acc, tri, newFrameScrub(g), fast, vr); err != nil {
+		vr := maybeNewVectorRunner(bd, opts, plan)
+		if err := runRange(ctx, bd, golden, 0, limit, opts, acc, tri, newFrameScrub(g), fast, vr, plan); err != nil {
 			return nil, err
 		}
 		mergeInto(rep, acc)
 	} else {
-		accs, err := runSharded(ctx, bd, golden, limit, workers, opts, tri, fast)
+		accs, err := runSharded(ctx, bd, golden, limit, workers, opts, tri, fast, plan)
 		if err != nil {
 			return nil, err
 		}
@@ -315,19 +316,30 @@ func RunContext(ctx context.Context, bd *board.SLAAC1V, opts Options) (*Report, 
 	return rep, nil
 }
 
-// injectOne performs one corrupt/observe/repair/classify iteration. fs is
-// the board replica's dirty-frame tracker: it persists across injections so
-// the repair scrub only re-verifies frames actually touched since their
-// last golden verification.
-func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, info device.BitInfo, opts Options, acc *shardAccum, fs *frameScrub, fast bool) error {
+// observeOutcome is the result of an injection's corrupt/observe/repair
+// prefix: the comparator verdict of the observation window plus the number
+// of board clocks it consumed.
+type observeOutcome struct {
+	failed        bool
+	firstErr      int
+	failedOutputs []int
+	steps         int64
+}
+
+// observeAndRepair runs the front half of one injection iteration: reset to
+// canonical state, corrupt, observe under clock, repair by frame write-back
+// plus column scrub. It is shared between the fully scalar injectOne and
+// the carry path, which hands the repaired board's state to a vector lane
+// for the remaining windows.
+func observeAndRepair(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, seed int64, opts Options, fs *frameScrub) (observeOutcome, error) {
 	g := bd.Geometry()
 	// Canonical pre-injection state: stimulus seeded by (Seed, address),
 	// pins low, user state reset. Each injection's outcome then depends
 	// only on the bitstream and the injected bit, never on which board
 	// replica or predecessor injection preceded it.
-	bd.ResetCampaignState(stimulusSeed(opts.Seed, a))
+	bd.ResetCampaignState(seed)
 	startCycle := bd.Cycle()
-	defer func() { acc.cyclesRun += bd.Cycle() - startCycle }()
+	var ob observeOutcome
 
 	// Corrupt: flip the bit in the DUT's configuration (modelled as the
 	// single-bit partial reconfiguration the testbed performs in 100 us —
@@ -339,18 +351,16 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 	// the injected bit, so (for the non-history-coupled designs the early
 	// exit is enabled for) lock is impossible and checking would be pure
 	// per-step overhead.
-	failed := false
-	firstErr := -1
-	var failedOutputs []int
 	for i := 0; i < opts.ObserveCycles; i++ {
 		if !bd.Step() {
-			failed = true
-			firstErr = int(bd.Cycle() - startCycle)
+			ob.failed = true
+			ob.firstErr = int(bd.Cycle() - startCycle)
 			// MismatchBits returns a reused scratch slice; copy to retain.
-			failedOutputs = append([]int(nil), bd.MismatchBits()...)
+			ob.failedOutputs = append([]int(nil), bd.MismatchBits()...)
 			break
 		}
 	}
+	ob.steps = bd.Cycle() - startCycle
 
 	// Repair: write the golden frame back through the configuration port.
 	// Corruption can spread beyond the injected frame — flipping a LUT-mode
@@ -359,16 +369,16 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 	// content pathology) — so scrub every frame that differs from golden.
 	frame := a.Frame(g)
 	if err := bd.Port.WriteFrame(golden.Frame(frame)); err != nil {
-		return fmt.Errorf("seu: repairing frame %d: %w", frame, err)
+		return ob, fmt.Errorf("seu: repairing frame %d: %w", frame, err)
 	}
 	cm := bd.DUT.ConfigMemory()
 	fs.markClean(cm, frame)
 	// The spread is confined to the injected bit's column (an SRL shifts
 	// only its own truth-table frames); residual divergence anywhere else
 	// is caught by the clean-run check and the full-reconfiguration
-	// fallback below. Frames whose generation counter hasn't moved since
-	// they were last verified golden are provably untouched and skip even
-	// the compare.
+	// fallback of the caller. Frames whose generation counter hasn't moved
+	// since they were last verified golden are provably untouched and skip
+	// even the compare.
 	if frame < g.CLBFrames() {
 		colBase := (frame / device.FramesPerCLBCol) * device.FramesPerCLBCol
 		for fidx := colBase; fidx < colBase+device.FramesPerCLBCol; fidx++ {
@@ -377,13 +387,29 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 			}
 			if !cm.FrameEqual(golden, fidx) {
 				if err := bd.Port.WriteFrame(golden.Frame(fidx)); err != nil {
-					return fmt.Errorf("seu: scrubbing frame %d: %w", fidx, err)
+					return ob, fmt.Errorf("seu: scrubbing frame %d: %w", fidx, err)
 				}
 			}
 			fs.markClean(cm, fidx)
 		}
 	}
+	return ob, nil
+}
 
+// injectOne performs one corrupt/observe/repair/classify iteration. fs is
+// the board replica's dirty-frame tracker: it persists across injections so
+// the repair scrub only re-verifies frames actually touched since their
+// last golden verification. seed is the injection's stimulus seed
+// (precomputed by the pre-plan on the vector path, derived on the fly by
+// the scalar loop).
+func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, kind device.BitKind, seed int64, opts Options, acc *shardAccum, fs *frameScrub, fast bool) error {
+	ob, err := observeAndRepair(bd, golden, a, seed, opts, fs)
+	startCycle := bd.Cycle() - ob.steps
+	defer func() { acc.cyclesRun += bd.Cycle() - startCycle }()
+	if err != nil {
+		return err
+	}
+	failed, firstErr, failedOutputs := ob.failed, ob.firstErr, ob.failedOutputs
 	if !failed {
 		// No output error during the window. Make sure no silent state
 		// divergence contaminates later injections: a short clean run must
@@ -412,7 +438,7 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 	}
 
 	acc.failures++
-	acc.failByKind[info.Kind]++
+	acc.failByKind[kind]++
 
 	persistent := false
 	if opts.ClassifyPersistence {
@@ -446,7 +472,7 @@ func injectOne(bd *board.SLAAC1V, golden *bitstream.Memory, a device.BitAddr, in
 	}
 	if opts.CollectBits {
 		acc.bits = append(acc.bits, BitRecord{
-			Addr: a, Kind: info.Kind, Persistent: persistent,
+			Addr: a, Kind: kind, Persistent: persistent,
 			FirstErrorCycle: firstErr, FailedOutputs: failedOutputs,
 		})
 	}

@@ -1,31 +1,39 @@
 package seu
 
 import (
+	"context"
+	"runtime/pprof"
 	"sort"
 
+	"repro/internal/bitstream"
 	"repro/internal/board"
 	"repro/internal/device"
 	"repro/internal/fpga"
 )
 
-// Vector-kernel batch scheduler. Sampled injections that the planner can
-// express as lane overlays are grouped into batches of up to 64 and run
+// Vector-kernel batch scheduler. Pre-planned injections that the planner
+// expressed as lane overlays are grouped into batches of up to 64 and run
 // through one vectored clock program; each lane's phase machine reproduces
 // the scalar injectOne outcome (failure verdict, first-error cycle, failed
 // outputs, persistence) exactly, retiring individually on lock-step
-// convergence. Bits the planner demotes (SRL truth bits, BRAM bits,
-// LUT-mode flips) fall through to the scalar path inline, and provably
-// inert bits (padding, FF init, fields of disabled resources) retire as
-// benign without consuming a lane — the same verdict the scalar run of
-// those bits produces, minus the cycles.
+// convergence. The per-bit classification work — Classify, PlanVectorDelta,
+// stimulus-seed derivation — happened once, in the campaign pre-plan
+// (preplan.go); the runner just consumes planEntry records.
+//
+// Bits the planner demotes fall in two classes. Windowable demotions (SRL
+// truth bits, BRAM content — DemotedWindowable) run their corrupt/observe/
+// repair prefix on the scalar board, then ride a lane for the clean-run and
+// persistence windows: the configuration is provably golden after repair
+// plus column scrub, so the lane only needs to carry the behavioural state
+// (ScatterLane) and fast-forward its stimulus stream past the scalar prefix
+// (SkipLane). Everything else (BRAM port bits) stays fully scalar.
 //
 // Lanes are mutually independent — every lane word operation is bitwise,
-// BRAM lanes are gathered and scattered individually, and overlays are
-// per-lane — so batch composition (which varies with chunk boundaries and
-// worker count) cannot influence any lane's outcome. Outcome accounting is
-// folded in ascending bit-address order regardless of retirement order
-// (emitBatch), keeping reports byte-identical to the scalar kernel at any
-// worker count.
+// and overlays are per-lane — so batch composition (which varies with chunk
+// boundaries and worker count) cannot influence any lane's outcome. Outcome
+// accounting is folded in ascending bit-address order regardless of
+// retirement order (emitBatch), keeping reports byte-identical to the
+// scalar kernel at any worker count.
 
 // Lane phases, mirroring the scalar injectOne control flow.
 const (
@@ -44,6 +52,11 @@ type laneRun struct {
 	phase        uint8
 	stepsInPhase int
 	clean        int
+	// preCycles is the number of board clocks the scalar observe prefix of
+	// a carried injection consumed before the lane took over (0 for overlay
+	// lanes); first-error cycles are reported relative to injection start,
+	// so lane-relative cycles offset by it.
+	preCycles int
 
 	failed        bool
 	firstErr      int
@@ -54,67 +67,166 @@ type laneRun struct {
 	skipped int64
 }
 
+// pendingLane is one enqueued injection awaiting its batch.
+type pendingLane struct {
+	addr  device.BitAddr
+	kind  device.BitKind
+	delta fpga.VectorDelta
+	seed  int64
+
+	// Carry fields: the scalar observe/repair prefix already ran.
+	carry         bool
+	failed        bool
+	firstErr      int
+	failedOutputs []int
+	preCycles     int
+}
+
 // vectorRunner batches vector-eligible injections for one worker.
 type vectorRunner struct {
-	vb     *board.VectorBoard
-	golden *fpga.FPGA // planning reference: the worker's golden decode
+	vb *board.VectorBoard
 
-	addrs  []device.BitAddr
-	kinds  []device.BitKind
-	deltas []fpga.VectorDelta
+	n    int
+	pend [64]pendingLane
+	// carryG/carryD hold the scalar golden/DUT behavioural state of carried
+	// lanes at enqueue time; lazily allocated, reused across batches.
+	carryG [64]*fpga.VectorSnapshot
+	carryD [64]*fpga.VectorSnapshot
 
-	seeds []int64
+	seeds [64]int64
 	lanes [64]laneRun
 }
 
-// maybeNewVectorRunner builds the worker's batch scheduler when the
-// campaign runs the vector kernel and the design is eligible. Designs with
-// history-coupled state (SRL16, writable BRAM, stuck overlays) run every
-// bit on the scalar path — the overlays lanes carry cannot represent
-// state that feeds back into configuration memory.
-func maybeNewVectorRunner(bd *board.SLAAC1V, opts Options) *vectorRunner {
-	if opts.Kernel != KernelVector {
+// maybeNewVectorRunner builds the worker's batch scheduler from the
+// campaign pre-plan. A nil plan (scalar kernel, history-coupled or
+// unprogrammed design) means the worker runs everything on the scalar
+// path. The lane machines share the plan's compiled design read-only.
+func maybeNewVectorRunner(bd *board.SLAAC1V, opts Options, plan *prePlan) *vectorRunner {
+	if plan == nil || opts.Kernel != KernelVector {
 		return nil
 	}
-	if bd.DUT.HistoryCoupled() || bd.DUT.Unprogrammed() {
+	return &vectorRunner{vb: board.NewVectorBoardFrom(bd, plan.comp)}
+}
+
+// enqueueVector adds one overlay-expressible injection; the caller flushes
+// when full.
+func (vr *vectorRunner) enqueueVector(e *planEntry) {
+	vr.pend[vr.n] = pendingLane{addr: e.addr, kind: e.kind, delta: e.delta, seed: e.seed}
+	vr.n++
+}
+
+// enqueueCarry runs the scalar corrupt/observe/repair prefix of a
+// windowable demoted injection on bd, then either retires it inline (it
+// failed and no persistence window follows) or parks its post-repair state
+// in a lane slot to ride the next batch's clean-run/persistence windows.
+//
+// Skipping the scalar path's ResetBoth/re-sync fallback is exact for
+// windowable kinds: after the injected-frame write-back and column scrub
+// their configuration is provably golden (an SRL shifts only its own
+// truth-table frames, in-column; BRAM content has no other writers in
+// non-history-coupled designs), so a reset pair always re-matches and the
+// full-reconfiguration fallback can never fire — and the next injection's
+// ResetCampaignState clears the user state anyway.
+func (vr *vectorRunner) enqueueCarry(bd *board.SLAAC1V, golden *bitstream.Memory, e *planEntry, opts Options, acc *shardAccum, fs *frameScrub) error {
+	ob, err := observeAndRepair(bd, golden, e.addr, e.seed, opts, fs)
+	acc.cyclesRun += ob.steps
+	if err != nil {
+		return err
+	}
+	if ob.failed && !(opts.ClassifyPersistence && opts.PersistWindow > 0) {
+		// Failed with no window to carry: retire inline, mirroring
+		// injectOne's post-failure flow for a zero-length window.
+		acc.failures++
+		acc.failByKind[e.kind]++
+		persistent := false
+		if opts.ClassifyPersistence {
+			persistent = 0 < opts.CleanRun
+			if persistent {
+				acc.persistent++
+			}
+		}
+		if opts.CollectBits {
+			acc.bits = append(acc.bits, BitRecord{
+				Addr: e.addr, Kind: e.kind, Persistent: persistent,
+				FirstErrorCycle: ob.firstErr, FailedOutputs: ob.failedOutputs,
+			})
+		}
 		return nil
 	}
-	return &vectorRunner{vb: board.NewVectorBoard(bd), golden: bd.Golden}
+	i := vr.n
+	vr.pend[i] = pendingLane{
+		addr: e.addr, kind: e.kind, seed: e.seed,
+		carry: true, failed: ob.failed, firstErr: ob.firstErr,
+		failedOutputs: ob.failedOutputs, preCycles: int(ob.steps),
+	}
+	if vr.carryG[i] == nil {
+		vr.carryG[i] = new(fpga.VectorSnapshot)
+		vr.carryD[i] = new(fpga.VectorSnapshot)
+	}
+	bd.Golden.CaptureVectorSnapshotInto(vr.carryG[i])
+	bd.DUT.CaptureVectorSnapshotInto(vr.carryD[i])
+	vr.n++
+	return nil
 }
 
-// enqueue adds one planned injection; the caller flushes when full.
-func (vr *vectorRunner) enqueue(a device.BitAddr, kind device.BitKind, d fpga.VectorDelta) {
-	vr.addrs = append(vr.addrs, a)
-	vr.kinds = append(vr.kinds, kind)
-	vr.deltas = append(vr.deltas, d)
-}
-
-func (vr *vectorRunner) fullBatch() bool { return len(vr.addrs) == 64 }
+func (vr *vectorRunner) fullBatch() bool { return vr.n == 64 }
 
 // flush runs the pending batch to completion and folds the lane outcomes
 // into acc. fast gates the per-lane lock-step early exit, exactly like the
 // scalar path (CyclesSkipped stays 0 when FastSim is off).
 func (vr *vectorRunner) flush(opts Options, acc *shardAccum, fast bool) {
-	n := len(vr.addrs)
+	n := vr.n
 	if n == 0 {
 		return
 	}
-	vr.seeds = vr.seeds[:0]
-	for _, a := range vr.addrs {
-		vr.seeds = append(vr.seeds, stimulusSeed(opts.Seed, a))
-	}
-	vr.vb.StartBatch(vr.seeds)
+	pprof.Do(context.Background(), labelsSimulate, func(context.Context) {
+		vr.runBatch(opts, fast)
+	})
+	pprof.Do(context.Background(), labelsEmit, func(context.Context) {
+		emitBatch(vr.lanes[:n], opts, acc)
+	})
+	vr.n = 0
+}
+
+// runBatch drives the pending lanes to retirement.
+func (vr *vectorRunner) runBatch(opts Options, fast bool) {
+	n := vr.n
 	for i := 0; i < n; i++ {
-		vr.vb.DUT.ApplyDelta(i, vr.deltas[i])
-		vr.lanes[i] = laneRun{addr: vr.addrs[i], kind: vr.kinds[i], delta: vr.deltas[i], firstErr: -1}
+		vr.seeds[i] = vr.pend[i].seed
+	}
+	vr.vb.StartBatch(vr.seeds[:n])
+	anyCarry := false
+	for i := 0; i < n; i++ {
+		p := &vr.pend[i]
+		vr.lanes[i] = laneRun{addr: p.addr, kind: p.kind, delta: p.delta, firstErr: -1, preCycles: p.preCycles}
+		ln := &vr.lanes[i]
+		if !p.carry {
+			vr.vb.DUT.ApplyDelta(i, p.delta)
+			continue
+		}
+		// Carried lane: resume the scalar trajectory mid-run. Both lane
+		// machines take the scalar pair's behavioural state; the stimulus
+		// stream skips what the scalar prefix already drew.
+		anyCarry = true
+		vr.vb.Golden.ScatterLane(i, vr.carryG[i])
+		vr.vb.DUT.ScatterLane(i, vr.carryD[i])
+		vr.vb.SkipLane(i, p.preCycles)
+		ln.failed = p.failed
+		ln.firstErr = p.firstErr
+		ln.failedOutputs = p.failedOutputs
+		if p.failed {
+			ln.phase = lanePhasePersist
+		} else {
+			ln.phase = lanePhaseClean
+		}
 	}
 	live := n
 	cycle := 0
 	// needLock tracks whether any live lane is past its repair — the only
-	// phases where the scalar path consults Locked. During observation the
-	// lane's overlay is still active, so lock is impossible and checking
-	// would be pure overhead (the same argument injectOne makes).
-	needLock := false
+	// phases where the scalar path consults Locked. Overlay lanes start in
+	// observation (overlay active, lock impossible); carried lanes enter
+	// directly in a post-repair phase.
+	needLock := anyCarry
 	for live > 0 {
 		if fast && needLock {
 			lw := vr.vb.LockedWord()
@@ -157,7 +269,7 @@ func (vr *vectorRunner) flush(opts Options, acc *shardAccum, fast bool) {
 			case lanePhaseObserve:
 				if miss {
 					ln.failed = true
-					ln.firstErr = cycle
+					ln.firstErr = ln.preCycles + cycle
 					ln.failedOutputs = vr.vb.FailedOutputs(i)
 					vr.vb.DUT.RemoveDelta(i, ln.delta) // repair
 					vr.finishFailed(ln, opts, &live)
@@ -169,7 +281,7 @@ func (vr *vectorRunner) flush(opts Options, acc *shardAccum, fast bool) {
 			case lanePhaseClean:
 				if miss {
 					ln.failed = true
-					ln.firstErr = cycle
+					ln.firstErr = ln.preCycles + cycle
 					ln.failedOutputs = vr.vb.FailedOutputs(i)
 					vr.finishFailed(ln, opts, &live)
 				} else if ln.clean++; ln.clean == opts.CleanRun {
@@ -193,10 +305,6 @@ func (vr *vectorRunner) flush(opts Options, acc *shardAccum, fast bool) {
 			}
 		}
 	}
-	emitBatch(vr.lanes[:n], opts, acc)
-	vr.addrs = vr.addrs[:0]
-	vr.kinds = vr.kinds[:0]
-	vr.deltas = vr.deltas[:0]
 }
 
 // finishFailed routes a just-failed lane into the persistence window (the
