@@ -1,18 +1,23 @@
 // Command fig8bench times the Fig. 8 injection loop across the kernel and
 // scheduling variants (fastsim on/off, triage on/off, sequential/sharded,
-// scalar vs 64-lane vector kernel) and emits a machine-readable JSON report.
-// CI commits the result as BENCH_PR7.json (BENCH_PR3.json preserves the
-// scalar-era baseline, BENCH_PR6.json the pre-amortization vector era) so
-// kernel speedups are tracked in-repo, next to the code that produces them.
+// scalar vs 64-lane vector kernel, event-drain vs full-sweep lane settling)
+// and emits a machine-readable JSON report. CI commits the result as
+// BENCH_PR8.json (BENCH_PR3.json preserves the scalar-era baseline,
+// BENCH_PR6.json the pre-amortization vector era, BENCH_PR7.json the
+// sweep-settling vector era) so kernel speedups are tracked in-repo, next
+// to the code that produces them.
 //
 // With -baseline the same run doubles as a regression gate: the process
-// exits non-zero if the best variant's ns/injection is more than
-// -regress-pct percent above the best variant of the committed report.
+// exits non-zero if any variant present in both reports is more than
+// -regress-pct percent above its ns/injection in the committed report.
+// Per-variant comparison catches a regression in one kernel that a
+// still-fast sibling variant would mask under a best-vs-best rule;
+// variants added since the baseline are skipped.
 //
 // Examples:
 //
-//	fig8bench -out BENCH_PR7.json
-//	fig8bench -baseline BENCH_PR7.json
+//	fig8bench -out BENCH_PR8.json
+//	fig8bench -baseline BENCH_PR8.json
 package main
 
 import (
@@ -53,12 +58,15 @@ type variantResult struct {
 }
 
 type benchReport struct {
-	Design     string          `json:"design"`
-	Geometry   string          `json:"geometry"`
-	MaxBits    int64           `json:"max_bits"`
-	Seed       int64           `json:"seed"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	Variants   []variantResult `json:"variants"`
+	Design     string `json:"design"`
+	Geometry   string `json:"geometry"`
+	MaxBits    int64  `json:"max_bits"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Reps is the timed repetitions per variant; each variant reports its
+	// fastest repetition.
+	Reps     int             `json:"reps"`
+	Variants []variantResult `json:"variants"`
 	// SpeedupFastSim is the wall-time ratio of the sequential fastsim-off
 	// run over the sequential fastsim-on run — the headline number for the
 	// event kernel plus convergence early exit.
@@ -84,8 +92,9 @@ func main() {
 		maxBits  = flag.Int64("maxbits", 2000, "bits injected per variant")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "", "write JSON here (default stdout)")
-		baseline = flag.String("baseline", "", "prior fig8bench JSON of the identical workload; exit non-zero if the best-variant ns/injection regresses beyond -regress-pct")
-		regress  = flag.Float64("regress-pct", 15, "allowed best-variant ns/injection regression against -baseline, in percent")
+		baseline = flag.String("baseline", "", "prior fig8bench JSON of the identical workload; exit non-zero if any shared variant's ns/injection regresses beyond -regress-pct")
+		regress  = flag.Float64("regress-pct", 15, "allowed per-variant ns/injection regression against -baseline, in percent")
+		reps     = flag.Int("reps", 3, "timed repetitions per variant; the fastest is reported (the sub-10ms vector variants are otherwise dominated by scheduler noise)")
 	)
 	flag.Parse()
 
@@ -112,6 +121,7 @@ func main() {
 		{"workers-1", 1, true, true, seu.KernelAuto},
 		{"workers-1-vector-triage-off", 1, false, true, seu.KernelVector},
 		{"workers-1-vector", 1, true, true, seu.KernelVector},
+		{"workers-1-vector-sweep", 1, true, true, seu.KernelVectorSweep},
 	}
 	if nproc > 1 {
 		variants = append(variants,
@@ -126,6 +136,7 @@ func main() {
 		MaxBits:    *maxBits,
 		Seed:       *seed,
 		GoMaxProcs: nproc,
+		Reps:       *reps,
 	}
 	// Ctrl-C aborts the in-flight variant between injections rather than
 	// leaving a half-timed report behind.
@@ -134,9 +145,10 @@ func main() {
 
 	var refInjections, refFailures int64 = -1, -1
 	var offWall, onWall, vecWall float64
+	if *reps < 1 {
+		*reps = 1
+	}
 	for _, v := range variants {
-		bd, err := board.New(p, 1)
-		check(err)
 		opts := seu.DefaultOptions()
 		opts.ClassifyPersistence = false
 		opts.Seed = *seed
@@ -146,14 +158,34 @@ func main() {
 		opts.Triage = v.triage
 		opts.FastSim = v.fastsim
 		opts.Kernel = v.kernel
-		start := time.Now()
-		r, err := seu.RunContext(ctx, bd, opts)
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "fig8bench: interrupted, no report written")
-			os.Exit(130)
+		// Every repetition runs the identical campaign; the fastest wall
+		// time is the least scheduler-disturbed measurement of the same
+		// work, which is what the regression gate should compare. The loop
+		// is adaptive: it keeps timing until the floor has not improved for
+		// -reps consecutive attempts (capped at five times that), so a
+		// burst of machine load buys more attempts at a quiet window
+		// instead of polluting the figure — the millisecond-scale vector
+		// variants are otherwise at the mercy of one scheduler hiccup.
+		var r *seu.Report
+		var wall time.Duration
+		sinceImproved := 0
+		for attempt := 0; attempt < *reps*5 && (attempt < *reps || sinceImproved < *reps); attempt++ {
+			bd, err := board.New(p, 1)
+			check(err)
+			start := time.Now()
+			rr, err := seu.RunContext(ctx, bd, opts)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "fig8bench: interrupted, no report written")
+				os.Exit(130)
+			}
+			check(err)
+			if w := time.Since(start); r == nil || w < wall {
+				r, wall = rr, w
+				sinceImproved = 0
+			} else {
+				sinceImproved++
+			}
 		}
-		check(err)
-		wall := time.Since(start)
 		if refInjections < 0 {
 			refInjections, refFailures = r.Injections, r.Failures
 		} else if r.Injections != refInjections || r.Failures != refFailures {
@@ -178,13 +210,18 @@ func main() {
 		}
 		rep.Variants = append(rep.Variants, res)
 		if v.workers == 1 && v.triage {
-			switch {
-			case v.kernel == seu.KernelVector:
+			switch v.kernel {
+			case seu.KernelVector:
 				vecWall = res.WallSeconds
-			case v.fastsim:
-				onWall = res.WallSeconds
+			case seu.KernelVectorSweep:
+				// Tracked per-variant by the regression gate; not part of a
+				// headline ratio (the event drain is the vector figurehead).
 			default:
-				offWall = res.WallSeconds
+				if v.fastsim {
+					onWall = res.WallSeconds
+				} else {
+					offWall = res.WallSeconds
+				}
 			}
 		}
 		fmt.Fprintf(os.Stderr, "%-34s %8d inj  %8.3fs  %10.0f ns/inj  early-exit %5.1f%%\n",
@@ -233,10 +270,15 @@ func bestVariant(rep *benchReport) (string, float64, error) {
 	return name, best, nil
 }
 
-// checkBaseline compares rep's best variant against a committed baseline
-// report and fails on a regression beyond pct percent. The workload must
-// match field for field — comparing ns/injection across different designs,
-// geometries, bit counts, or seeds would be meaningless.
+// checkBaseline compares rep against a committed baseline report of the
+// identical workload, variant by variant: every variant timed in both
+// reports must stay within pct percent of its baseline ns/injection.
+// Matching by name (not best-vs-best) means a regression in one kernel
+// cannot hide behind a still-fast sibling variant; variants added since
+// the baseline was committed are skipped — they have nothing to compare
+// against until the baseline is refreshed. The workload must match field
+// for field — comparing ns/injection across different designs, geometries,
+// bit counts, or seeds would be meaningless.
 func checkBaseline(path string, rep *benchReport, pct float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -252,21 +294,43 @@ func checkBaseline(path string, rep *benchReport, pct float64) error {
 			path, base.Design, base.Geometry, base.MaxBits, base.Seed,
 			rep.Design, rep.Geometry, rep.MaxBits, rep.Seed)
 	}
-	baseName, baseBest, err := bestVariant(&base)
-	if err != nil {
-		return fmt.Errorf("baseline %s: %w", path, err)
+	baseByName := make(map[string]variantResult, len(base.Variants))
+	for _, v := range base.Variants {
+		if v.NsPerInjection > 0 {
+			baseByName[v.Name] = v
+		}
 	}
-	curName, curBest, err := bestVariant(rep)
-	if err != nil {
-		return err
+	checked := 0
+	var regressions []string
+	for _, v := range rep.Variants {
+		bv, ok := baseByName[v.Name]
+		if !ok || v.NsPerInjection <= 0 {
+			continue
+		}
+		checked++
+		limit := bv.NsPerInjection * (1 + pct/100)
+		if v.NsPerInjection > limit {
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f ns/injection vs baseline %.1f (limit %.1f, +%.0f%%)",
+				v.Name, v.NsPerInjection, bv.NsPerInjection, limit, pct))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "baseline ok: %-34s %10.1f ns/inj vs %10.1f (limit +%.0f%%)\n",
+			v.Name, v.NsPerInjection, bv.NsPerInjection, pct)
 	}
-	limit := baseBest * (1 + pct/100)
-	if curBest > limit {
-		return fmt.Errorf("regression: best variant %s at %.1f ns/injection exceeds baseline %s at %.1f ns/injection by more than %.0f%% (limit %.1f)",
-			curName, curBest, baseName, baseBest, pct, limit)
+	if checked == 0 {
+		return fmt.Errorf("baseline %s shares no timed variants with this run — nothing compared", path)
 	}
-	fmt.Fprintf(os.Stderr, "baseline ok: best %s %.1f ns/inj vs %s %.1f ns/inj (limit +%.0f%%)\n",
-		curName, curBest, baseName, baseBest, pct)
+	if len(regressions) > 0 {
+		msg := "regression:"
+		for _, r := range regressions {
+			msg += "\n  " + r
+		}
+		return errors.New(msg)
+	}
+	if name, best, err := bestVariant(rep); err == nil {
+		fmt.Fprintf(os.Stderr, "baseline ok: %d variants within +%.0f%%; best %s at %.1f ns/inj\n",
+			checked, pct, name, best)
+	}
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package board
 
 import (
+	"math/bits"
+
 	"repro/internal/fpga"
 )
 
@@ -18,7 +20,11 @@ type VectorBoard struct {
 	rngs    [64]*stim
 	lanes   int
 	full    uint64
-	groups  int // 63-bit stimulus draws consumed per lane per clock
+	// active masks the lanes still being driven: retired lanes freeze
+	// (stimulus stream paused, pins and flip-flops held) until the batch
+	// scheduler refills their slot with the next pending injection.
+	active uint64
+	groups int // 63-bit stimulus draws consumed per lane per clock
 }
 
 // CompileVector puts b's golden device into the canonical campaign state
@@ -71,8 +77,57 @@ func (vb *VectorBoard) StartBatch(seeds []int64) {
 			vb.rngs[i].Seed(s)
 		}
 	}
+	vb.active = vb.full
 	vb.Golden.ResetBatch(vb.lanes)
 	vb.DUT.ResetBatch(vb.lanes)
+}
+
+// FreezeLane retires a lane mid-batch: its stimulus stream pauses and both
+// lane machines hold its pins and flip-flops, so the lane generates no
+// further settling work. Retired lanes' visible state is never read again
+// (the scheduler masks mismatch and lock words by its live set), so
+// freezing cannot influence any outcome.
+func (vb *VectorBoard) FreezeLane(lane int) {
+	vb.active &^= 1 << uint(lane)
+	vb.Golden.SetActiveMask(vb.active)
+	vb.DUT.SetActiveMask(vb.active)
+}
+
+// RefillLanes restores the lanes in mask to the canonical campaign state
+// and seeds their stimulus streams — seeds[j] pairs with the j-th set mask
+// bit in ascending order. The batch scheduler uses this to install pending
+// injections into retired slots without resetting the live lanes.
+func (vb *VectorBoard) RefillLanes(mask uint64, seeds []int64) {
+	j := 0
+	for rest := mask; rest != 0; rest &= rest - 1 {
+		lane := bits.TrailingZeros64(rest)
+		if vb.rngs[lane] == nil {
+			vb.rngs[lane] = newStim(seeds[j])
+		} else {
+			vb.rngs[lane].Seed(seeds[j])
+		}
+		j++
+	}
+	vb.full |= mask
+	vb.active |= mask
+	vb.Golden.ResetLanes(mask)
+	vb.DUT.ResetLanes(mask)
+	vb.Golden.SetActiveMask(vb.active)
+	vb.DUT.SetActiveMask(vb.active)
+}
+
+// SetEventDriven switches both lane machines between the event-driven
+// drain and the full-sweep settling loop.
+func (vb *VectorBoard) SetEventDriven(on bool) {
+	vb.Golden.SetEventDriven(on)
+	vb.DUT.SetEventDriven(on)
+}
+
+// TakeKernelStats returns and zeroes both lane machines' settle counters.
+func (vb *VectorBoard) TakeKernelStats() (rounds, drains int64) {
+	gr, gd := vb.Golden.TakeKernelStats()
+	dr, dd := vb.DUT.TakeKernelStats()
+	return gr + dr, gd + dd
 }
 
 // SkipLane fast-forwards lane's stimulus stream past cycles clocks already
@@ -90,17 +145,23 @@ func (vb *VectorBoard) SkipLane(lane, cycles int) {
 // pin j of a group reading bit j of its lane's draw.
 func (vb *VectorBoard) Step() uint64 {
 	var draws [64]int64
+	act := vb.active
 	for base := 0; base < len(vb.inPins); base += 63 {
 		end := base + 63
 		if end > len(vb.inPins) {
 			end = len(vb.inPins)
 		}
-		for lane := 0; lane < vb.lanes; lane++ {
+		for rest := act; rest != 0; rest &= rest - 1 {
+			lane := bits.TrailingZeros64(rest)
 			draws[lane] = vb.rngs[lane].Int63()
 		}
 		for j, pin := range vb.inPins[base:end] {
-			var w uint64
-			for lane := 0; lane < vb.lanes; lane++ {
+			// Frozen lanes hold their previous pin bits (golden and DUT
+			// always see identical pin words), so a retired lane's inputs
+			// stop switching and it settles into quiescence.
+			w := vb.Golden.PinWord(pin) &^ act
+			for rest := act; rest != 0; rest &= rest - 1 {
+				lane := bits.TrailingZeros64(rest)
 				w |= uint64(draws[lane]>>uint(j)&1) << uint(lane)
 			}
 			vb.Golden.SetPinWord(pin, w)
@@ -137,7 +198,11 @@ func (vb *VectorBoard) FailedOutputs(lane int) []int {
 // LockedWord returns the lanes provably in lock-step: bit i set iff lane
 // i's golden and DUT state words are identical everywhere. For lanes whose
 // overlay has been removed (configuration golden by construction) this is
-// exactly the scalar Locked condition restricted to the lane.
+// exactly the scalar Locked condition restricted to the lane. Lanes the
+// event kernel froze at the MaxSweeps bound are excluded — their pending
+// worklists encode future behaviour the visible state comparison cannot
+// see, the lane image of the scalar EventBacklog gate.
 func (vb *VectorBoard) LockedWord() uint64 {
-	return ^fpga.DivergenceWord(vb.Golden, vb.DUT) & vb.full
+	lw := ^fpga.DivergenceWord(vb.Golden, vb.DUT) & vb.full
+	return lw &^ (vb.Golden.FrozenLanes() | vb.DUT.FrozenLanes())
 }

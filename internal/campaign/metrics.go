@@ -158,4 +158,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, jobsByState map[State]int) {
 	replicaHits, replicaMisses := seu.PoolStats()
 	fmt.Fprintf(w, "# HELP campaignd_replica_pool_hits_total Worker-board acquisitions served from the replica pool.\n# TYPE campaignd_replica_pool_hits_total counter\ncampaignd_replica_pool_hits_total %d\n", replicaHits)
 	fmt.Fprintf(w, "# HELP campaignd_replica_pool_misses_total Worker-board acquisitions that cloned a fresh replica.\n# TYPE campaignd_replica_pool_misses_total counter\ncampaignd_replica_pool_misses_total %d\n", replicaMisses)
+
+	// Vector-kernel activity (process-wide, like the caches above): how much
+	// settling work the event-driven drain actually performed, how often
+	// retired lanes were refilled mid-batch, and how many simulated cycles
+	// the per-lane convergence credit skipped.
+	sweeps, drains, refills, ffwd := seu.VectorKernelStats()
+	fmt.Fprintf(w, "# HELP campaignd_vector_sweeps_total Worklist rounds drained by the vector kernel (one round is one sweep-equivalent).\n# TYPE campaignd_vector_sweeps_total counter\ncampaignd_vector_sweeps_total %d\n", sweeps)
+	fmt.Fprintf(w, "# HELP campaignd_vector_worklist_drains_total Vector Settle calls that found pending work.\n# TYPE campaignd_vector_worklist_drains_total counter\ncampaignd_vector_worklist_drains_total %d\n", drains)
+	fmt.Fprintf(w, "# HELP campaignd_vector_lane_refills_total Retired vector lanes refilled with queued injections mid-batch.\n# TYPE campaignd_vector_lane_refills_total counter\ncampaignd_vector_lane_refills_total %d\n", refills)
+	fmt.Fprintf(w, "# HELP campaignd_vector_fastforward_cycles_total Simulated cycles skipped by per-lane convergence credit.\n# TYPE campaignd_vector_fastforward_cycles_total counter\ncampaignd_vector_fastforward_cycles_total %d\n", ffwd)
 }

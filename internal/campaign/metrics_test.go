@@ -35,16 +35,21 @@ func metricValue(t *testing.T, text, name string) int64 {
 func TestMetricsExportKernelCounters(t *testing.T) {
 	planHits, planMisses := seu.PlanCacheStats()
 	replicaHits, replicaMisses := seu.PoolStats()
+	sweeps, drains, refills, ffwd := seu.VectorKernelStats()
 
 	var buf bytes.Buffer
 	newMetrics(2).WritePrometheus(&buf, map[State]int{})
 	text := buf.String()
 
 	for name, want := range map[string]int64{
-		"campaignd_plan_cache_hits_total":     planHits,
-		"campaignd_plan_cache_misses_total":   planMisses,
-		"campaignd_replica_pool_hits_total":   replicaHits,
-		"campaignd_replica_pool_misses_total": replicaMisses,
+		"campaignd_plan_cache_hits_total":           planHits,
+		"campaignd_plan_cache_misses_total":         planMisses,
+		"campaignd_replica_pool_hits_total":         replicaHits,
+		"campaignd_replica_pool_misses_total":       replicaMisses,
+		"campaignd_vector_sweeps_total":             sweeps,
+		"campaignd_vector_worklist_drains_total":    drains,
+		"campaignd_vector_lane_refills_total":       refills,
+		"campaignd_vector_fastforward_cycles_total": ffwd,
 	} {
 		for _, meta := range []string{"# HELP " + name + " ", "# TYPE " + name + " counter"} {
 			if !strings.Contains(text, meta) {
@@ -72,6 +77,7 @@ func TestMetricsKernelCountersAdvance(t *testing.T) {
 		return buf.String()
 	}
 	before := metricValue(t, render(), "campaignd_plan_cache_misses_total")
+	sweepsBefore := metricValue(t, render(), "campaignd_vector_sweeps_total")
 
 	spec := core.CampaignSpec{Design: "LFSR 18", Geom: "tiny", Seed: 1,
 		Sample: 0.05, Workers: 1, Kernel: "vector"}
@@ -94,5 +100,11 @@ func TestMetricsKernelCountersAdvance(t *testing.T) {
 	after := metricValue(t, render(), "campaignd_plan_cache_misses_total")
 	if after <= before {
 		t.Fatalf("plan-cache miss counter: render saw %d then %d after a fresh vector campaign, want an increase (stale snapshot?)", before, after)
+	}
+	// The campaign ran lanes through the event drain, so settling activity
+	// must be visible too.
+	sweepsAfter := metricValue(t, render(), "campaignd_vector_sweeps_total")
+	if sweepsAfter <= sweepsBefore {
+		t.Fatalf("vector sweeps counter: render saw %d then %d after a vector campaign, want an increase", sweepsBefore, sweepsAfter)
 	}
 }

@@ -1,7 +1,8 @@
 // Package crosscheck is the randomized differential conformance harness:
 // seeded random designs (netlist and raw-fabric) run their injection
 // campaign at every point of the configuration lattice — {fastsim on/off} ×
-// {triage on/off} × {worker counts} × {sweep/event/auto/vector kernel} — and every
+// {triage on/off} × {worker counts} × {sweep/event/auto/vector/vector-sweep
+// kernel} — and every
 // point must produce a byte-identical canonical report. A set of metamorphic
 // invariants (sample-subset monotonicity, MaxBits prefixing, classification
 // independence, inert-bit force-injection, repair restoring full state
@@ -41,18 +42,22 @@ func Reference() Point {
 	return Point{FastSim: false, Triage: false, Workers: 1, Kernel: seu.KernelSweep}
 }
 
-// Lattice enumerates the full configuration lattice (48 points). It includes
+// Lattice enumerates the full configuration lattice (60 points). It includes
 // the reference point itself, so a sweep also re-checks run-to-run
 // reproducibility of the slow path. The kernel axis spans every ParseKernel
-// spelling: sweep, event, auto (whose scalar behaviour follows fastsim), and
-// vector (the 64-lane batch kernel, which must demote incompatible bits to a
-// scalar path that itself follows auto semantics).
+// spelling: sweep, event, auto (whose scalar behaviour follows fastsim),
+// vector (the 64-lane batch kernel with the event-driven drain, which must
+// demote incompatible bits to a scalar path that itself follows auto
+// semantics), and vector-sweep (the same lane machine running the full-sweep
+// settling loop — the pair pins the two lane kernels to each other as well
+// as to the scalar reference).
 func Lattice() []Point {
 	var pts []Point
+	kernels := []seu.Kernel{seu.KernelSweep, seu.KernelEvent, seu.KernelAuto, seu.KernelVector, seu.KernelVectorSweep}
 	for _, fs := range []bool{false, true} {
 		for _, tr := range []bool{false, true} {
 			for _, w := range workerAxis {
-				for _, k := range []seu.Kernel{seu.KernelSweep, seu.KernelEvent, seu.KernelAuto, seu.KernelVector} {
+				for _, k := range kernels {
 					pts = append(pts, Point{FastSim: fs, Triage: tr, Workers: w, Kernel: k})
 				}
 			}

@@ -8,7 +8,7 @@ import (
 
 // TestConformanceSlice is the CI-sized slice of the conformance suite: a
 // handful of seeded designs (mixing netlist and raw-fabric flavours) swept
-// over the full 48-point lattice plus all metamorphic invariants. The full
+// over the full 60-point lattice plus all metamorphic invariants. The full
 // suite is `go run ./cmd/crosscheck -designs 200 -seed 1`.
 func TestConformanceSlice(t *testing.T) {
 	if testing.Short() {
@@ -28,7 +28,7 @@ func TestConformanceSlice(t *testing.T) {
 // so that sampled injections concentrate on the vector kernel's windowable
 // demotions (LUT-mode flips creating live SRL16s, BRAM content behind a
 // read-only port) and its fully scalar residue (BRAM port fields) — over
-// the complete 48-point lattice. Every point must produce a byte-identical
+// the complete 60-point lattice. Every point must produce a byte-identical
 // report; a divergence here is a carry-lane exactness bug.
 func TestDemotedLaneStress(t *testing.T) {
 	if testing.Short() {

@@ -86,10 +86,31 @@ type CompiledDesign struct {
 	bramAddrID []int32 // BRAMAddrBits per block
 	bramMem    [][]uint16
 
+	// Event-vector machinery (vecevent.go). fanStart/fanLUT is the golden
+	// fanout CSR over dense net ids: the ACTIVE LUTs consuming each net,
+	// mirroring the scalar event kernel's fanout lists (inactive LUTs
+	// evaluate to constant 0 whatever their inputs do, so they are never
+	// subscribed; overlay-activated LUTs subscribe per batch through the
+	// Vector's fanAdd side table). orderLUT maps topological position to
+	// dense LUT id (the compiled copy of f.order, covering every LUT so
+	// overlay extras resolve too). bramLL lists, per BRAM block, the long
+	// lines any of its dout words drive — the refresh targets when a block's
+	// output register changes at a clock edge.
+	fanStart []int32
+	fanLUT   []int32
+	orderLUT []int32
+	bramLL   [][]int32
+
 	// Canonical campaign start state, broadcast to all lanes.
 	canonState []uint64
 	canonLut   []uint64
 	canonFF    []uint64
+	// canonSettled records whether the canonical state is a proven settling
+	// fixpoint (the final canonical sweep confirmed no change). False means
+	// the design was frozen mid-oscillation at the MaxSweeps bound, and
+	// every restore to canon must schedule a full re-evaluation so the
+	// event drain continues the trajectory the way a sweep would.
+	canonSettled bool
 
 	maxSweeps int
 }
@@ -192,12 +213,14 @@ func (f *FPGA) Compile() *CompiledDesign {
 		}
 	}
 	c.llDrv = make([]int32, c.llStart[c.lls])
+	c.bramLL = make([][]int32, blocks)
 	for ll, drv := range f.llDrivers {
 		at := c.llStart[ll]
 		external := false
 		for i, ref := range drv {
 			if ref.bram {
 				c.llDrv[at+int32(i)] = c.bramBase + int32(ref.idx*device.BRAMWidth+ref.out)
+				c.bramLL[ref.idx] = append(c.bramLL[ref.idx], int32(ll))
 				external = true
 			} else {
 				c.llDrv[at+int32(i)] = int32(ref.idx*4 + ref.out)
@@ -234,6 +257,34 @@ func (f *FPGA) Compile() *CompiledDesign {
 		}
 	}
 
+	// Event-vector fanout: golden-active LUT consumers per dense net id.
+	// Constants and BRAM dout words sit above the net range, so only real
+	// nets get fanout rows — exactly the ids Settle and Clock can dirty.
+	// Duplicate entries (a LUT tapping the same net twice) are harmless:
+	// scheduling is idempotent through the sched state bytes.
+	c.orderLUT = append([]int32(nil), f.order...)
+	c.fanStart = make([]int32, nets+1)
+	for _, li := range c.evalBase {
+		for in := 0; in < device.LUTInputs; in++ {
+			if id := c.inID[int(li)*device.LUTInputs+in]; id < int32(nets) {
+				c.fanStart[id+1]++
+			}
+		}
+	}
+	for id := 0; id < nets; id++ {
+		c.fanStart[id+1] += c.fanStart[id]
+	}
+	c.fanLUT = make([]int32, c.fanStart[nets])
+	fanFill := make([]int32, nets)
+	for _, li := range c.evalBase {
+		for in := 0; in < device.LUTInputs; in++ {
+			if id := c.inID[int(li)*device.LUTInputs+in]; id < int32(nets) {
+				c.fanLUT[c.fanStart[id]+fanFill[id]] = li
+				fanFill[id]++
+			}
+		}
+	}
+
 	// BRAM read ports.
 	c.bramEnID = make([]int32, blocks)
 	c.bramAddrID = make([]int32, blocks*device.BRAMAddrBits)
@@ -263,6 +314,11 @@ func (f *FPGA) Compile() *CompiledDesign {
 	}
 	c.canonLut = broadcastBools(f.lutVal)
 	c.canonFF = broadcastBools(f.ffVal)
+	// The canonical state comes out of Reset, which ends in a Settle;
+	// finishing under the sweep bound proves the last sweep (or drain
+	// round) confirmed a fixpoint. Hitting the bound leaves it ambiguous —
+	// treated as mid-oscillation, the conservative side.
+	c.canonSettled = f.lastSweeps < f.MaxSweeps
 	return c
 }
 

@@ -159,8 +159,16 @@ type FPGA struct {
 	srlScratch []srlUpdate
 
 	// hiddenGen counts mutations of hidden state (half-latch keepers, the
-	// stuck-at overlay) so lock-step detection can cache its comparison.
+	// stuck-at overlay, control-logic upsets, reconfiguration) so lock-step
+	// detection and the ConfigHiddenHash memo can cache their results.
 	hiddenGen uint64
+
+	// ConfigHiddenHash memo: valid while both generation counters match
+	// (chMut against cm.Mutations(), chGen against hiddenGen).
+	chHash      uint64
+	chGen       uint64
+	chMut       uint64
+	chHashValid bool
 
 	// Cycle counter since the last full configuration or reset.
 	cycle int64

@@ -154,7 +154,16 @@ func (f *FPGA) StateHash() uint64 {
 // ResetCampaignState neutralizes before every injection, so two devices
 // with equal ConfigHiddenHash inputs are interchangeable campaign
 // substrates. The board replica pool keys on it.
+//
+// Memoized: every input is covered by a generation counter (cm.Mutations()
+// for configuration bits, hiddenGen for half-latches, the stuck overlay,
+// control-logic upsets and reconfiguration), so a repeat call on an
+// untouched device returns the cached digest without re-reading anything —
+// campaign plan lookups call this once per Run.
 func (f *FPGA) ConfigHiddenHash() uint64 {
+	if f.chHashValid && f.chGen == f.hiddenGen && f.chMut == f.cm.Mutations() {
+		return f.chHash
+	}
 	h := uint64(1469598103934665603)
 	mix := func(v uint64) {
 		h ^= v
@@ -190,12 +199,15 @@ func (f *FPGA) ConfigHiddenHash() uint64 {
 		stuckAcc += e
 	}
 	mix(stuckAcc)
-	return f.cm.Hash(h)
+	h = f.cm.Hash(h)
+	f.chHash, f.chGen, f.chMut, f.chHashValid = h, f.hiddenGen, f.cm.Mutations(), true
+	return h
 }
 
 // HiddenGen returns the hidden-state mutation counter: it advances on every
-// half-latch flip/restore and stuck-overlay edit, letting callers cache
-// HiddenStateEqual verdicts between mutations.
+// half-latch flip/restore, stuck-overlay edit, control-logic upset and
+// reconfiguration, letting callers cache HiddenStateEqual verdicts (and the
+// ConfigHiddenHash memo) between mutations.
 func (f *FPGA) HiddenGen() uint64 { return f.hiddenGen }
 
 // HistoryCoupled reports whether the configuration carries live state that

@@ -278,6 +278,27 @@ type Vector struct {
 	llAddByOut   [][]int32
 	llAddTouched []int32
 
+	// Event-driven drain state (vecevent.go). sched/heapCur/listNext/
+	// staleLL mirror the scalar event kernel at lane-word granularity;
+	// fanAdd holds per-batch fanout subscriptions for overlay-patched
+	// inputs; active freezes retired lanes through Clock; frozenLanes is
+	// the per-lane MaxSweeps-freeze gate consulted by board.LockedWord.
+	eventDriven   bool
+	denseRound    bool
+	active        uint64
+	frozenLanes   uint64
+	sched         []uint8
+	heapCur       []int32
+	listNext      []int32
+	staleLL       []int32
+	staleLLMark   []bool
+	llPendW       []uint64
+	fanAdd        [][]int32
+	fanAddTouched []int32
+
+	statRounds int64
+	statDrains int64
+
 	// MaxSweeps mirrors the scalar oscillation bound.
 	MaxSweeps int
 }
@@ -285,21 +306,31 @@ type Vector struct {
 // NewVector builds a lane machine over a shared compiled design. Only lane
 // words and overlay tables are allocated; everything read-only lives in c.
 func NewVector(c *CompiledDesign) *Vector {
-	return &Vector{
-		c:          c,
-		state:      make([]uint64, c.words),
-		lut:        make([]uint64, len(c.truth)),
-		ff:         make([]uint64, len(c.ceID)),
-		overCLB:    make([]bool, len(c.clbActive)),
-		lutOver:    make([][]lutLanePatch, len(c.truth)),
-		muxXor:     make([]uint64, len(c.truth)),
-		ceOver:     make([][]ceLanePatch, len(c.ceID)),
-		dinvXor:    make([]uint64, len(c.ceID)),
-		llOver:     make([][]llLanePatch, c.lls),
-		llAddByOut: make([][]int32, len(c.byOutStart)-1),
-		MaxSweeps:  c.maxSweeps,
-		evalStale:  true,
+	v := &Vector{
+		c:           c,
+		state:       make([]uint64, c.words),
+		lut:         make([]uint64, len(c.truth)),
+		ff:          make([]uint64, len(c.ceID)),
+		overCLB:     make([]bool, len(c.clbActive)),
+		lutOver:     make([][]lutLanePatch, len(c.truth)),
+		muxXor:      make([]uint64, len(c.truth)),
+		ceOver:      make([][]ceLanePatch, len(c.ceID)),
+		dinvXor:     make([]uint64, len(c.ceID)),
+		llOver:      make([][]llLanePatch, c.lls),
+		llAddByOut:  make([][]int32, len(c.byOutStart)-1),
+		sched:       make([]uint8, len(c.truth)),
+		staleLLMark: make([]bool, c.lls),
+		llPendW:     make([]uint64, c.lls),
+		fanAdd:      make([][]int32, c.nets),
+		eventDriven: true,
+		active:      ^uint64(0),
+		MaxSweeps:   c.maxSweeps,
+		evalStale:   true,
 	}
+	// Fresh lane words are all-zero, not the canonical snapshot; until the
+	// first ResetBatch the drain must treat everything as dirty.
+	v.invalidateAllVec()
+	return v
 }
 
 func broadcastBools(src []bool) []uint64 {
@@ -353,6 +384,54 @@ func (v *Vector) ResetBatch(n int) {
 	}
 	v.overCLBList = v.overCLBList[:0]
 	v.evalStale = true
+	v.active = v.full
+	// Drop the previous batch's pending work and overlay subscriptions.
+	// When the canonical snapshot is a proven fixpoint every LUT
+	// re-evaluates to its canonical value, so nothing needs scheduling —
+	// overlays and pin changes applied after this reset schedule their own
+	// work. A design frozen mid-oscillation at the MaxSweeps bound instead
+	// gets a full first drain, continuing the canonical trajectory exactly
+	// the way the sweep kernel's evaluate-everything Settle would.
+	v.clearEventWork()
+	// Reloaded lanes are driver-consistent (the canonical snapshot is taken
+	// post-Settle, whose final pass refreshes every line), so the previous
+	// batch's pending-refresh masks are stale; drop them.
+	for i := range v.llPendW {
+		v.llPendW[i] = 0
+	}
+	if !c.canonSettled {
+		v.invalidateAllVec()
+	}
+}
+
+// ResetLanes restores the lanes in mask to the canonical snapshot, leaving
+// every other lane untouched, and unfreezes them — the mid-batch refill
+// primitive. With a proven-fixpoint canon no event invalidation is needed:
+// the refilled bits are consistent under every pending or future
+// evaluation, so leftover worklist entries, refresh edges, and overlay-CLB
+// plan residue all evaluate to identities in them (retired lanes always
+// had their overlays removed before retirement). A mid-oscillation canon
+// instead forces a full drain, which is exact for the live lanes too:
+// re-evaluating quiet logic is an identity, and lanes frozen mid-transient
+// continue their trajectory since their pending entries stay scheduled.
+func (v *Vector) ResetLanes(mask uint64) {
+	c := v.c
+	inv := ^mask
+	for i, w := range c.canonState {
+		v.state[i] = v.state[i]&inv | w&mask
+	}
+	for i, w := range c.canonLut {
+		v.lut[i] = v.lut[i]&inv | w&mask
+	}
+	for i, w := range c.canonFF {
+		v.ff[i] = v.ff[i]&inv | w&mask
+	}
+	v.full |= mask
+	v.active |= mask
+	v.frozenLanes &^= mask
+	if !c.canonSettled {
+		v.invalidateAllVec()
+	}
 }
 
 // ScatterLane overwrites one lane's state bits from a scalar snapshot,
@@ -392,6 +471,10 @@ func (v *Vector) ScatterLane(lane int, snap *VectorSnapshot) {
 			}
 		}
 	}
+	// The scattered state is a scalar capture that may sit mid-transient;
+	// conservatively mark everything dirty so the next Settle re-derives
+	// the whole lane (an identity in every other lane).
+	v.invalidateAllVec()
 }
 
 func (v *Vector) markCLB(clb int32) {
@@ -432,6 +515,14 @@ func (v *Vector) ApplyDelta(lane int, d VectorDelta) {
 		}
 		v.lutOver[li] = append(v.lutOver[li], p)
 		v.markCLB(d.clb)
+		if v.eventDriven {
+			v.scheduleLUTVec(li)
+			for _, id := range p.inID {
+				if id < int32(c.nets) {
+					v.addFanAddEdge(id, li)
+				}
+			}
+		}
 	case vdOutMux:
 		li := d.clb*device.LUTsPerCLB + int32(d.l)
 		if v.muxXor[li] == 0 {
@@ -439,6 +530,9 @@ func (v *Vector) ApplyDelta(lane int, d VectorDelta) {
 		}
 		v.muxXor[li] ^= bit
 		v.markCLB(d.clb)
+		if v.eventDriven {
+			v.scheduleLUTVec(li)
+		}
 	case vdFFCE:
 		i := d.clb*device.FFsPerCLB + int32(d.l)
 		var ceID int32
@@ -468,14 +562,32 @@ func (v *Vector) ApplyDelta(lane int, d VectorDelta) {
 		id := d.clb*4 + int32(d.src)
 		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: -1, addID: id})
 		v.addEdge(id, d.ll)
+		v.markLLStaleVec(d.ll, bit)
 	case vdLLRemove:
 		// The golden driver entry's value is its CLB-output state index, so
 		// the skip matches by value (BRAM driver indices are disjoint).
 		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: d.clb*4 + int32(d.src), addID: -1})
+		v.markLLStaleVec(d.ll, bit)
 	case vdLLSrc:
 		id := d.clb*4 + int32(d.nsrc)
 		v.addLLPatch(d.ll, llLanePatch{lane: uint8(lane), skip: d.clb*4 + int32(d.src), addID: id})
 		v.addEdge(id, d.ll)
+		v.markLLStaleVec(d.ll, bit)
+	}
+}
+
+// removeEdge drops one (id -> ll) overlay refresh edge, the inverse of
+// addEdge. Exact in both kernels: with the lane's patch gone the added
+// driver contributes to no lane's wired-AND, so the refresh it triggered
+// was already a no-op.
+func (v *Vector) removeEdge(id int32, ll int32) {
+	s := v.llAddByOut[id]
+	for i, x := range s {
+		if x == ll {
+			s[i] = s[len(s)-1]
+			v.llAddByOut[id] = s[:len(s)-1]
+			return
+		}
 	}
 }
 
@@ -489,19 +601,46 @@ func (v *Vector) addLLPatch(ll int32, p llLanePatch) {
 // RemoveDelta repairs lane's overlay: since every delta is a single bit of
 // a non-history-coupled resource, removing the overlay leaves the lane's
 // effective configuration exactly golden — the lane equivalent of the
-// scalar frame write-back. Refresh-edge entries and the overlay CLB's
+// scalar frame write-back.
+//
+// In the sweep kernel, refresh-edge entries and the overlay CLB's
 // membership in the evaluation plan are left in place; both are exact
-// no-ops under the golden configuration.
+// no-ops under the golden configuration, and the per-batch ResetBatch
+// clears them. The event kernel instead unwinds them edge-for-edge (and
+// schedules the repaired logic so the next drain re-derives the lane under
+// golden configuration): with mid-batch lane refill a batch can span
+// thousands of injections, and keeping every retired overlay's plan
+// residue would grow the per-clock work without bound.
 func (v *Vector) RemoveDelta(lane int, d VectorDelta) {
+	c := v.c
 	bit := uint64(1) << uint(lane)
 	switch d.kind {
 	case vdNone:
 	case vdTruth, vdInSel:
 		li := d.clb*device.LUTsPerCLB + int32(d.l)
 		v.lutOver[li] = dropLutPatch(v.lutOver[li], uint8(lane))
+		if v.eventDriven {
+			v.scheduleLUTVec(li)
+			// Unsubscribe the same resolved input ids ApplyDelta added.
+			i4 := int(li) * device.LUTInputs
+			for in := 0; in < device.LUTInputs; in++ {
+				id := c.inID[i4+in]
+				if d.kind == vdInSel && in == int(d.in) {
+					id = c.slotID[int(d.clb)*device.InMuxWays+int(d.sel)]
+				}
+				if id < int32(c.nets) {
+					v.removeFanAddEdge(id, li)
+				}
+			}
+			v.maybeUnmarkCLB(d.clb)
+		}
 	case vdOutMux:
 		li := d.clb*device.LUTsPerCLB + int32(d.l)
 		v.muxXor[li] &^= bit
+		if v.eventDriven {
+			v.scheduleLUTVec(li)
+			v.maybeUnmarkCLB(d.clb)
+		}
 	case vdFFCE:
 		i := d.clb*device.FFsPerCLB + int32(d.l)
 		ps := v.ceOver[i]
@@ -512,9 +651,15 @@ func (v *Vector) RemoveDelta(lane int, d VectorDelta) {
 				break
 			}
 		}
+		if v.eventDriven {
+			v.maybeUnmarkCLB(d.clb)
+		}
 	case vdFFDInv:
 		i := d.clb*device.FFsPerCLB + int32(d.l)
 		v.dinvXor[i] &^= bit
+		if v.eventDriven {
+			v.maybeUnmarkCLB(d.clb)
+		}
 	case vdLLAdd, vdLLRemove, vdLLSrc:
 		ps := v.llOver[d.ll]
 		for k := range ps {
@@ -524,6 +669,15 @@ func (v *Vector) RemoveDelta(lane int, d VectorDelta) {
 				break
 			}
 		}
+		switch d.kind {
+		case vdLLAdd:
+			v.removeEdge(d.clb*4+int32(d.src), d.ll)
+		case vdLLSrc:
+			v.removeEdge(d.clb*4+int32(d.nsrc), d.ll)
+		}
+		// The lane's wired-AND reverts to golden at the next end-of-round
+		// refresh (end-of-sweep llTouched refresh in the sweep kernel).
+		v.markLLStaleVec(d.ll, bit)
 	}
 }
 
@@ -539,8 +693,18 @@ func dropLutPatch(ps []lutLanePatch, lane uint8) []lutLanePatch {
 
 // SetPinWord drives input pin p with one bit per lane.
 func (v *Vector) SetPinWord(p int, w uint64) {
-	v.state[int(v.c.pinBase)+p] = w
+	id := int32(int(v.c.pinBase) + p)
+	if v.state[id] == w {
+		return
+	}
+	v.state[id] = w
+	if v.eventDriven {
+		v.scheduleNetConsumersVec(id)
+	}
 }
+
+// PinWord returns the lane word currently driving input pin p.
+func (v *Vector) PinWord(p int) uint64 { return v.state[int(v.c.pinBase)+p] }
 
 // NetWord returns the lane word of dense net id.
 func (v *Vector) NetWord(id int) uint64 { return v.state[id] }
@@ -670,9 +834,11 @@ func (v *Vector) laneLineBit(ll int, p *llLanePatch) uint64 {
 	return val & 1
 }
 
-// refreshLine recomputes long line ll for all lanes and reports whether any
-// lane changed.
-func (v *Vector) refreshLine(ll int) bool {
+// refreshLine recomputes long line ll for all lanes and returns the word of
+// lanes that changed (0 when none did). A full refresh makes every pending
+// out-of-band change visible, so it clears the line's pending mask.
+func (v *Vector) refreshLine(ll int) uint64 {
+	v.llPendW[ll] = 0
 	c := v.c
 	s, e := c.llStart[ll], c.llStart[ll+1]
 	var w uint64
@@ -691,21 +857,98 @@ func (v *Vector) refreshLine(ll int) bool {
 		}
 	}
 	id := c.llNetBase + int32(ll)
-	if v.state[id] == w {
-		return false
+	old := v.state[id]
+	if old == w {
+		return 0
 	}
 	v.state[id] = w
-	return true
+	return old ^ w
 }
 
-// Settle evaluates combinational logic to a lane-wise fixpoint, mirroring
-// the scalar sweep kernel (same evaluation order, same in-sweep long-line
-// refresh, same MaxSweeps freeze; the end-of-sweep refresh is restricted to
-// the lines that can actually have gone stale — see below — which is
-// state-identical to the scalar kernel's full pass, changed flag included).
-// The hot loop is pure flat-slice traffic: truth/input indices/mux words
-// stream from the compiled design, state reads are single-indexed loads.
+// refreshLineFrom recomputes long line ll after driving output src changed
+// in lanes trigger, holding lanes that carry a pending out-of-band change
+// (overlay install or repair, BRAM output register move) the trigger does
+// not entitle to refresh. The scalar witness of such a lane refreshes this
+// line only when one of ITS OWN drivers changes or at the end-of-sweep
+// pass; recomputing all lanes here would apply the pending change a round
+// early, which is observable when the design oscillates into the MaxSweeps
+// freeze. Eligibility is per lane: for a golden driver edge (byOutLL) every
+// trigger lane is eligible except those whose overlay skips src; for an
+// overlay-added edge (llAddByOut) only trigger lanes whose overlay adds src
+// are. Lanes that are neither pending nor eligible recompute to their
+// current value — every driver change in a lane arrives through an edge
+// that lane is eligible for, so outside the pending mask the line always
+// equals its wired-AND.
+func (v *Vector) refreshLineFrom(ll int, src int32, golden bool, trigger uint64) uint64 {
+	pend := v.llPendW[ll]
+	if pend == 0 {
+		return v.refreshLine(ll)
+	}
+	ps := v.llOver[ll]
+	elig := trigger
+	if golden {
+		for i := range ps {
+			if ps[i].skip == src {
+				elig &^= 1 << ps[i].lane
+			}
+		}
+	} else {
+		elig = 0
+		for i := range ps {
+			if ps[i].addID == src {
+				elig |= trigger & (1 << ps[i].lane)
+			}
+		}
+	}
+	hold := pend &^ elig
+	if hold == 0 {
+		return v.refreshLine(ll)
+	}
+	c := v.c
+	s, e := c.llStart[ll], c.llStart[ll+1]
+	var w uint64
+	if s == e {
+		w = c.llKeep[ll]
+	} else {
+		w = ^uint64(0)
+		for _, di := range c.llDrv[s:e] {
+			w &= v.state[di]
+		}
+	}
+	for i := range ps {
+		p := &ps[i]
+		w = w&^(1<<p.lane) | v.laneLineBit(ll, p)<<p.lane
+	}
+	id := c.llNetBase + int32(ll)
+	old := v.state[id]
+	w = w&^hold | old&hold
+	v.llPendW[ll] = hold
+	if old == w {
+		return 0
+	}
+	v.state[id] = w
+	return old ^ w
+}
+
+// Settle evaluates combinational logic to a lane-wise fixpoint: the
+// event-driven worklist drain by default (vecevent.go), or the full-sweep
+// loop when the kernel is switched off.
 func (v *Vector) Settle() {
+	if v.eventDriven {
+		v.settleEventVec()
+		return
+	}
+	v.settleSweep()
+}
+
+// settleSweep is the full-sweep settling loop, mirroring the scalar sweep
+// kernel (same evaluation order, same in-sweep long-line refresh, same
+// MaxSweeps freeze; the end-of-sweep refresh is restricted to the lines
+// that can actually have gone stale — see below — which is state-identical
+// to the scalar kernel's full pass, changed flag included). The hot loop is
+// pure flat-slice traffic: truth/input indices/mux words stream from the
+// compiled design, state reads are single-indexed loads.
+func (v *Vector) settleSweep() {
 	if v.evalStale {
 		v.rebuildLists()
 	}
@@ -713,6 +956,7 @@ func (v *Vector) Settle() {
 	st := v.state
 	truth, inID, lut := c.truth, c.inID, v.lut
 	muxW, muxXor, ff := c.muxW, v.muxXor, v.ff
+	work := 0
 	for sweeps := 0; sweeps < v.MaxSweeps; sweeps++ {
 		changed := false
 		for _, li := range v.evalList {
@@ -732,13 +976,14 @@ func (v *Vector) Settle() {
 			mux := muxW[li] ^ muxXor[li]
 			out := ff[li]&mux | w&^mux
 			if st[li] != out {
+				trig := st[li] ^ out
 				st[li] = out
 				changed = true
 				for _, ll := range c.byOutLL[c.byOutStart[li]:c.byOutStart[li+1]] {
-					v.refreshLine(int(ll))
+					v.refreshLineFrom(int(ll), li, true, trig)
 				}
 				for _, ll := range v.llAddByOut[li] {
-					v.refreshLine(int(ll))
+					v.refreshLineFrom(int(ll), li, false, trig)
 				}
 			}
 		}
@@ -753,48 +998,87 @@ func (v *Vector) Settle() {
 		// differ. llTouched may overlap llExternal; refreshLine is
 		// idempotent, so the duplicate call is harmless.
 		for _, ll := range c.llExternal {
-			if v.refreshLine(int(ll)) {
+			if v.refreshLine(int(ll)) != 0 {
 				changed = true
 			}
 		}
 		for _, ll := range v.llTouched {
-			if v.refreshLine(int(ll)) {
+			if v.refreshLine(int(ll)) != 0 {
 				changed = true
 			}
 		}
 		if !changed {
 			break
 		}
+		work++
+	}
+	if work > 0 {
+		v.statRounds += int64(work)
+		v.statDrains++
 	}
 }
 
 // Clock performs one rising edge: flip-flops of the clock list load their
 // (possibly lane-inverted) D inputs under their lane-wise clock enables,
 // then every BRAM block registers its addressed word per enabled lane.
+// Frozen (inactive) lanes hold their flip-flops and BRAM registers, so
+// retired lanes generate no settling work.
+//
+// The event path iterates the golden clock set plus live overlay CLBs
+// directly instead of the merged clockList: mid-batch install/repair would
+// otherwise force an O(active-set) list rebuild per injection, and flip-
+// flop updates are mutually independent, so iteration order is free.
 func (v *Vector) Clock() {
-	if v.evalStale {
-		v.rebuildLists()
-	}
-	c := v.c
-	st := v.state
-	for _, ci := range v.clockList {
-		base := int(ci) * device.FFsPerCLB
-		for k := 0; k < device.FFsPerCLB; k++ {
-			i := base + k
-			ce := st[c.ceID[i]]
-			if ps := v.ceOver[i]; len(ps) > 0 {
-				for idx := range ps {
-					p := &ps[idx]
-					bit := st[p.ceID] >> p.lane & 1
-					ce = ce&^(1<<p.lane) | bit<<p.lane
-				}
+	if v.eventDriven {
+		for _, ci := range v.c.clockBase {
+			v.clockCLB(ci)
+		}
+		for _, ci := range v.overCLBList {
+			if !v.c.clbActive[ci] {
+				v.clockCLB(ci)
 			}
-			d := v.lut[i] ^ c.dinvW[i] ^ v.dinvXor[i]
-			v.ff[i] = d&ce | v.ff[i]&^ce
+		}
+	} else {
+		if v.evalStale {
+			v.rebuildLists()
+		}
+		for _, ci := range v.clockList {
+			v.clockCLB(ci)
 		}
 	}
-	for bi := range c.bramEnID {
+	for bi := range v.c.bramEnID {
 		v.clockBRAM(bi)
+	}
+}
+
+// clockCLB updates one CLB's flip-flops. When a flip-flop changes in a
+// lane whose output mux selects it, the LUT's output net will move, so the
+// event kernel schedules it for the next drain.
+func (v *Vector) clockCLB(ci int32) {
+	c := v.c
+	st := v.state
+	base := int(ci) * device.FFsPerCLB
+	for k := 0; k < device.FFsPerCLB; k++ {
+		i := base + k
+		ce := st[c.ceID[i]]
+		if ps := v.ceOver[i]; len(ps) > 0 {
+			for idx := range ps {
+				p := &ps[idx]
+				bit := st[p.ceID] >> p.lane & 1
+				ce = ce&^(1<<p.lane) | bit<<p.lane
+			}
+		}
+		ce &= v.active
+		d := v.lut[i] ^ c.dinvW[i] ^ v.dinvXor[i]
+		old := v.ff[i]
+		nw := d&ce | old&^ce
+		if nw == old {
+			continue
+		}
+		v.ff[i] = nw
+		if v.eventDriven && (nw^old)&(c.muxW[i]^v.muxXor[i]) != 0 {
+			v.scheduleLUTVec(int32(i))
+		}
 	}
 }
 
@@ -809,7 +1093,7 @@ func (v *Vector) clockBRAM(bi int) {
 	if enID < 0 {
 		return
 	}
-	en := v.state[enID] & v.full
+	en := v.state[enID] & v.full & v.active
 	if en == 0 {
 		return
 	}
@@ -822,6 +1106,7 @@ func (v *Vector) clockBRAM(bi int) {
 	}
 	mem := c.bramMem[bi]
 	out := v.state[int(c.bramBase)+bi*device.BRAMWidth:][:device.BRAMWidth]
+	var changed uint64
 	for rest := en; rest != 0; rest &= rest - 1 {
 		lane := uint(bits.TrailingZeros64(rest))
 		addr := 0
@@ -831,11 +1116,23 @@ func (v *Vector) clockBRAM(bi int) {
 		word := mem[addr]
 		mask := uint64(1) << lane
 		for j := 0; j < device.BRAMWidth; j++ {
+			old := out[j]
 			if word>>uint(j)&1 == 1 {
-				out[j] |= mask
+				out[j] = old | mask
 			} else {
-				out[j] &^= mask
+				out[j] = old &^ mask
 			}
+			changed |= old ^ out[j]
+		}
+	}
+	// A moved output register invalidates the long lines this block drives;
+	// the next settle's end-of-round refresh (end-of-sweep llExternal
+	// refresh in the sweep kernel) makes it visible. The changed lanes go
+	// into the pending mask so a triggered refresh from another lane's
+	// driver cannot apply the move early.
+	if changed != 0 {
+		for _, ll := range c.bramLL[bi] {
+			v.markLLStaleVec(ll, changed)
 		}
 	}
 }

@@ -147,7 +147,7 @@ func runPlannedRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.M
 				return err
 			}
 			vr.enqueueVector(e)
-			if vr.fullBatch() {
+			if vr.shouldFlush() {
 				vr.flush(opts, acc, fast)
 			}
 		case planCarry:
@@ -157,7 +157,7 @@ func runPlannedRange(ctx context.Context, bd *board.SLAAC1V, golden *bitstream.M
 			if err := vr.enqueueCarry(bd, golden, e, opts, acc, fs); err != nil {
 				return err
 			}
-			if vr.fullBatch() {
+			if vr.shouldFlush() {
 				vr.flush(opts, acc, fast)
 			}
 		case planScalar:

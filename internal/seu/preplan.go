@@ -128,7 +128,7 @@ var (
 // kernels need no plan, and designs with history-coupled state (or no
 // design at all) run every bit on the scalar path regardless of Kernel.
 func campaignPlan(bd *board.SLAAC1V, opts Options, limit int64, tri *triage) *prePlan {
-	if opts.Kernel != KernelVector || bd.DUT.HistoryCoupled() || bd.DUT.Unprogrammed() {
+	if !opts.Kernel.vectorized() || bd.DUT.HistoryCoupled() || bd.DUT.Unprogrammed() {
 		return nil
 	}
 	return prePlanFor(bd, opts, limit, tri)
@@ -137,7 +137,7 @@ func campaignPlan(bd *board.SLAAC1V, opts Options, limit int64, tri *triage) *pr
 // prePlanFor returns the campaign's pre-plan, from the per-placement cache
 // when the substrate fingerprint and selection options match, else by
 // compiling and classifying now. The caller guarantees vector eligibility
-// (KernelVector, not history-coupled, programmed).
+// (a vectorized Kernel, not history-coupled, programmed).
 func prePlanFor(bd *board.SLAAC1V, opts Options, limit int64, tri *triage) *prePlan {
 	key := planKey{
 		fp:      bd.CampaignFingerprint(),

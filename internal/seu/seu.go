@@ -99,8 +99,16 @@ const (
 	// demoting incompatible bits (SRL16 truth bits, BRAM bits, LUT-mode
 	// flips, history-coupled designs wholesale) to the scalar path, which
 	// then follows KernelAuto semantics. Lane trajectories are exact images
-	// of the scalar sweep kernel, so reports stay byte-identical.
+	// of the scalar sweep kernel, so reports stay byte-identical. Lanes
+	// settle through the event-driven worklist drain (fpga/vecevent.go) and
+	// the batch scheduler refills retired lanes mid-batch.
 	KernelVector
+	// KernelVectorSweep is KernelVector with the lanes settling through the
+	// full-sweep loop instead of the event drain, in fixed 64-lane
+	// generations (the PR 7 scheduler) — the conformance axis separating
+	// "vectorized" from "event-driven" and the sweep-vs-drain crosscheck
+	// anchor.
+	KernelVectorSweep
 )
 
 // ParseKernel maps the CLI spelling to a Kernel.
@@ -114,8 +122,10 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelSweep, nil
 	case "vector":
 		return KernelVector, nil
+	case "vector-sweep":
+		return KernelVectorSweep, nil
 	}
-	return KernelAuto, fmt.Errorf("seu: unknown kernel %q (auto|event|sweep|vector)", s)
+	return KernelAuto, fmt.Errorf("seu: unknown kernel %q (auto|event|sweep|vector|vector-sweep)", s)
 }
 
 func (k Kernel) String() string {
@@ -126,8 +136,16 @@ func (k Kernel) String() string {
 		return "sweep"
 	case KernelVector:
 		return "vector"
+	case KernelVectorSweep:
+		return "vector-sweep"
 	}
 	return "auto"
+}
+
+// vectorized reports whether k runs eligible injections on the 64-lane
+// kernel (either settling flavour).
+func (k Kernel) vectorized() bool {
+	return k == KernelVector || k == KernelVectorSweep
 }
 
 // scalarKernelEvent resolves which settling kernel the scalar boards run:

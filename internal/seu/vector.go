@@ -2,8 +2,10 @@ package seu
 
 import (
 	"context"
+	"math/bits"
 	"runtime/pprof"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/bitstream"
 	"repro/internal/board"
@@ -12,13 +14,17 @@ import (
 )
 
 // Vector-kernel batch scheduler. Pre-planned injections that the planner
-// expressed as lane overlays are grouped into batches of up to 64 and run
-// through one vectored clock program; each lane's phase machine reproduces
-// the scalar injectOne outcome (failure verdict, first-error cycle, failed
-// outputs, persistence) exactly, retiring individually on lock-step
-// convergence. The per-bit classification work — Classify, PlanVectorDelta,
-// stimulus-seed derivation — happened once, in the campaign pre-plan
-// (preplan.go); the runner just consumes planEntry records.
+// expressed as lane overlays queue up and run through one vectored clock
+// program; each lane's phase machine reproduces the scalar injectOne
+// outcome (failure verdict, first-error cycle, failed outputs, persistence)
+// exactly, retiring individually on lock-step convergence. Under
+// KernelVector (event drain) the scheduler refills retired lanes from the
+// queue mid-batch, keeping lane occupancy high on triage-heavy campaigns;
+// under KernelVectorSweep it runs fixed 64-lane generations (the PR 7
+// scheduler, kept as the conformance anchor). The per-bit classification
+// work — Classify, PlanVectorDelta, stimulus-seed derivation — happened
+// once, in the campaign pre-plan (preplan.go); the runner just consumes
+// planEntry records.
 //
 // Bits the planner demotes fall in two classes. Windowable demotions (SRL
 // truth bits, BRAM content — DemotedWindowable) run their corrupt/observe/
@@ -30,10 +36,39 @@ import (
 //
 // Lanes are mutually independent — every lane word operation is bitwise,
 // and overlays are per-lane — so batch composition (which varies with chunk
-// boundaries and worker count) cannot influence any lane's outcome. Outcome
-// accounting is folded in ascending bit-address order regardless of
-// retirement order (emitBatch), keeping reports byte-identical to the
-// scalar kernel at any worker count.
+// boundaries, refill timing, and worker count) cannot influence any lane's
+// outcome. Outcome accounting is folded in ascending bit-address order
+// regardless of retirement order (emitBatch), keeping reports
+// byte-identical to the scalar kernel at any worker count.
+
+// Scheduler tuning. The event-mode queue depth amortizes generation
+// restarts and keeps the refill pump primed; the refill threshold batches
+// lane restores so the masked canonical copy (O(state words) per call)
+// amortizes over ≥16 lanes. Carried entries park two full behavioural
+// snapshots each, so they flush at a much lower depth.
+const (
+	vectorQueueDepth = 4096
+	maxQueuedCarries = 64
+	refillThreshold  = 16
+)
+
+// Vector-kernel activity counters, exported through VectorKernelStats onto
+// campaignd's /metrics plane (same pattern as PlanCacheStats/PoolStats).
+var (
+	vectorSweepsSettled     atomic.Int64 // worklist rounds drained (== productive sweeps)
+	vectorWorklistDrains    atomic.Int64 // Settle calls that found pending work
+	vectorLanesRefilled     atomic.Int64 // retired lanes refilled mid-batch
+	vectorFastForwardCycles atomic.Int64 // convergence-credited cycles (all lanes)
+)
+
+// VectorKernelStats reports cumulative vector-kernel activity across all
+// campaigns of this process: worklist rounds settled, Settle drains that
+// found work, lanes refilled mid-batch, and clock cycles credited by
+// lock-step convergence instead of simulated.
+func VectorKernelStats() (sweepsSettled, worklistDrains, lanesRefilled, fastForwardCycles int64) {
+	return vectorSweepsSettled.Load(), vectorWorklistDrains.Load(),
+		vectorLanesRefilled.Load(), vectorFastForwardCycles.Load()
+}
 
 // Lane phases, mirroring the scalar injectOne control flow.
 const (
@@ -67,34 +102,45 @@ type laneRun struct {
 	skipped int64
 }
 
-// pendingLane is one enqueued injection awaiting its batch.
+// pendingLane is one enqueued injection awaiting a lane.
 type pendingLane struct {
 	addr  device.BitAddr
 	kind  device.BitKind
 	delta fpga.VectorDelta
 	seed  int64
 
-	// Carry fields: the scalar observe/repair prefix already ran.
+	// Carry fields: the scalar observe/repair prefix already ran. g/d hold
+	// the scalar pair's behavioural state at enqueue time (pooled on the
+	// runner, returned when the entry boards a lane).
 	carry         bool
 	failed        bool
 	firstErr      int
 	failedOutputs []int
 	preCycles     int
+	g, d          *fpga.VectorSnapshot
 }
 
-// vectorRunner batches vector-eligible injections for one worker.
+// vectorRunner schedules vector-eligible injections onto lanes for one
+// worker. Entries queue in plan (= ascending address) order; runQueue pops
+// them FIFO, so lane assignment is deterministic per flush regardless of
+// retirement order.
 type vectorRunner struct {
 	vb *board.VectorBoard
 
-	n    int
-	pend [64]pendingLane
-	// carryG/carryD hold the scalar golden/DUT behavioural state of carried
-	// lanes at enqueue time; lazily allocated, reused across batches.
-	carryG [64]*fpga.VectorSnapshot
-	carryD [64]*fpga.VectorSnapshot
+	// refill: retire-and-refill lanes mid-batch (KernelVector). Off, the
+	// runner flushes in fixed generations of up to 64 (KernelVectorSweep).
+	refill bool
+	depth  int // queue depth that triggers a flush
 
-	seeds [64]int64
-	lanes [64]laneRun
+	queue   []pendingLane
+	qHead   int
+	carries int // queued carry entries (snapshot-heavy, capped separately)
+
+	lanes    [64]laneRun
+	liveMask uint64
+	done     []laneRun // retired, awaiting emit
+	seeds    [64]int64
+	snapFree []*fpga.VectorSnapshot
 }
 
 // maybeNewVectorRunner builds the worker's batch scheduler from the
@@ -102,17 +148,24 @@ type vectorRunner struct {
 // unprogrammed design) means the worker runs everything on the scalar
 // path. The lane machines share the plan's compiled design read-only.
 func maybeNewVectorRunner(bd *board.SLAAC1V, opts Options, plan *prePlan) *vectorRunner {
-	if plan == nil || opts.Kernel != KernelVector {
+	if plan == nil || !opts.Kernel.vectorized() {
 		return nil
 	}
-	return &vectorRunner{vb: board.NewVectorBoardFrom(bd, plan.comp)}
+	vr := &vectorRunner{vb: board.NewVectorBoardFrom(bd, plan.comp)}
+	if opts.Kernel == KernelVector {
+		vr.refill = true
+		vr.depth = vectorQueueDepth
+	} else {
+		vr.depth = 64
+	}
+	vr.vb.SetEventDriven(vr.refill)
+	return vr
 }
 
 // enqueueVector adds one overlay-expressible injection; the caller flushes
-// when full.
+// when shouldFlush reports the queue full.
 func (vr *vectorRunner) enqueueVector(e *planEntry) {
-	vr.pend[vr.n] = pendingLane{addr: e.addr, kind: e.kind, delta: e.delta, seed: e.seed}
-	vr.n++
+	vr.queue = append(vr.queue, pendingLane{addr: e.addr, kind: e.kind, delta: e.delta, seed: e.seed})
 }
 
 // enqueueCarry runs the scalar corrupt/observe/repair prefix of a
@@ -153,87 +206,173 @@ func (vr *vectorRunner) enqueueCarry(bd *board.SLAAC1V, golden *bitstream.Memory
 		}
 		return nil
 	}
-	i := vr.n
-	vr.pend[i] = pendingLane{
+	var g, d *fpga.VectorSnapshot
+	if n := len(vr.snapFree); n >= 2 {
+		g, d = vr.snapFree[n-1], vr.snapFree[n-2]
+		vr.snapFree = vr.snapFree[:n-2]
+	} else {
+		g, d = new(fpga.VectorSnapshot), new(fpga.VectorSnapshot)
+	}
+	bd.Golden.CaptureVectorSnapshotInto(g)
+	bd.DUT.CaptureVectorSnapshotInto(d)
+	vr.queue = append(vr.queue, pendingLane{
 		addr: e.addr, kind: e.kind, seed: e.seed,
 		carry: true, failed: ob.failed, firstErr: ob.firstErr,
 		failedOutputs: ob.failedOutputs, preCycles: int(ob.steps),
-	}
-	if vr.carryG[i] == nil {
-		vr.carryG[i] = new(fpga.VectorSnapshot)
-		vr.carryD[i] = new(fpga.VectorSnapshot)
-	}
-	bd.Golden.CaptureVectorSnapshotInto(vr.carryG[i])
-	bd.DUT.CaptureVectorSnapshotInto(vr.carryD[i])
-	vr.n++
+		g: g, d: d,
+	})
+	vr.carries++
 	return nil
 }
 
-func (vr *vectorRunner) fullBatch() bool { return vr.n == 64 }
+// pending reports the entries queued and not yet on a lane.
+func (vr *vectorRunner) pending() int { return len(vr.queue) - vr.qHead }
 
-// flush runs the pending batch to completion and folds the lane outcomes
-// into acc. fast gates the per-lane lock-step early exit, exactly like the
+// shouldFlush reports whether the queue reached its flush depth — or the
+// carry cap, which bounds how many parked behavioural snapshots a deep
+// event-mode queue can hold.
+func (vr *vectorRunner) shouldFlush() bool {
+	return vr.pending() >= vr.depth || vr.carries >= maxQueuedCarries
+}
+
+// pop hands out the next queued entry in enqueue (= ascending address)
+// order.
+func (vr *vectorRunner) pop() *pendingLane {
+	p := &vr.queue[vr.qHead]
+	vr.qHead++
+	return p
+}
+
+// flush runs every queued entry to retirement and folds the outcomes into
+// acc. fast gates the per-lane lock-step early exit, exactly like the
 // scalar path (CyclesSkipped stays 0 when FastSim is off).
 func (vr *vectorRunner) flush(opts Options, acc *shardAccum, fast bool) {
-	n := vr.n
-	if n == 0 {
+	if vr.pending() == 0 {
 		return
 	}
 	pprof.Do(context.Background(), labelsSimulate, func(context.Context) {
-		vr.runBatch(opts, fast)
+		vr.runQueue(opts, fast)
 	})
+	rounds, drains := vr.vb.TakeKernelStats()
+	vectorSweepsSettled.Add(rounds)
+	vectorWorklistDrains.Add(drains)
 	pprof.Do(context.Background(), labelsEmit, func(context.Context) {
-		emitBatch(vr.lanes[:n], opts, acc)
+		emitBatch(vr.done, opts, acc)
 	})
-	vr.n = 0
+	var skipped int64
+	for i := range vr.done {
+		skipped += vr.done[i].skipped
+	}
+	vectorFastForwardCycles.Add(skipped)
+	vr.done = vr.done[:0]
+	vr.queue = vr.queue[:0]
+	vr.qHead = 0
+	vr.carries = 0
 }
 
-// runBatch drives the pending lanes to retirement.
-func (vr *vectorRunner) runBatch(opts Options, fast bool) {
-	n := vr.n
+// install boards the next queued entry on lane i (whose state is already at
+// the canonical snapshot via StartBatch or RefillLanes) and flags needLock
+// if the lane enters a post-repair phase.
+func (vr *vectorRunner) install(i int, needLock *bool) {
+	p := vr.pop()
+	vr.lanes[i] = laneRun{addr: p.addr, kind: p.kind, delta: p.delta, firstErr: -1, preCycles: p.preCycles}
+	vr.liveMask |= 1 << uint(i)
+	if !p.carry {
+		vr.vb.DUT.ApplyDelta(i, p.delta)
+		return
+	}
+	// Carried lane: resume the scalar trajectory mid-run. Both lane
+	// machines take the scalar pair's behavioural state; the stimulus
+	// stream skips what the scalar prefix already drew.
+	ln := &vr.lanes[i]
+	vr.vb.Golden.ScatterLane(i, p.g)
+	vr.vb.DUT.ScatterLane(i, p.d)
+	vr.vb.SkipLane(i, p.preCycles)
+	vr.snapFree = append(vr.snapFree, p.g, p.d)
+	p.g, p.d = nil, nil
+	vr.carries--
+	ln.failed = p.failed
+	ln.firstErr = p.firstErr
+	ln.failedOutputs = p.failedOutputs
+	if p.failed {
+		ln.phase = lanePhasePersist
+	} else {
+		ln.phase = lanePhaseClean
+	}
+	*needLock = true
+}
+
+// retire takes lane i off the board: its stimulus and state freeze (never
+// read again) and its outcome joins the emit list.
+func (vr *vectorRunner) retire(i int) {
+	vr.vb.FreezeLane(i)
+	vr.liveMask &^= 1 << uint(i)
+	vr.done = append(vr.done, vr.lanes[i])
+}
+
+// startGeneration seeds a fresh batch of up to 64 queued entries.
+func (vr *vectorRunner) startGeneration(needLock *bool) {
+	n := vr.pending()
+	if n > 64 {
+		n = 64
+	}
+	base := vr.qHead
 	for i := 0; i < n; i++ {
-		vr.seeds[i] = vr.pend[i].seed
+		vr.seeds[i] = vr.queue[base+i].seed
 	}
 	vr.vb.StartBatch(vr.seeds[:n])
-	anyCarry := false
+	vr.liveMask = 0
+	*needLock = false
 	for i := 0; i < n; i++ {
-		p := &vr.pend[i]
-		vr.lanes[i] = laneRun{addr: p.addr, kind: p.kind, delta: p.delta, firstErr: -1, preCycles: p.preCycles}
-		ln := &vr.lanes[i]
-		if !p.carry {
-			vr.vb.DUT.ApplyDelta(i, p.delta)
-			continue
-		}
-		// Carried lane: resume the scalar trajectory mid-run. Both lane
-		// machines take the scalar pair's behavioural state; the stimulus
-		// stream skips what the scalar prefix already drew.
-		anyCarry = true
-		vr.vb.Golden.ScatterLane(i, vr.carryG[i])
-		vr.vb.DUT.ScatterLane(i, vr.carryD[i])
-		vr.vb.SkipLane(i, p.preCycles)
-		ln.failed = p.failed
-		ln.firstErr = p.firstErr
-		ln.failedOutputs = p.failedOutputs
-		if p.failed {
-			ln.phase = lanePhasePersist
-		} else {
-			ln.phase = lanePhaseClean
-		}
+		vr.install(i, needLock)
 	}
-	live := n
-	cycle := 0
+}
+
+// doRefill restores retired lanes to the canonical state and boards the
+// next queued entries on them — the mid-batch occupancy pump. Lanes fill in
+// ascending index order, pairing with RefillLanes' ascending-mask seeding.
+func (vr *vectorRunner) doRefill(needLock *bool) {
+	n := vr.pending()
+	idle := ^vr.liveMask
+	if k := bits.OnesCount64(idle); n > k {
+		n = k
+	}
+	var mask uint64
+	base := vr.qHead
+	rest := idle
+	for j := 0; j < n; j++ {
+		lane := bits.TrailingZeros64(rest)
+		rest &= rest - 1
+		mask |= 1 << uint(lane)
+		vr.seeds[j] = vr.queue[base+j].seed
+	}
+	vr.vb.RefillLanes(mask, vr.seeds[:n])
+	vectorLanesRefilled.Add(int64(n))
+	for rest, j := mask, 0; rest != 0; rest, j = rest&(rest-1), j+1 {
+		vr.install(bits.TrailingZeros64(rest), needLock)
+	}
+}
+
+// runQueue drives every queued entry to retirement: generations of up to 64
+// lanes, with retired lanes refilled from the queue mid-generation when the
+// event kernel is driving (refill amortizes its full invalidation over
+// refillThreshold lanes; the sweep kernel keeps PR 7's fixed generations).
+func (vr *vectorRunner) runQueue(opts Options, fast bool) {
 	// needLock tracks whether any live lane is past its repair — the only
 	// phases where the scalar path consults Locked. Overlay lanes start in
 	// observation (overlay active, lock impossible); carried lanes enter
 	// directly in a post-repair phase.
-	needLock := anyCarry
-	for live > 0 {
+	needLock := false
+	for vr.pending() > 0 || vr.liveMask != 0 {
+		if vr.liveMask == 0 {
+			vr.startGeneration(&needLock)
+		} else if vr.refill && vr.pending() > 0 && bits.OnesCount64(^vr.liveMask) >= refillThreshold {
+			vr.doRefill(&needLock)
+		}
 		if fast && needLock {
-			lw := vr.vb.LockedWord()
-			for i := 0; i < n && lw != 0; i++ {
-				if lw>>uint(i)&1 == 0 {
-					continue
-				}
+			lw := vr.vb.LockedWord() & vr.liveMask
+			for rest := lw; rest != 0; rest &= rest - 1 {
+				i := bits.TrailingZeros64(rest)
 				ln := &vr.lanes[i]
 				switch ln.phase {
 				case lanePhaseClean:
@@ -241,38 +380,35 @@ func (vr *vectorRunner) runBatch(opts Options, fast bool) {
 					// cycles are guaranteed matches.
 					ln.skipped += int64(opts.CleanRun - ln.clean)
 					ln.phase = lanePhaseDone
-					live--
+					vr.retire(i)
 				case lanePhasePersist:
 					remaining := opts.PersistWindow - ln.stepsInPhase
 					ln.skipped += int64(remaining)
 					ln.clean += remaining
 					ln.persistent = ln.clean < opts.CleanRun
 					ln.phase = lanePhaseDone
-					live--
+					vr.retire(i)
 				}
 			}
-			if live == 0 {
-				break
+			if vr.liveMask == 0 {
+				continue
 			}
 		}
 		mm := vr.vb.Step()
-		cycle++
 		needLock = false
-		for i := 0; i < n; i++ {
+		for rest := vr.liveMask; rest != 0; rest &= rest - 1 {
+			i := bits.TrailingZeros64(rest)
 			ln := &vr.lanes[i]
-			if ln.phase == lanePhaseDone {
-				continue
-			}
 			ln.cycles++
 			miss := mm>>uint(i)&1 == 1
 			switch ln.phase {
 			case lanePhaseObserve:
 				if miss {
 					ln.failed = true
-					ln.firstErr = ln.preCycles + cycle
+					ln.firstErr = ln.preCycles + int(ln.cycles)
 					ln.failedOutputs = vr.vb.FailedOutputs(i)
 					vr.vb.DUT.RemoveDelta(i, ln.delta) // repair
-					vr.finishFailed(ln, opts, &live)
+					vr.finishFailed(ln, opts)
 				} else if ln.stepsInPhase++; ln.stepsInPhase == opts.ObserveCycles {
 					vr.vb.DUT.RemoveDelta(i, ln.delta) // repair
 					ln.phase = lanePhaseClean
@@ -281,12 +417,11 @@ func (vr *vectorRunner) runBatch(opts Options, fast bool) {
 			case lanePhaseClean:
 				if miss {
 					ln.failed = true
-					ln.firstErr = ln.preCycles + cycle
+					ln.firstErr = ln.preCycles + int(ln.cycles)
 					ln.failedOutputs = vr.vb.FailedOutputs(i)
-					vr.finishFailed(ln, opts, &live)
+					vr.finishFailed(ln, opts)
 				} else if ln.clean++; ln.clean == opts.CleanRun {
 					ln.phase = lanePhaseDone
-					live--
 				}
 			case lanePhasePersist:
 				if miss {
@@ -297,10 +432,11 @@ func (vr *vectorRunner) runBatch(opts Options, fast bool) {
 				if ln.stepsInPhase++; ln.stepsInPhase == opts.PersistWindow {
 					ln.persistent = ln.clean < opts.CleanRun
 					ln.phase = lanePhaseDone
-					live--
 				}
 			}
-			if ln.phase == lanePhaseClean || ln.phase == lanePhasePersist {
+			if ln.phase == lanePhaseDone {
+				vr.retire(i)
+			} else if ln.phase == lanePhaseClean || ln.phase == lanePhasePersist {
 				needLock = true
 			}
 		}
@@ -308,9 +444,9 @@ func (vr *vectorRunner) runBatch(opts Options, fast bool) {
 }
 
 // finishFailed routes a just-failed lane into the persistence window (the
-// configuration is already repaired) or retires it, mirroring injectOne's
-// post-failure flow.
-func (vr *vectorRunner) finishFailed(ln *laneRun, opts Options, live *int) {
+// configuration is already repaired) or marks it done, mirroring
+// injectOne's post-failure flow.
+func (vr *vectorRunner) finishFailed(ln *laneRun, opts Options) {
 	if opts.ClassifyPersistence && opts.PersistWindow > 0 {
 		ln.phase = lanePhasePersist
 		ln.stepsInPhase = 0
@@ -323,7 +459,6 @@ func (vr *vectorRunner) finishFailed(ln *laneRun, opts Options, live *int) {
 		ln.persistent = 0 < opts.CleanRun
 	}
 	ln.phase = lanePhaseDone
-	*live--
 }
 
 // emitBatch folds completed lane outcomes into the accumulator in

@@ -95,6 +95,55 @@ func TestVectorKernelMatchesSweep(t *testing.T) {
 	}
 }
 
+// TestVectorSweepKernelMatchesVector pins the two lane kernels to each
+// other at the campaign level: the event-driven drain (KernelVector) and
+// the full-sweep settling loop (KernelVectorSweep) run the identical batch
+// machinery, so their reports must be byte-identical — at the batch-size
+// edges and with the early exit both off and on.
+func TestVectorSweepKernelMatchesVector(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		for _, maxBits := range []int64{1, 64, 0} {
+			ref := vectorCampaign(t, func(o *Options) {
+				o.Kernel = KernelVector
+				o.FastSim = fast
+				o.MaxBits = maxBits
+			})
+			got := vectorCampaign(t, func(o *Options) {
+				o.Kernel = KernelVectorSweep
+				o.FastSim = fast
+				o.MaxBits = maxBits
+			})
+			label := "vector-sweep/maxbits=" + string(rune('0'+maxBits%10))
+			if fast {
+				label += "/fast"
+			}
+			compareReports(t, label, ref, got)
+		}
+	}
+}
+
+// TestVectorKernelCounters pins the process-wide activity counters the
+// daemon exports: a vector campaign must record worklist drains and settled
+// rounds (the event drain performed work), and a fastsim vector campaign on
+// a convergent design must record fast-forwarded cycles. Counters are
+// cumulative and shared across tests, so only deltas are asserted.
+func TestVectorKernelCounters(t *testing.T) {
+	s0, d0, r0, f0 := VectorKernelStats()
+	vectorCampaign(t, func(o *Options) { o.Kernel = KernelVector; o.FastSim = true })
+	s1, d1, r1, f1 := VectorKernelStats()
+	if s1 <= s0 || d1 <= d0 {
+		t.Fatalf("vector campaign advanced sweeps %d->%d drains %d->%d; want both to increase", s0, s1, d0, d1)
+	}
+	if f1 <= f0 {
+		t.Fatalf("fastsim vector campaign advanced fast-forward cycles %d->%d; want an increase", f0, f1)
+	}
+	// The uncapped campaign plans far more than 64 injections, so the batch
+	// scheduler must have refilled retired lanes mid-batch.
+	if r1 <= r0 {
+		t.Fatalf("uncapped vector campaign advanced lane refills %d->%d; want an increase", r0, r1)
+	}
+}
+
 // TestVectorKernelWorkerIndependence pins batch-composition independence:
 // worker count changes where chunk boundaries fall, hence which injections
 // share a batch, and must not change the report.
