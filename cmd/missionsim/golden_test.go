@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/mission"
+)
+
+// Golden mission-report corpus: canonical -json outputs pinned under
+// testdata/. The mission simulator promises its report is a pure function
+// of the seed and configuration — independent of worker count and
+// scheduling — so these files only legitimately change when the simulator's
+// semantics change. Regenerate with:
+//
+//	go test ./cmd/missionsim -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite golden JSON files under testdata/")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/missionsim -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: mission report diverged from the golden corpus.\nIf the simulator's semantics changed intentionally, regenerate with:\n  go test ./cmd/missionsim -run Golden -update\ngot:\n%swant:\n%s", name, got, want)
+	}
+}
+
+func goldenReport(t *testing.T, cfg mission.Config) []byte {
+	t.Helper()
+	rep, err := mission.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGoldenMissionReport pins the default fleet's report for seed 1. The
+// worker count deliberately differs from anything CI uses: the bytes must
+// not care.
+func TestGoldenMissionReport(t *testing.T) {
+	checkGolden(t, "mission-seed1.json", goldenReport(t, mission.Config{
+		Seed:     1,
+		Boards:   8,
+		Duration: 24 * time.Hour,
+		Design:   "LFSR 18",
+		Geom:     device.Tiny(),
+		Workers:  3,
+	}))
+}
+
+// TestGoldenPaperScenario pins the canned nine-FPGA/180 ms payload scenario
+// at a CI-sized fleet and duration.
+func TestGoldenPaperScenario(t *testing.T) {
+	cfg := paperScenario(mission.Config{Seed: 1})
+	cfg.Boards = 2
+	cfg.Duration = 48 * time.Hour
+	cfg.Workers = 5
+	checkGolden(t, "paper-scenario.json", goldenReport(t, cfg))
+}

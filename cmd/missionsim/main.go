@@ -1,0 +1,130 @@
+// Command missionsim flies a fleet of scrub-managed FPGA boards through a
+// simulated orbital radiation environment and compares scrub strategies on
+// availability, MTTR, and scrub latency. The simulation is deterministic per
+// seed: the same seed yields a byte-identical mission report at any -workers
+// value.
+//
+// Examples:
+//
+//	missionsim -seed 1 -fleet 256
+//	missionsim -scenario paper -json
+//	missionsim -fleet 64 -strategies blind,readback -duration 72h -flux 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mission"
+	"repro/internal/scrub"
+)
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "missionsim:", err)
+		os.Exit(1)
+	}
+}
+
+// paperScanTarget is the paper's quoted payload scan: reading back all nine
+// FPGAs takes about 180 ms.
+const paperScanTarget = 180 * time.Millisecond
+
+// paperScenario returns the canned nine-FPGA flight payload: three boards'
+// worth of the paper's stack per fleet slot is collapsed to one nine-device
+// board, the scrub timing scaled so a full readback scan of the board takes
+// the paper's 180 ms, and a flare-active environment so both regimes appear.
+func paperScenario(cfg mission.Config) mission.Config {
+	cfg.DevicesPerBoard = 9
+	cfg.Design = "LFSR 72"
+	geom, err := core.ParseGeometry("small")
+	check(err)
+	cfg.Geom = geom
+	// Scale the cost model so nine devices' readback scan = 180 ms.
+	t := scrub.DefaultTiming()
+	boardScan := time.Duration(9*geom.TotalFrames()) * t.FrameRead
+	cfg.Timing = t.Scale(float64(paperScanTarget) / float64(boardScan))
+	env := mission.DefaultEnv()
+	env.FlareMeanEvery = 36 * time.Hour
+	env.FlareMeanDuration = 6 * time.Hour
+	cfg.Env = env
+	if cfg.Duration == 0 {
+		cfg.Duration = 14 * 24 * time.Hour
+	}
+	if cfg.Boards == 0 {
+		cfg.Boards = 32
+	}
+	return cfg
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "mission seed (report is byte-identical per seed)")
+		fleet    = flag.Int("fleet", 0, "number of boards (0 = scenario/package default)")
+		devices  = flag.Int("devices", 0, "FPGAs per board (0 = default 9)")
+		duration = flag.Duration("duration", 0, "mission length (0 = default)")
+		strats   = flag.String("strategies", "", "comma-separated scrub strategies (default: all)")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); never changes output")
+		design   = flag.String("design", "", "catalogued design name")
+		geomName = flag.String("geom", "", "device geometry: tiny|small|xqvr1000")
+		flux     = flag.Float64("flux", 0, "flux multiplier on both regime rates")
+		coverage = flag.Float64("coverage", 0, "redundancy strategy sensitive-bit coverage (0 = 0.8)")
+		scenario = flag.String("scenario", "", "canned scenario: paper (nine-FPGA/180 ms payload)")
+		jsonOut  = flag.Bool("json", false, "emit the mission report JSON instead of the table")
+	)
+	flag.Parse()
+
+	cfg := mission.Config{
+		Seed:               *seed,
+		Boards:             *fleet,
+		DevicesPerBoard:    *devices,
+		Duration:           *duration,
+		Workers:            *workers,
+		Design:             *design,
+		RedundancyCoverage: *coverage,
+	}
+	switch *scenario {
+	case "":
+	case "paper":
+		cfg = paperScenario(cfg)
+		// Explicit flags still override the canned scenario.
+		if *devices != 0 {
+			cfg.DevicesPerBoard = *devices
+		}
+		if *design != "" {
+			cfg.Design = *design
+		}
+	default:
+		check(fmt.Errorf("unknown scenario %q (want: paper)", *scenario))
+	}
+	if *geomName != "" {
+		geom, err := core.ParseGeometry(*geomName)
+		check(err)
+		cfg.Geom = geom
+	}
+	if *strats != "" {
+		list, err := scrub.ParseStrategies(*strats)
+		check(err)
+		cfg.Strategies = list
+	}
+	if *flux != 0 {
+		if cfg.Env.QuietPerHour == 0 && cfg.Env.FlarePerHour == 0 {
+			cfg.Env = mission.DefaultEnv()
+		}
+		cfg.Env.FluxScale = *flux
+	}
+
+	rep, err := mission.Run(cfg)
+	check(err)
+	if *jsonOut {
+		out, err := rep.Marshal()
+		check(err)
+		_, err = os.Stdout.Write(out)
+		check(err)
+		return
+	}
+	rep.WriteTable(os.Stdout)
+}

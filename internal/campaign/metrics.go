@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/mission"
 	"repro/internal/seu"
 )
 
@@ -19,15 +20,15 @@ type Metrics struct {
 
 	poolSize int
 
-	jobsStarted   int64
-	jobsFinished  map[State]int64
-	chunksRun     int64
-	checkpoints   int64
-	lastCkpt      time.Time
-	injections    int64
-	failures      int64
-	workersBusy   int
-	started       time.Time
+	jobsStarted  int64
+	jobsFinished map[State]int64
+	chunksRun    int64
+	checkpoints  int64
+	lastCkpt     time.Time
+	injections   int64
+	failures     int64
+	workersBusy  int
+	started      time.Time
 
 	// rate window: cumulative injection samples, pruned past rateWindow.
 	samples []rateSample
@@ -168,4 +169,16 @@ func (m *Metrics) WritePrometheus(w io.Writer, jobsByState map[State]int) {
 	fmt.Fprintf(w, "# HELP campaignd_vector_worklist_drains_total Vector Settle calls that found pending work.\n# TYPE campaignd_vector_worklist_drains_total counter\ncampaignd_vector_worklist_drains_total %d\n", drains)
 	fmt.Fprintf(w, "# HELP campaignd_vector_lane_refills_total Retired vector lanes refilled with queued injections mid-batch.\n# TYPE campaignd_vector_lane_refills_total counter\ncampaignd_vector_lane_refills_total %d\n", refills)
 	fmt.Fprintf(w, "# HELP campaignd_vector_fastforward_cycles_total Simulated cycles skipped by per-lane convergence credit.\n# TYPE campaignd_vector_fastforward_cycles_total counter\ncampaignd_vector_fastforward_cycles_total %d\n", ffwd)
+
+	// Mission-simulator activity (process-wide, like the kernel counters):
+	// fleet simulations the process has run and the scrub/telemetry volume
+	// they covered.
+	ms := mission.ScrubStats()
+	fmt.Fprintf(w, "# HELP campaignd_mission_boards_total Board-strategy simulations completed by the mission simulator.\n# TYPE campaignd_mission_boards_total counter\ncampaignd_mission_boards_total %d\n", ms.BoardsSimulated)
+	fmt.Fprintf(w, "# HELP campaignd_mission_strikes_total Radiation strikes generated across simulated fleets.\n# TYPE campaignd_mission_strikes_total counter\ncampaignd_mission_strikes_total %d\n", ms.Strikes)
+	fmt.Fprintf(w, "# HELP campaignd_mission_scrub_cycles_total Full scrub scan cycles completed across simulated board-strategy pairs.\n# TYPE campaignd_mission_scrub_cycles_total counter\ncampaignd_mission_scrub_cycles_total %d\n", ms.ScrubCycles)
+	fmt.Fprintf(w, "# HELP campaignd_mission_repairs_total Partial-reconfiguration frame repairs across simulated fleets.\n# TYPE campaignd_mission_repairs_total counter\ncampaignd_mission_repairs_total %d\n", ms.Repairs)
+	fmt.Fprintf(w, "# HELP campaignd_mission_full_reconfigs_total Full device reconfigurations across simulated fleets.\n# TYPE campaignd_mission_full_reconfigs_total counter\ncampaignd_mission_full_reconfigs_total %d\n", ms.FullReconfigs)
+	fmt.Fprintf(w, "# HELP campaignd_mission_telemetry_frames_total Telemetry frames downlinked by simulated fleets.\n# TYPE campaignd_mission_telemetry_frames_total counter\ncampaignd_mission_telemetry_frames_total %d\n", ms.TelemetryFrames)
+	fmt.Fprintf(w, "# HELP campaignd_mission_telemetry_bytes_total Telemetry bytes downlinked by simulated fleets.\n# TYPE campaignd_mission_telemetry_bytes_total counter\ncampaignd_mission_telemetry_bytes_total %d\n", ms.TelemetryBytes)
 }

@@ -5,8 +5,11 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mission"
 	"repro/internal/seu"
 )
 
@@ -106,5 +109,63 @@ func TestMetricsKernelCountersAdvance(t *testing.T) {
 	sweepsAfter := metricValue(t, render(), "campaignd_vector_sweeps_total")
 	if sweepsAfter <= sweepsBefore {
 		t.Fatalf("vector sweeps counter: render saw %d then %d after a vector campaign, want an increase", sweepsBefore, sweepsAfter)
+	}
+}
+
+// TestMetricsMissionCountersAdvance pins the mission-simulator counters on
+// the /metrics plane: rendering before and after a small fleet run must show
+// the scrub-cycle, strike, and telemetry counters moving — the exposition
+// reads the live mission package counters.
+func TestMetricsMissionCountersAdvance(t *testing.T) {
+	m := newMetrics(1)
+	render := func() string {
+		var buf bytes.Buffer
+		m.WritePrometheus(&buf, map[State]int{})
+		return buf.String()
+	}
+	names := []string{
+		"campaignd_mission_boards_total",
+		"campaignd_mission_strikes_total",
+		"campaignd_mission_scrub_cycles_total",
+		"campaignd_mission_repairs_total",
+		"campaignd_mission_full_reconfigs_total",
+		"campaignd_mission_telemetry_frames_total",
+		"campaignd_mission_telemetry_bytes_total",
+	}
+	text := render()
+	before := make(map[string]int64)
+	for _, n := range names {
+		for _, meta := range []string{"# HELP " + n + " ", "# TYPE " + n + " counter"} {
+			if !strings.Contains(text, meta) {
+				t.Errorf("exposition missing %q", meta)
+			}
+		}
+		before[n] = metricValue(t, text, n)
+	}
+
+	if _, err := mission.Run(mission.Config{
+		Seed:     1,
+		Boards:   4,
+		Duration: 24 * time.Hour,
+		Design:   "LFSR 18",
+		Geom:     device.Tiny(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	text = render()
+	for _, n := range []string{
+		"campaignd_mission_boards_total",
+		"campaignd_mission_strikes_total",
+		"campaignd_mission_scrub_cycles_total",
+	} {
+		if got := metricValue(t, text, n); got <= before[n] {
+			t.Errorf("%s: render saw %d then %d after a fleet run, want an increase", n, before[n], got)
+		}
+	}
+	for _, n := range names {
+		if got := metricValue(t, text, n); got < before[n] {
+			t.Errorf("%s went backwards: %d -> %d", n, before[n], got)
+		}
 	}
 }

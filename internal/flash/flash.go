@@ -7,6 +7,7 @@
 package flash
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -46,6 +47,17 @@ func New(capacityBytes int) *Device {
 
 // Capacity returns the device capacity in bytes.
 func (d *Device) Capacity() int { return len(d.words) * 8 }
+
+// Clone returns an independent copy of the device: same stored words and
+// check bits (including any uncorrected upsets), fresh stats. The mission
+// simulator builds one golden flash image and clones it per board, so a
+// thousand-board fleet pays the ECC encoding cost once.
+func (d *Device) Clone() *Device {
+	c := &Device{words: make([]uint64, len(d.words)), ecc: make([]uint8, len(d.ecc))}
+	copy(c.words, d.words)
+	copy(c.ecc, d.ecc)
+	return c
+}
 
 // Stats returns ECC activity counters.
 func (d *Device) Stats() Stats { return d.stats }
@@ -142,15 +154,29 @@ func (d *Device) Write(offset int64, data []byte) error {
 	if offset < 0 || offset+int64(len(data)) > int64(d.Capacity()) {
 		return fmt.Errorf("flash: write [%d,%d) out of capacity %d", offset, offset+int64(len(data)), d.Capacity())
 	}
-	for k, b := range data {
-		pos := offset + int64(k)
-		i := int(pos >> 3)
-		sh := uint(pos&7) * 8
-		w := d.words[i] // raw read: we are overwriting, ECC refreshed below
-		w = (w &^ (0xFF << sh)) | uint64(b)<<sh
-		d.writeWord(i, w)
+	k := 0
+	// Head: bytes up to the first word boundary.
+	for k < len(data) && (offset+int64(k))&7 != 0 {
+		d.writeByte(offset+int64(k), data[k])
+		k++
+	}
+	// Body: whole words, one ECC encode each instead of eight.
+	for ; k+8 <= len(data); k += 8 {
+		d.writeWord(int((offset+int64(k))>>3), binary.LittleEndian.Uint64(data[k:]))
+	}
+	// Tail.
+	for ; k < len(data); k++ {
+		d.writeByte(offset+int64(k), data[k])
 	}
 	return nil
+}
+
+func (d *Device) writeByte(pos int64, b byte) {
+	i := int(pos >> 3)
+	sh := uint(pos&7) * 8
+	w := d.words[i] // raw read: we are overwriting, ECC refreshed below
+	w = (w &^ (0xFF << sh)) | uint64(b)<<sh
+	d.writeWord(i, w)
 }
 
 // Read fetches n bytes from a byte offset through the ECC path.
@@ -193,7 +219,13 @@ func NewStore(dev *Device) *Store {
 
 // Put stores a serialized bitstream under a name.
 func (s *Store) Put(name string, bs *bitstream.Bitstream) error {
-	raw := bs.Marshal()
+	return s.PutBytes(name, bs.Marshal())
+}
+
+// PutBytes stores a raw blob under a name — e.g. the golden configuration
+// frames concatenated in frame order, so ReadAt can fetch a single repair
+// frame through the ECC path without parsing the full bitstream.
+func (s *Store) PutBytes(name string, raw []byte) error {
 	if _, dup := s.dir[name]; dup {
 		return fmt.Errorf("flash: %q already stored", name)
 	}
@@ -204,6 +236,59 @@ func (s *Store) Put(name string, bs *bitstream.Bitstream) error {
 	s.next += int64(len(raw))
 	return nil
 }
+
+// ReadAt fetches n bytes at byte offset off within the named blob, through
+// the ECC read path. This is the microprocessor's repair-frame fetch: a
+// single-bit flash upset inside the extent is corrected (and scrubbed back)
+// transparently, a double-bit upset surfaces as an error the caller must
+// handle by falling back to a redundant stored copy.
+func (s *Store) ReadAt(name string, off int64, n int) ([]byte, error) {
+	e, ok := s.dir[name]
+	if !ok {
+		return nil, fmt.Errorf("flash: no blob %q", name)
+	}
+	if off < 0 || off+int64(n) > e.n {
+		return nil, fmt.Errorf("flash: read [%d,%d) outside %q extent of %d bytes", off, off+int64(n), name, e.n)
+	}
+	return s.dev.Read(e.off+off, n)
+}
+
+// WriteAt overwrites n bytes at byte offset off within the named blob with
+// fresh ECC — the repair path after a detected double-bit error, restoring
+// the extent from a redundant stored copy.
+func (s *Store) WriteAt(name string, off int64, data []byte) error {
+	e, ok := s.dir[name]
+	if !ok {
+		return fmt.Errorf("flash: no blob %q", name)
+	}
+	if off < 0 || off+int64(len(data)) > e.n {
+		return fmt.Errorf("flash: write [%d,%d) outside %q extent of %d bytes", off, off+int64(len(data)), name, e.n)
+	}
+	return s.dev.Write(e.off+off, data)
+}
+
+// Size returns the stored length of the named blob.
+func (s *Store) Size(name string) (int64, error) {
+	e, ok := s.dir[name]
+	if !ok {
+		return 0, fmt.Errorf("flash: no blob %q", name)
+	}
+	return e.n, nil
+}
+
+// Clone returns an independent store: the device image is copied (stored
+// words, check bits, latent upsets) and the directory duplicated. Stats
+// start fresh on the clone.
+func (s *Store) Clone() *Store {
+	c := &Store{dev: s.dev.Clone(), next: s.next, dir: make(map[string]extent, len(s.dir))}
+	for k, v := range s.dir {
+		c.dir[k] = v
+	}
+	return c
+}
+
+// Device returns the underlying ECC device (strike injection, stats).
+func (s *Store) Device() *Device { return s.dev }
 
 // Get fetches and parses a stored bitstream through the ECC read path.
 func (s *Store) Get(name string, g device.Geometry) (*bitstream.Bitstream, error) {

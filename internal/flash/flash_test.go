@@ -1,6 +1,7 @@
 package flash
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -175,5 +176,126 @@ func TestStoreSurvivesFlashUpset(t *testing.T) {
 	}
 	if dev.Stats().CorrectedSingles == 0 {
 		t.Error("ECC correction not recorded")
+	}
+}
+
+func TestDeviceCloneIndependent(t *testing.T) {
+	d := New(1024)
+	if err := d.Write(0, []byte("golden frame data, word aligned..")); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	// Upset the clone heavily; the original must stay clean.
+	c.UpsetBit(8)
+	c.UpsetBit(9) // double error in word 0 of the clone
+	if _, err := d.Read(0, 33); err != nil {
+		t.Fatalf("original corrupted by clone upsets: %v", err)
+	}
+	if _, err := c.Read(0, 8); err == nil {
+		t.Fatal("clone double-bit error went undetected")
+	}
+	if d.Stats().DetectedDoubles != 0 {
+		t.Error("clone stats leaked into the original")
+	}
+}
+
+func TestDeviceCloneCarriesLatentUpsets(t *testing.T) {
+	d := New(256)
+	if err := d.Write(0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	d.UpsetBit(5) // latent single-bit upset, not yet read
+	c := d.Clone()
+	if _, err := c.Read(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().CorrectedSingles != 1 {
+		t.Errorf("clone corrected %d singles, want 1 (latent upset must be copied)", c.Stats().CorrectedSingles)
+	}
+}
+
+func TestStoreReadAt(t *testing.T) {
+	s := NewStore(New(4096))
+	blob := make([]byte, 300)
+	for i := range blob {
+		blob[i] = byte(i * 7)
+	}
+	if err := s.PutBytes("frames", blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBytes("frames", blob); err == nil {
+		t.Fatal("duplicate PutBytes accepted")
+	}
+	got, err := s.ReadAt("frames", 30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob[30:60]) {
+		t.Fatalf("ReadAt(30,30) = %x, want %x", got, blob[30:60])
+	}
+	if n, err := s.Size("frames"); err != nil || n != 300 {
+		t.Fatalf("Size = %d, %v; want 300", n, err)
+	}
+	if _, err := s.ReadAt("frames", 290, 20); err == nil {
+		t.Fatal("ReadAt past extent accepted")
+	}
+	if _, err := s.ReadAt("missing", 0, 1); err == nil {
+		t.Fatal("ReadAt on missing blob accepted")
+	}
+}
+
+func TestStoreCloneSharesImageNotState(t *testing.T) {
+	s := NewStore(New(2048))
+	blob := []byte("the golden configuration image, frames concatenated in order")
+	if err := s.PutBytes("golden", blob); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	got, err := c.ReadAt("golden", 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "golden" {
+		t.Fatalf("clone ReadAt = %q", got)
+	}
+	// Upsets on the clone's device must not reach the original.
+	c.Device().UpsetBit(32)
+	c.Device().UpsetBit(33)
+	if _, err := s.ReadAt("golden", 0, len(blob)); err != nil {
+		t.Fatalf("original store corrupted via clone: %v", err)
+	}
+}
+
+// TestStoreWriteAtRestoresDoubleError models the fallback path the mission
+// simulator's golden fetch uses: a double-bit upset in the stored extent
+// makes ReadAt fail, WriteAt rewrites the extent with fresh ECC from a
+// redundant copy, and the next ReadAt succeeds.
+func TestStoreWriteAtRestoresDoubleError(t *testing.T) {
+	s := NewStore(New(1024))
+	blob := bytes.Repeat([]byte{0xA5, 0x3C}, 64)
+	if err := s.PutBytes("golden", blob); err != nil {
+		t.Fatal(err)
+	}
+	// Two upsets in the same word: uncorrectable.
+	s.Device().UpsetBit(64 + 3)
+	s.Device().UpsetBit(64 + 9)
+	if _, err := s.ReadAt("golden", 0, 32); err == nil {
+		t.Fatal("double-bit error went undetected by ReadAt")
+	}
+	if err := s.WriteAt("golden", 0, blob[:32]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadAt("golden", 0, 32)
+	if err != nil {
+		t.Fatalf("ReadAt after restore: %v", err)
+	}
+	if !bytes.Equal(got, blob[:32]) {
+		t.Fatal("restored extent does not match the redundant copy")
+	}
+	if err := s.WriteAt("golden", 100, blob[:64]); err == nil {
+		t.Fatal("WriteAt past the extent accepted")
+	}
+	if err := s.WriteAt("missing", 0, blob[:1]); err == nil {
+		t.Fatal("WriteAt on unknown blob accepted")
 	}
 }

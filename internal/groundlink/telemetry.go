@@ -1,0 +1,166 @@
+package groundlink
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Mission telemetry wire format. Where the SOH record carries one board's
+// scrub detections, the telemetry frame is the fleet-era stream: each board
+// periodically packs its pending scrub/repair/mask/flash events into frames
+// and downlinks them during ground-station passes. The format is
+// deliberately dumb — fixed-size big-endian records behind a magic and an
+// exact length — so a truncated or corrupted downlink is rejected rather
+// than misparsed.
+
+// TelemetryKind classifies one telemetry record.
+type TelemetryKind uint8
+
+const (
+	// TelDetect: a readback CRC mismatch was detected on a frame.
+	TelDetect TelemetryKind = iota
+	// TelRepair: a corrupted frame was repaired by partial reconfiguration.
+	TelRepair
+	// TelFullReconfig: a device was fully reconfigured (control-logic
+	// upset recovery or a blind-scrub periodic refresh).
+	TelFullReconfig
+	// TelMasked: configuration redundancy masked an upset in a duplicated
+	// frame (no functional outage) until its repair.
+	TelMasked
+	// TelFlashECC: the flash golden store corrected or detected an ECC
+	// event while serving a repair fetch.
+	TelFlashECC
+	// TelHeartbeat: per-pass liveness record carrying aggregate counters.
+	TelHeartbeat
+
+	telKindMax = TelHeartbeat
+)
+
+func (k TelemetryKind) String() string {
+	switch k {
+	case TelDetect:
+		return "detect"
+	case TelRepair:
+		return "repair"
+	case TelFullReconfig:
+		return "full-reconfig"
+	case TelMasked:
+		return "masked"
+	case TelFlashECC:
+		return "flash-ecc"
+	case TelHeartbeat:
+		return "heartbeat"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// TelemetryRecord is one event: 18 bytes on the wire.
+type TelemetryRecord struct {
+	// At is the mission time of the event.
+	At time.Duration
+	// Device indexes the FPGA within the board.
+	Device uint8
+	// Kind classifies the event.
+	Kind TelemetryKind
+	// Frame is the configuration frame involved, -1 when not applicable.
+	Frame int32
+	// Data is kind-specific: repair latency in microseconds for
+	// detect/repair/masked, pending-record count for heartbeats.
+	Data uint32
+}
+
+// TelemetryFrame is one downlink unit from one board.
+type TelemetryFrame struct {
+	Board    uint32
+	Seq      uint32
+	Strategy uint8
+	Records  []TelemetryRecord
+}
+
+const (
+	telMagic     = "TLM1"
+	telHeaderLen = 4 + 4 + 4 + 1 + 4 // magic, board, seq, strategy, count
+	telRecordLen = 8 + 1 + 1 + 4 + 4
+	// MaxTelemetryRecords bounds one frame; larger batches are split
+	// across frames so a single corrupt frame loses a bounded window.
+	MaxTelemetryRecords = 512
+)
+
+// TelemetryFrameSize returns the encoded size of a frame holding n records.
+func TelemetryFrameSize(n int) int { return telHeaderLen + n*telRecordLen }
+
+// EncodeTelemetry serializes one telemetry frame.
+func EncodeTelemetry(f TelemetryFrame) ([]byte, error) {
+	if len(f.Records) > MaxTelemetryRecords {
+		return nil, fmt.Errorf("groundlink: %d records exceed the %d-record frame bound", len(f.Records), MaxTelemetryRecords)
+	}
+	if f.Strategy > 0x7F {
+		return nil, fmt.Errorf("groundlink: strategy id %d out of range", f.Strategy)
+	}
+	var buf bytes.Buffer
+	buf.Grow(TelemetryFrameSize(len(f.Records)))
+	buf.WriteString(telMagic)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], f.Board)
+	buf.Write(u32[:])
+	binary.BigEndian.PutUint32(u32[:], f.Seq)
+	buf.Write(u32[:])
+	buf.WriteByte(f.Strategy)
+	binary.BigEndian.PutUint32(u32[:], uint32(len(f.Records)))
+	buf.Write(u32[:])
+	for i, r := range f.Records {
+		if r.Kind > telKindMax {
+			return nil, fmt.Errorf("groundlink: record %d has unknown kind %d", i, r.Kind)
+		}
+		var rec [telRecordLen]byte
+		binary.BigEndian.PutUint64(rec[0:8], uint64(r.At))
+		rec[8] = r.Device
+		rec[9] = byte(r.Kind)
+		binary.BigEndian.PutUint32(rec[10:14], uint32(r.Frame))
+		binary.BigEndian.PutUint32(rec[14:18], r.Data)
+		buf.Write(rec[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTelemetry parses one telemetry frame. It rejects bad magic, record
+// counts beyond the frame bound, length mismatches, reserved strategy ids,
+// and unknown record kinds — anything EncodeTelemetry cannot produce.
+func DecodeTelemetry(raw []byte) (TelemetryFrame, error) {
+	var f TelemetryFrame
+	if len(raw) < telHeaderLen || string(raw[:4]) != telMagic {
+		return f, fmt.Errorf("groundlink: bad telemetry magic")
+	}
+	f.Board = binary.BigEndian.Uint32(raw[4:8])
+	f.Seq = binary.BigEndian.Uint32(raw[8:12])
+	f.Strategy = raw[12]
+	if f.Strategy > 0x7F {
+		return f, fmt.Errorf("groundlink: reserved strategy id %d", f.Strategy)
+	}
+	n := int(binary.BigEndian.Uint32(raw[13:17]))
+	if n > MaxTelemetryRecords {
+		return f, fmt.Errorf("groundlink: record count %d exceeds frame bound %d", n, MaxTelemetryRecords)
+	}
+	body := raw[telHeaderLen:]
+	if len(body) != n*telRecordLen {
+		return f, fmt.Errorf("groundlink: telemetry body %d bytes, want %d", len(body), n*telRecordLen)
+	}
+	f.Records = make([]TelemetryRecord, 0, n)
+	for i := 0; i < n; i++ {
+		rec := body[i*telRecordLen : (i+1)*telRecordLen]
+		r := TelemetryRecord{
+			At:     time.Duration(binary.BigEndian.Uint64(rec[0:8])),
+			Device: rec[8],
+			Kind:   TelemetryKind(rec[9]),
+			Frame:  int32(binary.BigEndian.Uint32(rec[10:14])),
+			Data:   binary.BigEndian.Uint32(rec[14:18]),
+		}
+		if r.Kind > telKindMax {
+			return f, fmt.Errorf("groundlink: record %d has unknown kind %d", i, rec[9])
+		}
+		f.Records = append(f.Records, r)
+	}
+	return f, nil
+}

@@ -1,0 +1,100 @@
+package groundlink
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzTelemetryRoundTrip drives the mission telemetry wire format from both
+// ends, mirroring FuzzSOHRoundTrip: the input bytes are first interpreted
+// as a telemetry frame (clamped to encodable field ranges), which must
+// encode/decode to exactly itself; the raw bytes are then handed to the
+// decoder, which must be total (never panic) and must only accept payloads
+// whose re-encoding decodes back unchanged.
+func FuzzTelemetryRoundTrip(f *testing.F) {
+	if enc, err := EncodeTelemetry(TelemetryFrame{Board: 3, Seq: 1, Strategy: 1}); err == nil {
+		f.Add(enc)
+	}
+	if enc, err := EncodeTelemetry(TelemetryFrame{
+		Board: 256, Seq: 9, Strategy: 3,
+		Records: []TelemetryRecord{
+			{At: 42 * time.Millisecond, Device: 2, Kind: TelDetect, Frame: 17, Data: 5160},
+			{At: time.Hour, Device: 0, Kind: TelFullReconfig, Frame: -1},
+		},
+	}); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte("TLM1"))
+	f.Add([]byte("TLM1\x00\x00\x00\x05\x00\x00\x00\x00\x01\x00\x00\x00\x02short"))
+	f.Add([]byte("not telemetry"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Structured direction.
+		frame := telemetryFrom(raw)
+		enc, err := EncodeTelemetry(frame)
+		if err != nil {
+			t.Fatalf("encoding clamped frame: %v", err)
+		}
+		if want := TelemetryFrameSize(len(frame.Records)); len(enc) != want {
+			t.Fatalf("encoded %d records into %d bytes, want %d", len(frame.Records), len(enc), want)
+		}
+		back, err := DecodeTelemetry(enc)
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		if back.Board != frame.Board || back.Seq != frame.Seq || back.Strategy != frame.Strategy ||
+			len(back.Records) != len(frame.Records) {
+			t.Fatalf("round trip header/count mismatch: got %+v want %+v", back, frame)
+		}
+		for i := range frame.Records {
+			if back.Records[i] != frame.Records[i] {
+				t.Fatalf("record %d round-tripped to %+v, want %+v", i, back.Records[i], frame.Records[i])
+			}
+		}
+
+		// Raw direction.
+		got, err := DecodeTelemetry(raw)
+		if err != nil {
+			return
+		}
+		re, err := EncodeTelemetry(got)
+		if err != nil {
+			t.Fatalf("re-encoding accepted frame failed: %v", err)
+		}
+		again, err := DecodeTelemetry(re)
+		if err != nil {
+			t.Fatalf("re-encoded accepted frame failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, again) {
+			t.Fatalf("normalized frame unstable:\n first %+v\nsecond %+v", got, again)
+		}
+	})
+}
+
+// telemetryFrom deterministically builds an encodable frame from fuzz
+// bytes: strategy clamped to 7 bits, kinds clamped to the known set, and at
+// most MaxTelemetryRecords records.
+func telemetryFrom(raw []byte) TelemetryFrame {
+	var f TelemetryFrame
+	if len(raw) < 9 {
+		return f
+	}
+	f.Board = binary.BigEndian.Uint32(raw[0:4])
+	f.Seq = binary.BigEndian.Uint32(raw[4:8])
+	f.Strategy = raw[8] & 0x7F
+	raw = raw[9:]
+	const rec = 18
+	for len(raw) >= rec && len(f.Records) < MaxTelemetryRecords {
+		f.Records = append(f.Records, TelemetryRecord{
+			At:     time.Duration(binary.BigEndian.Uint64(raw[0:8])),
+			Device: raw[8],
+			Kind:   TelemetryKind(raw[9]) % (telKindMax + 1),
+			Frame:  int32(binary.BigEndian.Uint32(raw[10:14])),
+			Data:   binary.BigEndian.Uint32(raw[14:18]),
+		})
+		raw = raw[rec:]
+	}
+	return f
+}

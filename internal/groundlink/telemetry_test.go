@@ -1,0 +1,94 @@
+package groundlink
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleFrame() TelemetryFrame {
+	return TelemetryFrame{
+		Board: 41, Seq: 7, Strategy: 2,
+		Records: []TelemetryRecord{
+			{At: 90 * time.Minute, Device: 1, Kind: TelDetect, Frame: 300, Data: 5160},
+			{At: 90*time.Minute + 100*time.Microsecond, Device: 1, Kind: TelRepair, Frame: 300, Data: 5260},
+			{At: 3 * time.Hour, Device: 2, Kind: TelFullReconfig, Frame: -1, Data: 0},
+			{At: 4 * time.Hour, Device: 0, Kind: TelHeartbeat, Frame: -1, Data: 12},
+		},
+	}
+}
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	enc, err := EncodeTelemetry(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != TelemetryFrameSize(len(f.Records)) {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), TelemetryFrameSize(len(f.Records)))
+	}
+	back, err := DecodeTelemetry(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, f) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", back, f)
+	}
+}
+
+func TestTelemetryRejectsMalformed(t *testing.T) {
+	good, err := EncodeTelemetry(sampleFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short header": good[:10],
+		"bad magic":    append([]byte("XLM1"), good[4:]...),
+		"truncated":    good[:len(good)-1],
+		"trailing":     append(bytes.Clone(good), 0),
+	}
+	// Count larger than the body delivers.
+	overCount := bytes.Clone(good)
+	binary.BigEndian.PutUint32(overCount[13:17], 1000000)
+	cases["oversized count"] = overCount
+	// Unknown record kind.
+	badKind := bytes.Clone(good)
+	badKind[telHeaderLen+9] = 200
+	cases["unknown kind"] = badKind
+	// Reserved strategy id.
+	badStrat := bytes.Clone(good)
+	badStrat[12] = 0xFF
+	cases["reserved strategy"] = badStrat
+
+	for name, raw := range cases {
+		if _, err := DecodeTelemetry(raw); err == nil {
+			t.Errorf("%s: DecodeTelemetry accepted malformed frame", name)
+		}
+	}
+}
+
+func TestTelemetryEncodeRejectsUnencodable(t *testing.T) {
+	if _, err := EncodeTelemetry(TelemetryFrame{Records: make([]TelemetryRecord, MaxTelemetryRecords+1)}); err == nil {
+		t.Error("oversized record batch accepted")
+	}
+	if _, err := EncodeTelemetry(TelemetryFrame{Strategy: 0x80}); err == nil {
+		t.Error("reserved strategy id accepted")
+	}
+	if _, err := EncodeTelemetry(TelemetryFrame{Records: []TelemetryRecord{{Kind: 99}}}); err == nil {
+		t.Error("unknown record kind accepted")
+	}
+}
+
+func TestTelemetryKindStrings(t *testing.T) {
+	for k := TelDetect; k <= telKindMax; k++ {
+		if s := k.String(); s == "" || s == "kind(0)" {
+			t.Errorf("kind %d has bad name %q", k, s)
+		}
+	}
+	if TelemetryKind(77).String() != "kind(77)" {
+		t.Error("unknown kind must stringify defensively")
+	}
+}

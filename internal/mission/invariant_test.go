@@ -1,0 +1,146 @@
+package mission
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/scrub"
+)
+
+// TestMeasuredRateConvergesPerRegime checks the Poisson-thinning machinery
+// against its configuration: over a long mission with flares enabled, the
+// realized per-device upset rate inside flare windows must converge to the
+// flare rate and the rate outside to the quiet rate. Orbit modulation is
+// disabled so each regime's instantaneous rate is constant.
+func TestMeasuredRateConvergesPerRegime(t *testing.T) {
+	env := DefaultEnv()
+	env.OrbitPeriod = 0
+	env.OrbitAmplitude = 0
+	env.FlareMeanEvery = 48 * time.Hour
+	env.FlareMeanDuration = 24 * time.Hour
+	cfg := Config{
+		Seed:       11,
+		Boards:     64,
+		Duration:   21 * 24 * time.Hour,
+		Design:     "LFSR 18",
+		Geom:       device.Tiny(),
+		Env:        env,
+		Strategies: []scrub.Strategy{scrub.StrategyReadback},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var flareNs int64
+	for _, w := range rep.Env.FlareWindows {
+		flareNs += int64(w.End - w.Start)
+	}
+	if flareNs == 0 || flareNs == int64(cfg.Duration) {
+		t.Fatalf("degenerate flare timeline for this seed: %d ns of %d", flareNs, int64(cfg.Duration))
+	}
+	devices := float64(cfg.Boards) * 9 // default devices per board
+	flareHours := float64(flareNs) / float64(time.Hour) * devices
+	quietHours := float64(int64(cfg.Duration)-flareNs) / float64(time.Hour) * devices
+
+	flareRate := float64(rep.Env.FlareStrikes) / flareHours
+	quietRate := float64(rep.Env.Strikes-rep.Env.FlareStrikes) / quietHours
+
+	checkWithin(t, "quiet regime", quietRate, env.QuietPerHour, 0.10)
+	checkWithin(t, "flare regime", flareRate, env.FlarePerHour, 0.10)
+}
+
+func checkWithin(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > tol {
+		t.Errorf("%s: measured %.4f/device/hour, configured %.4f (tolerance %.0f%%)",
+			what, got, want, tol*100)
+	}
+}
+
+// TestAvailabilityMonotoneInFlux pins the nested-strike-set coupling: runs
+// sharing (seed, RateBound) draw candidate arrivals and accept thresholds
+// from the same streams, so a higher FluxScale accepts a strict superset of
+// strikes, and fleet availability must be non-increasing in flux for every
+// strategy — deterministically, not just in expectation.
+func TestAvailabilityMonotoneInFlux(t *testing.T) {
+	scales := []float64{1, 2, 4}
+	env := DefaultEnv()
+	// Pin the thinning bound at the highest flux's peak so all runs share it.
+	env.FluxScale = scales[len(scales)-1]
+	bound := env.peakPerHour()
+
+	var reports []*Report
+	for _, k := range scales {
+		e := DefaultEnv()
+		e.FluxScale = k
+		e.RateBound = bound
+		rep, err := Run(Config{
+			Seed:     3,
+			Boards:   24,
+			Duration: 72 * time.Hour,
+			Design:   "LFSR 18",
+			Geom:     device.Tiny(),
+			Env:      e,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Env.Strikes < reports[i-1].Env.Strikes {
+			t.Fatalf("flux %.0fx produced fewer strikes (%d) than %.0fx (%d): strike sets not nested",
+				scales[i], reports[i].Env.Strikes, scales[i-1], reports[i-1].Env.Strikes)
+		}
+		for s, sr := range reports[i].Strategies {
+			prev := reports[i-1].Strategies[s]
+			if sr.Availability > prev.Availability {
+				t.Errorf("%s: availability rose from %.9f to %.9f as flux went %.0fx -> %.0fx",
+					sr.Name, prev.Availability, sr.Availability, scales[i-1], scales[i])
+			}
+		}
+	}
+}
+
+// TestReadbackMTTRNotWorseThanBlind pins the paper's headline comparison on
+// a shared strike history: readback-CRC scrubbing detects faults at the
+// fast frame-read dwell while blind scrubbing repairs at the slow
+// frame-write dwell, so on the same seed readback's mean time to repair
+// cannot exceed blind's.
+func TestReadbackMTTRNotWorseThanBlind(t *testing.T) {
+	env := DefaultEnv()
+	env.FluxScale = 20 // plenty of critical strikes
+	rep, err := Run(Config{
+		Seed:       5,
+		Boards:     32,
+		Duration:   72 * time.Hour,
+		Design:     "LFSR 18",
+		Geom:       device.Tiny(),
+		Env:        env,
+		Strategies: []scrub.Strategy{scrub.StrategyBlind, scrub.StrategyReadback},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind := rep.Strategy(scrub.StrategyBlind)
+	readback := rep.Strategy(scrub.StrategyReadback)
+	if blind == nil || readback == nil {
+		t.Fatal("missing strategy report")
+	}
+	if blind.MTTRSamples == 0 || readback.MTTRSamples == 0 {
+		t.Fatalf("no MTTR samples (blind %d, readback %d); raise flux",
+			blind.MTTRSamples, readback.MTTRSamples)
+	}
+	if readback.MTTRNs > blind.MTTRNs {
+		t.Fatalf("readback MTTR %.0f ns exceeds blind MTTR %.0f ns on the same strike history",
+			readback.MTTRNs, blind.MTTRNs)
+	}
+	if readback.Availability < blind.Availability {
+		t.Errorf("readback availability %.9f below blind %.9f on the same strike history",
+			readback.Availability, blind.Availability)
+	}
+}

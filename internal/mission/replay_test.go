@@ -1,0 +1,108 @@
+package mission
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/scrub"
+)
+
+// testConfig is a small, fast fleet used by the replay tests.
+func testConfig(seed int64, boards, workers int) Config {
+	return Config{
+		Seed:     seed,
+		Boards:   boards,
+		Workers:  workers,
+		Duration: 24 * time.Hour,
+		Design:   "LFSR 18",
+		Geom:     device.Tiny(),
+	}
+}
+
+func reportBytes(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReportByteIdenticalAcrossWorkers is the deterministic-replay
+// acceptance check: the same seed must marshal to byte-identical mission
+// reports regardless of how the fleet is sharded.
+func TestReportByteIdenticalAcrossWorkers(t *testing.T) {
+	base := reportBytes(t, testConfig(1, 24, 1))
+	for _, workers := range []int{4, 13} {
+		got := reportBytes(t, testConfig(1, 24, workers))
+		if !bytes.Equal(base, got) {
+			t.Fatalf("workers=%d report diverged from workers=1:\n%s\nvs\n%s",
+				workers, got, base)
+		}
+	}
+}
+
+// TestReportSeedSensitivity guards against the opposite failure: different
+// seeds must not collapse to the same history.
+func TestReportSeedSensitivity(t *testing.T) {
+	a := reportBytes(t, testConfig(1, 8, 2))
+	b := reportBytes(t, testConfig(2, 8, 2))
+	if bytes.Equal(a, b) {
+		t.Fatal("seeds 1 and 2 produced identical mission reports")
+	}
+}
+
+// TestShardInvarianceProperty drives the worker-independence claim through
+// testing/quick: for arbitrary (seed, fleet size, worker count), the report
+// bytes must match the single-worker run of the same mission. This is the
+// event-ordering property — boards are merged by index, never by completion
+// order, so shard count cannot reorder events.
+func TestShardInvarianceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short")
+	}
+	property := func(seed int64, boardsRaw, workersRaw uint8) bool {
+		boards := 1 + int(boardsRaw%10)
+		workers := 2 + int(workersRaw%7)
+		base := reportBytes(t, testConfig(seed, boards, 1))
+		got := reportBytes(t, testConfig(seed, boards, workers))
+		return bytes.Equal(base, got)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrikeHistoryStrategyIndependent pins the cross-strategy comparability
+// contract: the environment section of the report is identical whether one
+// strategy runs or all four, because strikes are drawn from environment
+// streams only.
+func TestStrikeHistoryStrategyIndependent(t *testing.T) {
+	full, err := Run(testConfig(7, 6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := testConfig(7, 6, 3)
+	one.Strategies = []scrub.Strategy{scrub.StrategyReadback}
+	single, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Env.Strikes != single.Env.Strikes ||
+		full.Env.FlareStrikes != single.Env.FlareStrikes ||
+		full.Env.MeasuredPerDeviceHour != single.Env.MeasuredPerDeviceHour {
+		t.Fatalf("environment depends on strategy list: %+v vs %+v", full.Env, single.Env)
+	}
+	for k, n := range full.Env.ByKind {
+		if single.Env.ByKind[k] != n {
+			t.Fatalf("kind %q count %d vs %d", k, single.Env.ByKind[k], n)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package mission
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/groundlink"
+	"repro/internal/scrub"
+)
+
+// Report is the mission report: everything the run produced, in a stable
+// JSON form. All floating-point fields are single divisions of integer
+// accumulators merged in board-index order, so identical seeds marshal to
+// byte-identical reports at any worker count.
+type Report struct {
+	Seed            int64    `json:"seed"`
+	Boards          int      `json:"boards"`
+	DevicesPerBoard int      `json:"devices_per_board"`
+	DurationNs      int64    `json:"duration_ns"`
+	Design          string   `json:"design"`
+	Geometry        string   `json:"geometry"`
+	Frames          int      `json:"frames"`
+	ProtectedFrames int      `json:"protected_frames"`
+	StrategyNames   []string `json:"strategies"`
+
+	Env        EnvReport        `json:"environment"`
+	Strategies []StrategyReport `json:"strategy_reports"`
+	Events     []SampleEvent    `json:"event_sample,omitempty"`
+}
+
+// EnvReport summarizes the strike history every strategy replayed.
+type EnvReport struct {
+	Strikes int64            `json:"strikes"`
+	ByKind  map[string]int64 `json:"by_kind"`
+	// MeasuredPerDeviceHour is the realized device strike rate, the
+	// statistical-invariant tests' convergence target.
+	MeasuredPerDeviceHour float64  `json:"measured_per_device_hour"`
+	FlareWindows          []Window `json:"flare_windows,omitempty"`
+	FlareStrikes          int64    `json:"flare_strikes"`
+}
+
+// StrategyReport is one scrub policy's fleet-wide outcome.
+type StrategyReport struct {
+	Name string `json:"name"`
+	// Availability is uptime device-time fraction across the fleet.
+	Availability float64 `json:"availability"`
+	DowntimeNs   float64 `json:"downtime_ns"`
+	// MTTRNs is mean time to repair for outage-causing faults.
+	MTTRNs      float64 `json:"mttr_ns"`
+	MTTRSamples int64   `json:"mttr_samples"`
+
+	Detections        int64 `json:"detections"`
+	Repairs           int64 `json:"repairs"`
+	FullReconfigs     int64 `json:"full_reconfigs"`
+	Masked            int64 `json:"masked"`
+	Unrecovered       int64 `json:"unrecovered"`
+	HalfLatchRestored int64 `json:"half_latch_restored"`
+	ScrubCycles       int64 `json:"scrub_cycles"`
+
+	// LatencyHist buckets repair latencies: bucket with bound B counts
+	// repairs in (B/2, B] microseconds (log2 buckets; the first holds
+	// sub-microsecond repairs).
+	LatencyHist []HistBucket `json:"scrub_latency_hist_us"`
+
+	Flash     FlashReport     `json:"flash"`
+	Telemetry TelemetryReport `json:"telemetry"`
+}
+
+// HistBucket is one non-empty log2 latency bucket.
+type HistBucket struct {
+	UpToUs uint64 `json:"le_us"`
+	Count  int64  `json:"count"`
+}
+
+// FlashReport summarizes golden-store ECC activity across the fleet.
+type FlashReport struct {
+	Reads            int64 `json:"reads"`
+	CorrectedSingles int64 `json:"corrected_singles"`
+	DetectedDoubles  int64 `json:"detected_doubles"`
+	Fallbacks        int64 `json:"redundant_copy_fallbacks"`
+}
+
+// TelemetryReport summarizes the groundlink downlink.
+type TelemetryReport struct {
+	Records    int64 `json:"records"`
+	Frames     int64 `json:"frames"`
+	Bytes      int64 `json:"bytes"`
+	DownlinkNs int64 `json:"downlink_ns"`
+	Passes     int64 `json:"passes"`
+	Deferred   int64 `json:"deferred"`
+	Dropped    int64 `json:"dropped"`
+}
+
+// SampleEvent is one merged telemetry event included in the report for
+// replay inspection (a bounded sample, earliest fleet-wide events first).
+type SampleEvent struct {
+	AtNs     int64  `json:"at_ns"`
+	Board    int    `json:"board"`
+	Strategy string `json:"strategy"`
+	Device   uint8  `json:"device"`
+	Kind     string `json:"kind"`
+	Frame    int32  `json:"frame"`
+	DataUs   uint32 `json:"data"`
+}
+
+// maxSampleEvents bounds the report's merged event sample.
+const maxSampleEvents = 64
+
+func buildReport(cfg *Config, m *Model, flares []Window, outcomes []boardOutcome) *Report {
+	rep := &Report{
+		Seed:            cfg.Seed,
+		Boards:          cfg.Boards,
+		DevicesPerBoard: cfg.DevicesPerBoard,
+		DurationNs:      int64(cfg.Duration),
+		Design:          cfg.Design,
+		Geometry:        fmt.Sprintf("%dx%d", cfg.Geom.Rows, cfg.Geom.Cols),
+		Frames:          m.Frames,
+		ProtectedFrames: m.ProtectedCount,
+	}
+	for _, s := range cfg.Strategies {
+		rep.StrategyNames = append(rep.StrategyNames, s.String())
+	}
+
+	rep.Env.ByKind = make(map[string]int64)
+	rep.Env.FlareWindows = flares
+	for b := range outcomes {
+		o := &outcomes[b]
+		rep.Env.Strikes += int64(len(o.strikes))
+		rep.Env.FlareStrikes += o.flareHits
+		for k, n := range o.byKind {
+			rep.Env.ByKind[k] += n
+		}
+	}
+	deviceHours := float64(cfg.Duration) / float64(time.Hour) *
+		float64(cfg.Boards) * float64(cfg.DevicesPerBoard)
+	rep.Env.MeasuredPerDeviceHour = float64(rep.Env.Strikes) / deviceHours
+
+	for si, strat := range cfg.Strategies {
+		sr := StrategyReport{Name: strat.String()}
+		var downNs, mttrNs float64
+		var hist [histBuckets]int64
+		for b := range outcomes {
+			r := &outcomes[b].perStrategy[si]
+			// Float accumulation in fixed board order: deterministic at any
+			// worker count, immune to int64 overflow on year-long fleets.
+			downNs += float64(r.downtimeNs)
+			mttrNs += float64(r.mttrSumNs)
+			sr.MTTRSamples += r.mttrCount
+			sr.Detections += r.detections
+			sr.Repairs += r.repairs
+			sr.FullReconfigs += r.fullReconfigs
+			sr.Masked += r.masked
+			sr.Unrecovered += r.unrecovered
+			sr.HalfLatchRestored += r.hlRestored
+			sr.ScrubCycles += r.scrubCycles
+			for i, n := range r.latHist {
+				hist[i] += n
+			}
+			sr.Flash.Reads += r.flashReads
+			sr.Flash.CorrectedSingles += r.flashCorrected
+			sr.Flash.DetectedDoubles += r.flashDoubles
+			sr.Flash.Fallbacks += r.flashFallbacks
+			sr.Telemetry.Records += r.telemetryRecords
+			sr.Telemetry.Frames += r.telemetryFrames
+			sr.Telemetry.Bytes += r.telemetryBytes
+			sr.Telemetry.DownlinkNs += r.downlinkNs
+			sr.Telemetry.Passes += r.passes
+			sr.Telemetry.Deferred += r.deferred
+			sr.Telemetry.Dropped += r.dropped
+		}
+		fleetDeviceNs := float64(cfg.Duration) * float64(cfg.Boards) * float64(cfg.DevicesPerBoard)
+		sr.Availability = 1 - downNs/fleetDeviceNs
+		sr.DowntimeNs = downNs
+		if sr.MTTRSamples > 0 {
+			sr.MTTRNs = mttrNs / float64(sr.MTTRSamples)
+		}
+		for i, n := range hist {
+			if n == 0 {
+				continue
+			}
+			sr.LatencyHist = append(sr.LatencyHist, HistBucket{UpToUs: uint64(1) << uint(i), Count: n})
+		}
+		rep.Strategies = append(rep.Strategies, sr)
+	}
+
+	rep.Events = sampleEvents(cfg, outcomes)
+	return rep
+}
+
+// sampleEvents merges a bounded, deterministic sample of telemetry events:
+// up to four per board-strategy pair feed a candidate pool (board order),
+// which is then sorted by time and truncated.
+func sampleEvents(cfg *Config, outcomes []boardOutcome) []SampleEvent {
+	var pool []SampleEvent
+	for b := range outcomes {
+		for si, strat := range cfg.Strategies {
+			evs := outcomes[b].perStrategy[si].events
+			n := len(evs)
+			if n > 4 {
+				n = 4
+			}
+			for _, e := range evs[:n] {
+				pool = append(pool, SampleEvent{
+					AtNs:     int64(e.At),
+					Board:    b,
+					Strategy: strat.String(),
+					Device:   e.Device,
+					Kind:     kindLabel(e.Kind),
+					Frame:    e.Frame,
+					DataUs:   e.Data,
+				})
+			}
+		}
+	}
+	sort.SliceStable(pool, func(a, b int) bool {
+		ea, eb := pool[a], pool[b]
+		if ea.AtNs != eb.AtNs {
+			return ea.AtNs < eb.AtNs
+		}
+		if ea.Board != eb.Board {
+			return ea.Board < eb.Board
+		}
+		return ea.Strategy < eb.Strategy
+	})
+	if len(pool) > maxSampleEvents {
+		pool = pool[:maxSampleEvents]
+	}
+	return pool
+}
+
+func kindLabel(k groundlink.TelemetryKind) string { return k.String() }
+
+// Marshal renders the report as stable indented JSON with a trailing
+// newline — the byte-identical replay artifact.
+func (r *Report) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteTable prints the strategy comparison table.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "mission seed=%d boards=%d devices/board=%d duration=%s design=%q\n",
+		r.Seed, r.Boards, r.DevicesPerBoard, time.Duration(r.DurationNs), r.Design)
+	fmt.Fprintf(w, "environment: %d strikes (%.3f/device/hour), %d in flares\n\n",
+		r.Env.Strikes, r.Env.MeasuredPerDeviceHour, r.Env.FlareStrikes)
+	fmt.Fprintf(w, "%-20s %12s %12s %10s %10s %8s %8s %10s\n",
+		"strategy", "availability", "MTTR", "repairs", "reconfigs", "masked", "unrecov", "telemetry")
+	for _, s := range r.Strategies {
+		mttr := "-"
+		if s.MTTRSamples > 0 {
+			mttr = time.Duration(s.MTTRNs).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%-20s %11.6f%% %12s %10d %10d %8d %8d %9dB\n",
+			s.Name, s.Availability*100, mttr,
+			s.Repairs, s.FullReconfigs, s.Masked, s.Unrecovered, s.Telemetry.Bytes)
+	}
+}
+
+// strategyIndex returns the report's index of a strategy by name.
+func (r *Report) strategyIndex(s scrub.Strategy) int {
+	for i, sr := range r.Strategies {
+		if sr.Name == s.String() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Strategy returns the report section for the named strategy, or nil.
+func (r *Report) Strategy(s scrub.Strategy) *StrategyReport {
+	if i := r.strategyIndex(s); i >= 0 {
+		return &r.Strategies[i]
+	}
+	return nil
+}

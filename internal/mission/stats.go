@@ -1,0 +1,48 @@
+package mission
+
+import "sync/atomic"
+
+// Package-level mission counters, exported on campaignd's /metrics plane the
+// same way seu.VectorKernelStats surfaces kernel activity. They accumulate
+// across every Run in the process; reads are cheap atomic loads.
+var stats struct {
+	boards          atomic.Int64
+	strikes         atomic.Int64
+	scrubCycles     atomic.Int64
+	repairs         atomic.Int64
+	fullReconfigs   atomic.Int64
+	telemetryFrames atomic.Int64
+	telemetryBytes  atomic.Int64
+}
+
+// Stats is a snapshot of the process-wide mission simulation counters.
+type Stats struct {
+	// BoardsSimulated counts board-strategy simulations completed.
+	BoardsSimulated int64
+	// Strikes counts environment strikes generated (per board, shared by
+	// all strategies, counted once).
+	Strikes int64
+	// ScrubCycles counts completed full scan cycles across all simulated
+	// board-strategy pairs.
+	ScrubCycles int64
+	// Repairs counts partial-reconfiguration frame repairs.
+	Repairs int64
+	// FullReconfigs counts complete device reconfigurations.
+	FullReconfigs int64
+	// TelemetryFrames / TelemetryBytes count downlinked telemetry.
+	TelemetryFrames int64
+	TelemetryBytes  int64
+}
+
+// ScrubStats returns the process-wide mission counters.
+func ScrubStats() Stats {
+	return Stats{
+		BoardsSimulated: stats.boards.Load(),
+		Strikes:         stats.strikes.Load(),
+		ScrubCycles:     stats.scrubCycles.Load(),
+		Repairs:         stats.repairs.Load(),
+		FullReconfigs:   stats.fullReconfigs.Load(),
+		TelemetryFrames: stats.telemetryFrames.Load(),
+		TelemetryBytes:  stats.telemetryBytes.Load(),
+	}
+}

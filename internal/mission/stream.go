@@ -1,0 +1,89 @@
+// Package mission is the fleet-scale orbital mission simulator: a seeded
+// discrete-event model of hundreds to thousands of boards flying the
+// paper's scrub architecture (and its published alternatives) through a LEO
+// radiation environment, reporting availability, MTTR, and scrub-latency
+// distributions per strategy.
+//
+// Everything is deterministic per seed. Each board draws its entire event
+// history from splitmix-style streams keyed by (seed, board, purpose) —
+// never from a shared sequential RNG — so the fleet can be sharded across
+// any number of workers and the merged mission report stays byte-identical
+// (the same discipline internal/seu uses for per-bit sampling).
+package mission
+
+import "math"
+
+// mix64 is the SplitMix64 finalizer — the same mixing function
+// internal/seu uses for per-bit hashing.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Stream purposes. Keeping each concern on its own tagged stream is what
+// lets strategies share one environment history: candidate arrival times
+// never depend on how many detail draws an accepted strike consumed, and
+// strategy-private draws never perturb the environment.
+const (
+	tagFlares     uint64 = 0xf1a2e5
+	tagPhase      uint64 = 0x0b17a5e
+	tagCandidates uint64 = 0xca4d1da7e5
+	tagDetails    uint64 = 0xde7a115
+	tagStrategy   uint64 = 0x57a7e6
+)
+
+// stream is a deterministic splitmix64 sequence. The zero value is a valid
+// stream; newStream folds identifying parts into the initial state.
+type stream struct{ s uint64 }
+
+func newStream(parts ...uint64) *stream {
+	var x uint64
+	for _, p := range parts {
+		x = mix64(x ^ mix64(p))
+	}
+	return &stream{s: x}
+}
+
+func (r *stream) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *stream) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// exp returns an Exp(1) draw. The uniform is strictly below 1, so the log
+// argument is strictly positive.
+func (r *stream) exp() float64 {
+	return -math.Log(1 - r.float64())
+}
+
+// intn returns a uniform draw in [0, n). Modulo bias is negligible for the
+// model's ranges (n << 2^64) and costs nothing in determinism.
+func (r *stream) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// int63n returns a uniform draw in [0, n) for 64-bit ranges.
+func (r *stream) int63n(n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}

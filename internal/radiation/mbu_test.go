@@ -1,0 +1,59 @@
+package radiation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMBUSizeMatchesCDF(t *testing.T) {
+	m := DefaultMBU()
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	counts := make([]int, m.MaxSize()+1)
+	for i := 0; i < n; i++ {
+		s := m.Size(rng.Float64())
+		if s < 1 || s > m.MaxSize() {
+			t.Fatalf("cluster size %d out of range [1,%d]", s, m.MaxSize())
+		}
+		counts[s]++
+	}
+	prev := 0.0
+	for i, c := range m.SizeCDF {
+		want := c - prev
+		prev = c
+		got := float64(counts[i+1]) / n
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("size %d frequency %.4f, want %.4f +- 0.01", i+1, got, want)
+		}
+	}
+}
+
+func TestMBUSizeEdges(t *testing.T) {
+	m := DefaultMBU()
+	if got := m.Size(0); got != 1 {
+		t.Errorf("Size(0) = %d, want 1", got)
+	}
+	if got := m.Size(0.9999999); got != m.MaxSize() {
+		t.Errorf("Size(~1) = %d, want %d", got, m.MaxSize())
+	}
+	empty := MBU{}
+	if got := empty.Size(0.5); got != 1 {
+		t.Errorf("empty model Size = %d, want 1", got)
+	}
+	if empty.MaxSize() != 1 {
+		t.Errorf("empty model MaxSize = %d, want 1", empty.MaxSize())
+	}
+}
+
+func TestMBUSpansFrames(t *testing.T) {
+	m := DefaultMBU()
+	if m.SpansFrames(1, 0) {
+		t.Error("single-bit cluster must never span frames")
+	}
+	if !m.SpansFrames(2, 0.1) {
+		t.Error("u below FrameSpanProb must span")
+	}
+	if m.SpansFrames(2, 0.9) {
+		t.Error("u above FrameSpanProb must not span")
+	}
+}

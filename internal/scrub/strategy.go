@@ -1,0 +1,151 @@
+// Scrub strategies. The flight system's Actel controller implements one
+// policy — continuous readback with CRC compare and frame repair — but the
+// literature offers several alternatives the mission simulator compares
+// head-to-head: blind periodic rewriting, intermodular/neighbor scrubbing
+// where FPGAs scrub each other without a dedicated rad-hard controller
+// (Giordano et al., ARICH Belle II, PAPERS.md), and configuration
+// redundancy, where critical frames are duplicated so an upset in either
+// copy is masked until repaired (Giordano et al., PAPERS.md).
+package scrub
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/fpga"
+)
+
+// Strategy names a scrub policy.
+type Strategy uint8
+
+const (
+	// StrategyBlind rewrites every configuration frame cyclically without
+	// reading anything back. Detection is implicit — damage is erased when
+	// the rewrite pointer passes the frame — and the cycle is paced by
+	// frame *write* time, so it is the slowest loop. A periodic full
+	// reconfiguration restores half-latches and recovers control-logic
+	// upsets, which blind rewriting cannot even see.
+	StrategyBlind Strategy = iota
+	// StrategyReadback is the paper's policy: a radiation-hardened
+	// controller reads back every frame, CRC-compares against the flash
+	// codebook, and repairs mismatches by partial reconfiguration.
+	StrategyReadback
+	// StrategyNeighbor is intermodular scrubbing: device i's configuration
+	// is read back and repaired by device (i+1) mod N on the same board.
+	// No rad-hard controller is needed, but a scrubber that is itself down
+	// stalls its neighbour's repairs until it recovers.
+	StrategyNeighbor
+	// StrategyRedundant is configuration redundancy on top of readback:
+	// the most sensitive frames are duplicated, so an upset confined to
+	// one copy of a protected frame is functionally masked while the
+	// scrubber repairs it. The scan cycle grows by the duplicated frames.
+	StrategyRedundant
+)
+
+// Strategies lists every policy in canonical comparison order.
+var Strategies = []Strategy{StrategyBlind, StrategyReadback, StrategyNeighbor, StrategyRedundant}
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBlind:
+		return "blind"
+	case StrategyReadback:
+		return "readback"
+	case StrategyNeighbor:
+		return "neighbor"
+	case StrategyRedundant:
+		return "redundant"
+	}
+	return fmt.Sprintf("strategy(%d)", uint8(s))
+}
+
+// ParseStrategy resolves a policy name.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "blind", "blind-periodic":
+		return StrategyBlind, nil
+	case "readback", "readback-crc", "crc":
+		return StrategyReadback, nil
+	case "neighbor", "neighbour", "intermodular":
+		return StrategyNeighbor, nil
+	case "redundant", "redundancy", "config-redundancy":
+		return StrategyRedundant, nil
+	}
+	return 0, fmt.Errorf("scrub: unknown strategy %q (blind|readback|neighbor|redundant)", name)
+}
+
+// ParseStrategies resolves a comma-separated strategy list, rejecting
+// duplicates so report sections stay unambiguous.
+func ParseStrategies(list string) ([]Strategy, error) {
+	var out []Strategy
+	seen := make(map[Strategy]bool)
+	for _, name := range strings.Split(list, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		s, err := ParseStrategy(name)
+		if err != nil {
+			return nil, err
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("scrub: strategy %q listed twice", s)
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scrub: empty strategy list")
+	}
+	return out, nil
+}
+
+// Timing is the configuration-interface cost model shared by the scrub
+// manager and the mission simulator.
+type Timing struct {
+	FrameRead  time.Duration
+	FrameWrite time.Duration
+	FullConfig time.Duration
+}
+
+// DefaultTiming mirrors the fpga.Port defaults (paper-calibrated: ~12.9 us
+// frame readback, 100 us frame write, 120 ms full configuration).
+func DefaultTiming() Timing {
+	return Timing{
+		FrameRead:  fpga.DefaultFrameReadTime,
+		FrameWrite: fpga.DefaultFrameWriteTime,
+		FullConfig: fpga.DefaultFullConfigTime,
+	}
+}
+
+// Scale returns the timing model with every cost multiplied by k — used by
+// canned scenarios that pin a scan cycle (e.g. the paper's 180 ms payload
+// scan) on a scaled-down geometry.
+func (t Timing) Scale(k float64) Timing {
+	return Timing{
+		FrameRead:  time.Duration(float64(t.FrameRead) * k),
+		FrameWrite: time.Duration(float64(t.FrameWrite) * k),
+		FullConfig: time.Duration(float64(t.FullConfig) * k),
+	}
+}
+
+// PerFrame returns the time the strategy spends on one frame during a
+// no-error scan pass: blind scrubbing pays a write per frame, every
+// readback-based policy pays a read.
+func (t Timing) PerFrame(s Strategy) time.Duration {
+	if s == StrategyBlind {
+		return t.FrameWrite
+	}
+	return t.FrameRead
+}
+
+// ScanCycle returns the no-error scan period over `frames` configuration
+// frames plus `extra` duplicated frames (configuration redundancy scans its
+// copies too; other strategies pass extra = 0).
+func (t Timing) ScanCycle(s Strategy, frames, extra int) time.Duration {
+	n := frames
+	if s == StrategyRedundant {
+		n += extra
+	}
+	return time.Duration(int64(n)) * t.PerFrame(s)
+}

@@ -1,0 +1,87 @@
+package scrub
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"blind": StrategyBlind, "blind-periodic": StrategyBlind,
+		"readback": StrategyReadback, "readback-crc": StrategyReadback, "CRC": StrategyReadback,
+		"neighbor": StrategyNeighbor, "neighbour": StrategyNeighbor, "intermodular": StrategyNeighbor,
+		"redundant": StrategyRedundant, "config-redundancy": StrategyRedundant,
+	}
+	for name, want := range cases {
+		got, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("ParseStrategy(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("ParseStrategy accepted bogus name")
+	}
+}
+
+func TestParseStrategyRoundTrip(t *testing.T) {
+	for _, s := range Strategies {
+		back, err := ParseStrategy(s.String())
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", s, err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %q -> %v", s, s.String(), back)
+		}
+	}
+}
+
+func TestParseStrategies(t *testing.T) {
+	got, err := ParseStrategies("blind, readback-crc ,neighbor,redundant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != StrategyBlind || got[3] != StrategyRedundant {
+		t.Errorf("ParseStrategies order wrong: %v", got)
+	}
+	if _, err := ParseStrategies("blind,blind"); err == nil {
+		t.Error("duplicate strategy accepted")
+	}
+	if _, err := ParseStrategies(" ,"); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+// TestScanCycleOrdering pins the structural property the MTTR invariant
+// tests rely on: a blind rewrite pass is strictly slower than a readback
+// pass over the same frames (frame writes cost more than frame reads), and
+// redundancy pays for its duplicated frames.
+func TestScanCycleOrdering(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.FrameWrite <= tm.FrameRead {
+		t.Fatalf("timing model must write slower than it reads: write %v, read %v", tm.FrameWrite, tm.FrameRead)
+	}
+	const frames = 408
+	blind := tm.ScanCycle(StrategyBlind, frames, 0)
+	rb := tm.ScanCycle(StrategyReadback, frames, 0)
+	red := tm.ScanCycle(StrategyRedundant, frames, 100)
+	if blind <= rb {
+		t.Errorf("blind cycle %v must exceed readback cycle %v", blind, rb)
+	}
+	if red <= rb {
+		t.Errorf("redundant cycle %v must exceed plain readback %v (duplicated frames)", red, rb)
+	}
+	if got := tm.ScanCycle(StrategyNeighbor, frames, 100); got != rb {
+		t.Errorf("neighbor cycle %v, want %v (extra frames only apply to redundancy)", got, rb)
+	}
+}
+
+func TestTimingScale(t *testing.T) {
+	tm := Timing{FrameRead: 10 * time.Microsecond, FrameWrite: 80 * time.Microsecond, FullConfig: time.Millisecond}
+	s := tm.Scale(2)
+	if s.FrameRead != 20*time.Microsecond || s.FrameWrite != 160*time.Microsecond || s.FullConfig != 2*time.Millisecond {
+		t.Errorf("Scale(2) = %+v", s)
+	}
+}
