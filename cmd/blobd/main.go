@@ -1,0 +1,91 @@
+// Command blobd is a standalone content-addressed checkpoint blob server —
+// the S3-stand-in for fabric deployments that want checkpoint traffic off
+// the coordinator:
+//
+//	blobd -addr 127.0.0.1:8500 -dir /var/lib/blobd
+//
+// Keys are sha256 content hashes, so puts are idempotent and gets are
+// end-to-end verifiable; a client that receives corrupted bytes detects it
+// without trusting this server. With no -dir the store is in-memory and
+// vanishes on exit (fine for tests, wrong for durable campaigns).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8500", "listen address (port 0 picks a free port)")
+		dir      = flag.String("dir", "", "blob directory (empty = in-memory store)")
+		addrFile = flag.String("addr-file", "", "write the bound address here once listening (for scripts)")
+	)
+	flag.Parse()
+	if err := run(*addr, *dir, *addrFile); err != nil {
+		fmt.Fprintln(os.Stderr, "blobd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir, addrFile string) error {
+	var store fabric.BlobStore
+	var err error
+	if dir == "" {
+		store = fabric.NewMemStore()
+	} else if store, err = fabric.NewDirStore(dir); err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/blobs", fabric.BlobHandler(store))
+	mux.Handle("/api/v1/blobs/", fabric.BlobHandler(store))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	backing := "mem"
+	if dir != "" {
+		backing = dir
+	}
+	fmt.Printf("blobd listening on %s (store %s)\n", bound, backing)
+
+	srv := &http.Server{Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("blobd: stopped")
+	return nil
+}

@@ -16,6 +16,13 @@
 // A SIGINT/SIGTERM to the daemon drains gracefully: running chunks finish
 // and checkpoint, the active job re-queues, and the next daemon started on
 // the same -state directory resumes it with a byte-identical final report.
+//
+// With -fabric=coordinator the daemon also exposes the distributed fabric
+// API (lease/complete/heartbeat) and an embedded blob server, and SEU sweep
+// chunks are executed by campaignworker processes instead of the local pool:
+//
+//	campaignd serve -addr 127.0.0.1:8433 -state /var/lib/campaignd -fabric coordinator
+//	campaignworker -coordinator http://127.0.0.1:8433
 package main
 
 import (

@@ -9,11 +9,29 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fabric"
 )
+
+// buildBlobStore resolves a -blob flag value into a store. "dir" (or "")
+// keeps checkpoints in files under the state directory, "mem" holds them in
+// memory (they die with the daemon — resume relies on recompute), and an
+// http(s) URL points at a remote blob server (blobd or another campaignd).
+func buildBlobStore(spec core.FabricSpec, stateDir string) (fabric.BlobStore, error) {
+	switch spec.Blob {
+	case "", "dir":
+		return fabric.NewDirStore(filepath.Join(stateDir, "blobs"))
+	case "mem":
+		return fabric.NewMemStore(), nil
+	default:
+		return fabric.NewHTTPStore(spec.Blob), nil
+	}
+}
 
 // runServe boots the scheduler and serves the API until SIGINT/SIGTERM.
 func runServe(args []string) error {
@@ -26,9 +44,30 @@ func runServe(args []string) error {
 		grace    = fs.Duration("grace", 30*time.Second, "drain window before in-flight work is cancelled hard")
 		addrFile = fs.String("addr-file", "", "write the bound address here once listening (for scripts)")
 	)
+	fspec := core.RegisterFabricFlags(fs, core.FabricSpec{})
 	fs.Parse(args)
+	if err := fspec.Validate(); err != nil {
+		return err
+	}
 
-	sched, err := campaign.New(campaign.Config{Dir: *state, Workers: *workers, Chunks: *chunks})
+	blobs, err := buildBlobStore(*fspec, *state)
+	if err != nil {
+		return err
+	}
+	cfg := campaign.Config{
+		Dir: *state, Workers: *workers, Chunks: *chunks, Blobs: blobs,
+		Retention: fabric.RetentionPolicy{MaxBlobs: fspec.RetainBlobs, MaxAge: fspec.RetainAge},
+	}
+	var coord *fabric.Coordinator
+	if fspec.Coordinator() {
+		coord, err = fabric.NewCoordinator(fabric.CoordConfig{Store: blobs, LeaseTTL: fspec.LeaseTTL})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		cfg.Coordinator = coord
+	}
+	sched, err := campaign.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -42,9 +81,21 @@ func runServe(args []string) error {
 			return err
 		}
 	}
-	fmt.Printf("campaignd listening on %s (state %s)\n", bound, *state)
+	mode := "single-node"
+	if coord != nil {
+		mode = "fabric coordinator"
+	}
+	fmt.Printf("campaignd listening on %s (state %s, %s)\n", bound, *state, mode)
 
-	srv := &http.Server{Handler: campaign.Handler(sched)}
+	mux := http.NewServeMux()
+	if coord != nil {
+		// Fabric API plus the embedded blob server workers default to.
+		mux.Handle("/api/v1/fabric/", fabric.Handler(coord))
+		mux.Handle("/api/v1/blobs", fabric.BlobHandler(blobs))
+		mux.Handle("/api/v1/blobs/", fabric.BlobHandler(blobs))
+	}
+	mux.Handle("/", campaign.Handler(sched))
+	srv := &http.Server{Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)

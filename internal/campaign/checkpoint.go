@@ -2,11 +2,12 @@ package campaign
 
 import (
 	"encoding/json"
-	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
+	"repro/internal/fabric"
 	"repro/internal/seu"
 )
 
@@ -14,16 +15,44 @@ import (
 // ID, so a resubmitted spec finds its own history:
 //
 //	<root>/<jobID>/state.json    — Status (rewritten on every transition)
-//	<root>/<jobID>/chunks/N.json — one checkpoint per completed SEU chunk
+//	<root>/<jobID>/manifest.json — chunk checkpoints: plan entry → blob key
 //	<root>/<jobID>/report.json   — final report, exact bytes served to clients
 //
-// Every write is write-to-temp + rename, so a crash mid-write leaves either
-// the old file or the new one, never a torn checkpoint.
+// Chunk results themselves live in a fabric.BlobStore as content-addressed
+// ChunkPayload blobs; the manifest is the small per-job index into it. The
+// manifest stays a local file (not a blob) deliberately: it is mutable
+// named state — exactly what content addressing can't express — and it is
+// the commit point, so "manifest references blob" doubles as the pin root
+// for retention. Every write is write-to-temp + rename, so a crash
+// mid-write leaves either the old file or the new one, never a torn
+// checkpoint; a crash between blob Put and manifest commit leaves only an
+// unreferenced blob, which retention may collect once past MinAge.
 
-type store struct{ root string }
+type store struct {
+	root  string
+	blobs fabric.BlobStore
 
-func (st store) jobDir(id string) string   { return filepath.Join(st.root, id) }
-func (st store) chunkDir(id string) string { return filepath.Join(st.jobDir(id), "chunks") }
+	// pins guards checkpoint blobs of resumable jobs against retention:
+	// key → refcount (shared blobs — identical results across jobs — pin
+	// once per referencing job). jobPins remembers each job's key set so
+	// unpin needs no manifest re-read. The same mutex serializes manifest
+	// read-modify-write, so concurrent chunk commits can't lose entries.
+	mu      sync.Mutex
+	pins    map[string]int
+	jobPins map[string]map[string]bool
+}
+
+func newStore(root string, blobs fabric.BlobStore) *store {
+	return &store{
+		root:    root,
+		blobs:   blobs,
+		pins:    make(map[string]int),
+		jobPins: make(map[string]map[string]bool),
+	}
+}
+
+func (st *store) jobDir(id string) string       { return filepath.Join(st.root, id) }
+func (st *store) manifestPath(id string) string { return filepath.Join(st.jobDir(id), "manifest.json") }
 
 // writeFileAtomic writes b to path via a temp file in the same directory.
 func writeFileAtomic(path string, b []byte) error {
@@ -48,7 +77,7 @@ func writeFileAtomic(path string, b []byte) error {
 	return os.Rename(name, path)
 }
 
-func (st store) saveStatus(stat *Status) error {
+func (st *store) saveStatus(stat *Status) error {
 	b, err := json.MarshalIndent(stat, "", "  ")
 	if err != nil {
 		return err
@@ -57,7 +86,7 @@ func (st store) saveStatus(stat *Status) error {
 }
 
 // loadAll returns every persisted job status, oldest submission first.
-func (st store) loadAll() ([]*Status, error) {
+func (st *store) loadAll() ([]*Status, error) {
 	entries, err := os.ReadDir(st.root)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -84,63 +113,203 @@ func (st store) loadAll() ([]*Status, error) {
 	return out, nil
 }
 
-// chunkCheckpoint pairs a chunk's result with the plan entry that produced
-// it, so resume can reject checkpoints from a stale decomposition (e.g. a
-// daemon restarted with a different chunk count).
-type chunkCheckpoint struct {
-	Spec   seu.ChunkSpec    `json:"spec"`
-	Result *seu.ChunkResult `json:"result"`
+// manifest indexes a job's committed chunks, ascending by chunk index.
+type manifest struct {
+	Chunks []manifestEntry `json:"chunks"`
 }
 
-func (st store) saveChunk(id string, spec seu.ChunkSpec, cr *seu.ChunkResult) error {
-	b, err := json.Marshal(chunkCheckpoint{Spec: spec, Result: cr})
-	if err != nil {
-		return err
-	}
-	path := filepath.Join(st.chunkDir(id), fmt.Sprintf("%d.json", spec.Index))
-	return writeFileAtomic(path, append(b, '\n'))
+// manifestEntry pairs a plan entry with the blob holding its result, so
+// resume can reject checkpoints from a stale decomposition (e.g. a daemon
+// restarted with a different chunk count) before ever fetching the blob.
+type manifestEntry struct {
+	Spec seu.ChunkSpec `json:"spec"`
+	Blob string        `json:"blob"`
 }
 
-// loadChunks returns the job's valid checkpoints keyed by chunk index. A
-// checkpoint whose stored range disagrees with the current plan is dropped
-// (and deleted) rather than trusted.
-func (st store) loadChunks(id string, plan []seu.ChunkSpec) (map[int]*seu.ChunkResult, error) {
-	byIndex := make(map[int]seu.ChunkSpec, len(plan))
-	for _, cs := range plan {
-		byIndex[cs.Index] = cs
-	}
-	entries, err := os.ReadDir(st.chunkDir(id))
+// loadManifestLocked reads the job's manifest ({} when absent). Callers
+// hold st.mu.
+func (st *store) loadManifestLocked(id string) (*manifest, error) {
+	b, err := os.ReadFile(st.manifestPath(id))
 	if os.IsNotExist(err) {
-		return nil, nil
+		return &manifest{}, nil
 	}
 	if err != nil {
 		return nil, err
 	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		// A corrupt manifest loses resume progress but nothing else — the
+		// job simply recomputes.
+		return &manifest{}, nil
+	}
+	return &m, nil
+}
+
+func (st *store) saveManifestLocked(id string, m *manifest) error {
+	sort.Slice(m.Chunks, func(i, j int) bool { return m.Chunks[i].Spec.Index < m.Chunks[j].Spec.Index })
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(st.manifestPath(id), append(b, '\n'))
+}
+
+// saveChunk checkpoints one locally-computed chunk: Put the payload blob,
+// then commit it to the manifest. The fabric path skips the Put (the
+// worker already uploaded) and calls commitChunk directly.
+func (st *store) saveChunk(id string, spec seu.ChunkSpec, cr *seu.ChunkResult) error {
+	b, err := json.Marshal(fabric.ChunkPayload{Spec: spec, Result: cr})
+	if err != nil {
+		return err
+	}
+	key, err := st.blobs.Put(b)
+	if err != nil {
+		return err
+	}
+	return st.commitChunk(id, spec, key)
+}
+
+// commitChunk records spec → key in the job's manifest and pins the blob.
+// Re-commits of the same chunk are idempotent.
+func (st *store) commitChunk(id string, spec seu.ChunkSpec, key string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m, err := st.loadManifestLocked(id)
+	if err != nil {
+		return err
+	}
+	replaced := false
+	for i := range m.Chunks {
+		if m.Chunks[i].Spec.Index == spec.Index {
+			if m.Chunks[i].Spec == spec && m.Chunks[i].Blob == key {
+				return nil // duplicate commit, byte-identical no-op
+			}
+			m.Chunks[i] = manifestEntry{Spec: spec, Blob: key}
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		m.Chunks = append(m.Chunks, manifestEntry{Spec: spec, Blob: key})
+	}
+	if err := st.saveManifestLocked(id, m); err != nil {
+		return err
+	}
+	st.pinKeyLocked(id, key)
+	return nil
+}
+
+// loadChunks returns the job's valid checkpoints keyed by chunk index, and
+// pins every referenced blob for the duration of the job. A checkpoint
+// whose stored range disagrees with the current plan, whose blob is gone,
+// or whose blob fails hash validation is dropped from the manifest rather
+// than trusted.
+func (st *store) loadChunks(id string, plan []seu.ChunkSpec) (map[int]*seu.ChunkResult, error) {
+	byIndex := make(map[int]seu.ChunkSpec, len(plan))
+	for _, cs := range plan {
+		byIndex[cs.Index] = cs
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m, err := st.loadManifestLocked(id)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int]*seu.ChunkResult)
-	for _, e := range entries {
-		path := filepath.Join(st.chunkDir(id), e.Name())
-		b, err := os.ReadFile(path)
+	kept := m.Chunks[:0]
+	for _, ent := range m.Chunks {
+		want, ok := byIndex[ent.Spec.Index]
+		if !ok || want != ent.Spec {
+			continue // stale decomposition
+		}
+		b, err := st.blobs.Get(ent.Blob)
 		if err != nil {
+			continue // missing or corrupt (hash-validation failure): recompute
+		}
+		var cp fabric.ChunkPayload
+		if err := json.Unmarshal(b, &cp); err != nil || cp.Result == nil ||
+			cp.Spec != ent.Spec || cp.Result.Index != ent.Spec.Index {
 			continue
 		}
-		var cp chunkCheckpoint
-		if err := json.Unmarshal(b, &cp); err != nil || cp.Result == nil {
-			os.Remove(path)
-			continue
+		kept = append(kept, ent)
+		out[ent.Spec.Index] = cp.Result
+	}
+	if len(kept) != len(m.Chunks) {
+		m.Chunks = kept
+		if err := st.saveManifestLocked(id, m); err != nil {
+			return nil, err
 		}
-		if want, ok := byIndex[cp.Spec.Index]; !ok || want != cp.Spec || cp.Result.Index != cp.Spec.Index {
-			os.Remove(path)
-			continue
-		}
-		out[cp.Spec.Index] = cp.Result
+	}
+	for _, ent := range kept {
+		st.pinKeyLocked(id, ent.Blob)
 	}
 	return out, nil
 }
 
-func (st store) saveReport(id string, b []byte) error {
+// chunkCount reports how many chunks the job's manifest references — the
+// checkpoint-density observable tests assert on.
+func (st *store) chunkCount(id string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m, err := st.loadManifestLocked(id)
+	if err != nil {
+		return 0
+	}
+	return len(m.Chunks)
+}
+
+func (st *store) pinKeyLocked(id, key string) {
+	set := st.jobPins[id]
+	if set == nil {
+		set = make(map[string]bool)
+		st.jobPins[id] = set
+	}
+	if !set[key] {
+		set[key] = true
+		st.pins[key]++
+	}
+}
+
+// pinJob pins every blob the job's manifest references — called at startup
+// for each resumable (non-done) job, before any retention sweep runs.
+func (st *store) pinJob(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m, err := st.loadManifestLocked(id)
+	if err != nil {
+		return
+	}
+	for _, ent := range m.Chunks {
+		st.pinKeyLocked(id, ent.Blob)
+	}
+}
+
+// unpinJob releases a job's pins once it reaches StateDone — its report is
+// assembled and persisted, so its chunk blobs are retention fodder.
+func (st *store) unpinJob(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for key := range st.jobPins[id] {
+		if st.pins[key]--; st.pins[key] <= 0 {
+			delete(st.pins, key)
+		}
+	}
+	delete(st.jobPins, id)
+}
+
+// isPinned is the retention callback: it shares st.mu with commitChunk and
+// loadChunks, so a sweep can never observe a blob between "referenced by a
+// manifest" and "pinned".
+func (st *store) isPinned(key string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.pins[key] > 0
+}
+
+func (st *store) saveReport(id string, b []byte) error {
 	return writeFileAtomic(filepath.Join(st.jobDir(id), "report.json"), b)
 }
 
-func (st store) loadReport(id string) ([]byte, error) {
+func (st *store) loadReport(id string) ([]byte, error) {
 	return os.ReadFile(filepath.Join(st.jobDir(id), "report.json"))
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/mission"
 	"repro/internal/seu"
 )
@@ -30,6 +31,11 @@ type Metrics struct {
 	workersBusy  int
 	started      time.Time
 
+	// fabricStats, when set, snapshots the embedded coordinator for the
+	// fabric gauge/counter block. Nil on single-node daemons, which still
+	// emit the block (as zeros) so scrapes see a stable metric set.
+	fabricStats func() fabric.CoordStats
+
 	// rate window: cumulative injection samples, pruned past rateWindow.
 	samples []rateSample
 }
@@ -47,6 +53,14 @@ func newMetrics(poolSize int) *Metrics {
 		jobsFinished: make(map[State]int64),
 		started:      time.Now(),
 	}
+}
+
+// SetFabricSource wires the coordinator snapshot the fabric metric block
+// reads. Called once at scheduler construction, before any scrape.
+func (m *Metrics) SetFabricSource(fn func() fabric.CoordStats) {
+	m.mu.Lock()
+	m.fabricStats = fn
+	m.mu.Unlock()
 }
 
 func (m *Metrics) jobStarted() {
@@ -181,4 +195,29 @@ func (m *Metrics) WritePrometheus(w io.Writer, jobsByState map[State]int) {
 	fmt.Fprintf(w, "# HELP campaignd_mission_full_reconfigs_total Full device reconfigurations across simulated fleets.\n# TYPE campaignd_mission_full_reconfigs_total counter\ncampaignd_mission_full_reconfigs_total %d\n", ms.FullReconfigs)
 	fmt.Fprintf(w, "# HELP campaignd_mission_telemetry_frames_total Telemetry frames downlinked by simulated fleets.\n# TYPE campaignd_mission_telemetry_frames_total counter\ncampaignd_mission_telemetry_frames_total %d\n", ms.TelemetryFrames)
 	fmt.Fprintf(w, "# HELP campaignd_mission_telemetry_bytes_total Telemetry bytes downlinked by simulated fleets.\n# TYPE campaignd_mission_telemetry_bytes_total counter\ncampaignd_mission_telemetry_bytes_total %d\n", ms.TelemetryBytes)
+
+	// Distributed fabric. Coordinator state when this daemon embeds one,
+	// zeros otherwise — the metric set stays stable across configurations.
+	var fs fabric.CoordStats
+	if m.fabricStats != nil {
+		fs = m.fabricStats()
+	}
+	fmt.Fprintf(w, "# HELP campaignd_fabric_workers Live fabric worker nodes (heartbeat within TTL).\n# TYPE campaignd_fabric_workers gauge\ncampaignd_fabric_workers %d\n", fs.Workers)
+	fmt.Fprintf(w, "# HELP campaignd_fabric_leases_active Chunk leases currently held by workers.\n# TYPE campaignd_fabric_leases_active gauge\ncampaignd_fabric_leases_active %d\n", fs.LeasesActive)
+	fmt.Fprintf(w, "# HELP campaignd_fabric_queue_depth Chunks waiting for a worker lease.\n# TYPE campaignd_fabric_queue_depth gauge\ncampaignd_fabric_queue_depth %d\n", fs.QueueDepth)
+	fmt.Fprintf(w, "# HELP campaignd_fabric_leases_issued_total Chunk leases issued to workers.\n# TYPE campaignd_fabric_leases_issued_total counter\ncampaignd_fabric_leases_issued_total %d\n", fs.LeasesIssued)
+	fmt.Fprintf(w, "# HELP campaignd_fabric_leases_expired_total Leases expired (deadline passed or worker lost).\n# TYPE campaignd_fabric_leases_expired_total counter\ncampaignd_fabric_leases_expired_total %d\n", fs.LeasesExpired)
+	fmt.Fprintf(w, "# HELP campaignd_fabric_leases_stolen_total Expired chunks re-issued to another worker.\n# TYPE campaignd_fabric_leases_stolen_total counter\ncampaignd_fabric_leases_stolen_total %d\n", fs.LeasesStolen)
+	fmt.Fprintf(w, "# HELP campaignd_fabric_chunks_committed_total Chunk results validated and committed, first-valid-wins.\n# TYPE campaignd_fabric_chunks_committed_total counter\ncampaignd_fabric_chunks_committed_total %d\n", fs.ChunksCommitted)
+	fmt.Fprintf(w, "# HELP campaignd_fabric_commit_rejects_total Claimed results that failed validation and were re-queued.\n# TYPE campaignd_fabric_commit_rejects_total counter\ncampaignd_fabric_commit_rejects_total %d\n", fs.CommitRejects)
+	fmt.Fprintf(w, "# HELP campaignd_fabric_divergent_duplicates_total Duplicate completions whose bytes differed from the committed result (determinism violations).\n# TYPE campaignd_fabric_divergent_duplicates_total counter\ncampaignd_fabric_divergent_duplicates_total %d\n", fs.DivergentDuplicates)
+
+	// Blob store traffic (process-wide across every store instance, like
+	// the kernel counters above).
+	puts, gets, deletes, badBlobs, retained := fabric.StoreStats()
+	fmt.Fprintf(w, "# HELP campaignd_blob_puts_total Blobs written to checkpoint stores (deduplicated puts included).\n# TYPE campaignd_blob_puts_total counter\ncampaignd_blob_puts_total %d\n", puts)
+	fmt.Fprintf(w, "# HELP campaignd_blob_gets_total Blob reads from checkpoint stores.\n# TYPE campaignd_blob_gets_total counter\ncampaignd_blob_gets_total %d\n", gets)
+	fmt.Fprintf(w, "# HELP campaignd_blob_deletes_total Blobs deleted from checkpoint stores.\n# TYPE campaignd_blob_deletes_total counter\ncampaignd_blob_deletes_total %d\n", deletes)
+	fmt.Fprintf(w, "# HELP campaignd_blob_validation_failures_total Blob reads whose content hash did not match their key.\n# TYPE campaignd_blob_validation_failures_total counter\ncampaignd_blob_validation_failures_total %d\n", badBlobs)
+	fmt.Fprintf(w, "# HELP campaignd_blob_retention_deletes_total Blobs reclaimed by retention sweeps (pinned blobs are never swept).\n# TYPE campaignd_blob_retention_deletes_total counter\ncampaignd_blob_retention_deletes_total %d\n", retained)
 }

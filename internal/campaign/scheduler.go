@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/bist"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/fpga"
 	"repro/internal/payload"
 	"repro/internal/seu"
@@ -27,6 +29,17 @@ type Config struct {
 	// Chunks caps the number of checkpoint units an SEU sweep is decomposed
 	// into — the resume granularity. <= 0 means DefaultChunks.
 	Chunks int
+	// Blobs is the checkpoint blob store chunk results persist into.
+	// nil means a local DirStore under Dir/blobs.
+	Blobs fabric.BlobStore
+	// Coordinator, when set, leases SEU chunks to fabric worker nodes
+	// instead of running them on the local pool. Workers must share (or
+	// reach) the same blob store.
+	Coordinator *fabric.Coordinator
+	// Retention bounds the blob store; the zero policy never deletes.
+	// Blobs referenced by a resumable job's manifest are pinned and
+	// never swept regardless of policy.
+	Retention fabric.RetentionPolicy
 }
 
 // DefaultChunks keeps checkpoints frequent enough that a killed daemon
@@ -43,7 +56,7 @@ var errDrained = errors.New("campaign: scheduler draining")
 // cleanly.
 type Scheduler struct {
 	cfg     Config
-	st      store
+	st      *store
 	broker  *broker
 	Metrics *Metrics
 
@@ -74,9 +87,16 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Chunks <= 0 {
 		cfg.Chunks = DefaultChunks
 	}
+	if cfg.Blobs == nil {
+		blobs, err := fabric.NewDirStore(filepath.Join(cfg.Dir, "blobs"))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Blobs = blobs
+	}
 	s := &Scheduler{
 		cfg:       cfg,
-		st:        store{root: cfg.Dir},
+		st:        newStore(cfg.Dir, cfg.Blobs),
 		broker:    newBroker(),
 		Metrics:   newMetrics(cfg.Workers),
 		jobs:      make(map[string]*Status),
@@ -84,6 +104,9 @@ func New(cfg Config) (*Scheduler, error) {
 		cancelReq: make(map[string]bool),
 		kick:      make(chan struct{}, 1),
 		drainCh:   make(chan struct{}),
+	}
+	if cfg.Coordinator != nil {
+		s.Metrics.SetFabricSource(cfg.Coordinator.Stats)
 	}
 	s.runCtx, s.runStop = context.WithCancel(context.Background())
 	persisted, err := s.st.loadAll()
@@ -100,12 +123,50 @@ func New(cfg Config) (*Scheduler, error) {
 				return nil, err
 			}
 		}
+		if stat.State != StateDone {
+			// Resumable: its checkpoint blobs must survive retention. Pins
+			// land before the first sweep can run.
+			s.st.pinJob(stat.ID)
+		}
 		s.jobs[stat.ID] = stat
 		s.order = append(s.order, stat.ID)
 	}
 	s.wg.Add(1)
 	go s.dispatch()
+	if cfg.Retention.Enabled() {
+		s.wg.Add(1)
+		go s.retentionLoop()
+	}
 	return s, nil
+}
+
+// retentionLoop periodically sweeps the blob store under the configured
+// policy, always excluding pinned (live-manifest-referenced) blobs.
+func (s *Scheduler) retentionLoop() {
+	defer s.wg.Done()
+	every := s.cfg.Retention.SweepEvery
+	if every <= 0 {
+		every = time.Minute
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_, _ = s.SweepRetention()
+		case <-s.drainCh:
+			return
+		case <-s.runCtx.Done():
+			return
+		}
+	}
+}
+
+// SweepRetention runs one retention pass now, returning how many blobs it
+// deleted. Safe at any time: blobs referenced by a resumable job's
+// manifest are pinned under the same lock that commits them.
+func (s *Scheduler) SweepRetention() (int, error) {
+	return fabric.SweepRetention(s.cfg.Blobs, s.cfg.Retention, s.st.isPinned)
 }
 
 // Submit registers a job. Submission is idempotent on the content-addressed
@@ -392,6 +453,11 @@ func (s *Scheduler) runJob(id string) {
 			st.Error = err.Error()
 		}
 	})
+	if final == StateDone {
+		// The report is assembled and persisted; the job's chunk blobs are
+		// no longer load-bearing, so release them to retention.
+		s.st.unpinJob(id)
+	}
 	if final.Terminal() {
 		s.Metrics.jobFinished(final)
 	}
@@ -441,97 +507,37 @@ func (s *Scheduler) runSEU(ctx context.Context, id string, spec *core.CampaignSp
 		st.Failures = doneFail
 	})
 
+	// committed folds one freshly checkpointed chunk into the run: the
+	// queue layer's bookkeeping, shared by both execution backends.
+	var resMu sync.Mutex
+	committed := func(cr *seu.ChunkResult) {
+		resMu.Lock()
+		results = append(results, cr)
+		resMu.Unlock()
+		s.Metrics.checkpointed(cr.Injections, cr.Failures)
+		s.update(id, func(st *Status) {
+			st.ChunksDone++
+			st.Injections += cr.Injections
+			st.Failures += cr.Failures
+		})
+	}
+
 	if len(pending) > 0 {
-		workers := s.cfg.Workers
-		if workers > len(pending) {
-			workers = len(pending)
+		var runErr error
+		if s.cfg.Coordinator != nil {
+			runErr = s.runFabricChunks(ctx, id, *spec, pending, committed)
+		} else {
+			runErr = s.runLocalChunks(ctx, id, base, cfg.Seed, pending, committed)
 		}
-		// Clone all worker replicas from the base up front: cloning while the
-		// base board is mid-injection would snapshot a dirty replica.
-		runners := make([]*seu.ChunkRunner, workers)
-		runners[0] = base
-		for i := 1; i < workers; i++ {
-			runners[i] = base.Clone(cfg.Seed + int64(i))
-		}
-
-		var (
-			workWG    sync.WaitGroup
-			resMu     sync.Mutex
-			firstErr  error
-			abort     = make(chan struct{})
-			abortOnce sync.Once
-		)
-		// fail records the first worker error and unblocks the feeder, which
-		// would otherwise wait forever on a channel nobody drains.
-		fail := func(err error) {
-			resMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			resMu.Unlock()
-			abortOnce.Do(func() { close(abort) })
-		}
-
-		chunkCh := make(chan seu.ChunkSpec)
-		var feedWG sync.WaitGroup
-		feedWG.Add(1)
-		go func() {
-			defer feedWG.Done()
-			defer close(chunkCh)
-			for _, cs := range pending {
-				if s.isDraining() || ctx.Err() != nil {
-					return
-				}
-				select {
-				case chunkCh <- cs:
-				case <-ctx.Done():
-					return
-				case <-abort:
-					return
-				}
-			}
-		}()
-
-		for i := 0; i < workers; i++ {
-			workWG.Add(1)
-			go func(r *seu.ChunkRunner) {
-				defer workWG.Done()
-				for cs := range chunkCh {
-					s.Metrics.workerBusy(1)
-					cr, err := r.Run(ctx, cs)
-					s.Metrics.workerBusy(-1)
-					if err != nil {
-						fail(err)
-						return
-					}
-					if err := s.st.saveChunk(id, cs, cr); err != nil {
-						fail(err)
-						return
-					}
-					resMu.Lock()
-					results = append(results, cr)
-					resMu.Unlock()
-					s.Metrics.checkpointed(cr.Injections, cr.Failures)
-					s.update(id, func(st *Status) {
-						st.ChunksDone++
-						st.Injections += cr.Injections
-						st.Failures += cr.Failures
-					})
-				}
-				// The channel drained without error: every chunk this runner
-				// touched completed, so its replica is a clean substrate —
-				// park it for the next job on this design.
-				r.Release()
-			}(runners[i])
-		}
-		workWG.Wait()
-		feedWG.Wait()
-		if firstErr != nil {
-			return firstErr
+		if runErr != nil {
+			return runErr
 		}
 	}
 
-	if len(results) < len(plan) {
+	resMu.Lock()
+	got := len(results)
+	resMu.Unlock()
+	if got < len(plan) {
 		// The feeder stopped early: graceful drain (or a cancel that raced
 		// the last send). Everything completed is checkpointed.
 		if err := ctx.Err(); err != nil {
@@ -546,6 +552,116 @@ func (s *Scheduler) runSEU(ctx context.Context, id string, spec *core.CampaignSp
 		return err
 	}
 	return s.st.saveReport(id, b)
+}
+
+// runLocalChunks executes pending chunks on the in-process replica pool,
+// checkpointing each through the blob store as it lands.
+func (s *Scheduler) runLocalChunks(ctx context.Context, id string, base *seu.ChunkRunner, seed int64, pending []seu.ChunkSpec, committed func(*seu.ChunkResult)) error {
+	workers := s.cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	// Clone all worker replicas from the base up front: cloning while the
+	// base board is mid-injection would snapshot a dirty replica.
+	runners := make([]*seu.ChunkRunner, workers)
+	runners[0] = base
+	for i := 1; i < workers; i++ {
+		runners[i] = base.Clone(seed + int64(i))
+	}
+
+	var (
+		workWG    sync.WaitGroup
+		errMu     sync.Mutex
+		firstErr  error
+		abort     = make(chan struct{})
+		abortOnce sync.Once
+	)
+	// fail records the first worker error and unblocks the feeder, which
+	// would otherwise wait forever on a channel nobody drains.
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abortOnce.Do(func() { close(abort) })
+	}
+
+	chunkCh := make(chan seu.ChunkSpec)
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		defer close(chunkCh)
+		for _, cs := range pending {
+			if s.isDraining() || ctx.Err() != nil {
+				return
+			}
+			select {
+			case chunkCh <- cs:
+			case <-ctx.Done():
+				return
+			case <-abort:
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < workers; i++ {
+		workWG.Add(1)
+		go func(r *seu.ChunkRunner) {
+			defer workWG.Done()
+			for cs := range chunkCh {
+				s.Metrics.workerBusy(1)
+				cr, err := r.Run(ctx, cs)
+				s.Metrics.workerBusy(-1)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := s.st.saveChunk(id, cs, cr); err != nil {
+					fail(err)
+					return
+				}
+				committed(cr)
+			}
+			// The channel drained without error: every chunk this runner
+			// touched completed, so its replica is a clean substrate —
+			// park it for the next job on this design.
+			r.Release()
+		}(runners[i])
+	}
+	workWG.Wait()
+	feedWG.Wait()
+	return firstErr
+}
+
+// runFabricChunks leases pending chunks to fabric worker nodes through the
+// coordinator. Workers upload results to the shared blob store; the
+// coordinator hash-validates each claimed blob and calls back here exactly
+// once per chunk, where the already-stored blob is committed into the
+// job's manifest — the same commit point the local path uses, so reports
+// are byte-identical across backends.
+func (s *Scheduler) runFabricChunks(ctx context.Context, id string, spec core.CampaignSpec, pending []seu.ChunkSpec, committed func(*seu.ChunkResult)) error {
+	// Graceful drain has no chunk channel to starve here — map it onto
+	// context cancellation, which RunJob honors between commits. Chunks
+	// already committed stay in the manifest, so the next daemon resumes.
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-s.drainCh:
+			cancel()
+		case <-fctx.Done():
+		}
+	}()
+	return s.cfg.Coordinator.RunJob(fctx, id, spec, pending, func(cs seu.ChunkSpec, cr *seu.ChunkResult, key string) error {
+		if err := s.st.commitChunk(id, cs, key); err != nil {
+			return err
+		}
+		committed(cr)
+		return nil
+	})
 }
 
 // bistReport is the persisted outcome of a BIST job.

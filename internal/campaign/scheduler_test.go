@@ -77,16 +77,23 @@ func waitState(t *testing.T, s *Scheduler, id string, want State) *Status {
 	return nil
 }
 
+// chunkFileCount counts the checkpoints a job's manifest references.
 func chunkFileCount(t *testing.T, dir, id string) int {
 	t.Helper()
-	entries, err := os.ReadDir(filepath.Join(dir, id, "chunks"))
+	b, err := os.ReadFile(filepath.Join(dir, id, "manifest.json"))
 	if os.IsNotExist(err) {
 		return 0
 	}
 	if err != nil {
 		t.Fatal(err)
 	}
-	return len(entries)
+	var m struct {
+		Chunks []json.RawMessage `json:"chunks"`
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	return len(m.Chunks)
 }
 
 func TestSEUJobMatchesDirectRun(t *testing.T) {

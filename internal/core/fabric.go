@@ -1,0 +1,59 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// FabricSpec is the distributed-fabric configuration a campaignd node boots
+// with. core carries only the plain settings struct — the coordinator,
+// worker, and blob-store machinery live in internal/fabric, which consumes
+// this — so CLIs and tests can describe a fabric without importing it.
+type FabricSpec struct {
+	// Mode selects the node's role: "off" (single-node, the default) or
+	// "coordinator" (serve the fabric API and lease chunks to workers).
+	Mode string
+	// Blob selects the checkpoint blob backend: "" or "dir" for the local
+	// directory store under the campaign dir, "mem" for an in-memory store,
+	// or an http(s):// URL of a remote blob server (blobd).
+	Blob string
+	// LeaseTTL is how long a leased chunk may run before the coordinator
+	// re-issues it to another worker (0 = fabric default).
+	LeaseTTL time.Duration
+	// RetainBlobs caps the blob count retention keeps (0 = unlimited).
+	RetainBlobs int
+	// RetainAge expires blobs older than this (0 = never).
+	RetainAge time.Duration
+}
+
+// Coordinator reports whether this node should serve the fabric API.
+func (fs FabricSpec) Coordinator() bool { return fs.Mode == "coordinator" }
+
+// Validate rejects modes and blob schemes the node can't boot.
+func (fs FabricSpec) Validate() error {
+	switch fs.Mode {
+	case "", "off", "coordinator":
+	default:
+		return fmt.Errorf("core: unknown fabric mode %q (want off or coordinator)", fs.Mode)
+	}
+	switch {
+	case fs.Blob == "", fs.Blob == "dir", fs.Blob == "mem":
+	case len(fs.Blob) > 7 && (fs.Blob[:7] == "http://" || fs.Blob[:8] == "https://"):
+	default:
+		return fmt.Errorf("core: unknown blob backend %q (want dir, mem, or an http(s) URL)", fs.Blob)
+	}
+	return nil
+}
+
+// RegisterFabricFlags registers the fabric node flags on fs, seeded from
+// def, and returns the destination the parsed values land in.
+func RegisterFabricFlags(fls *flag.FlagSet, def FabricSpec) *FabricSpec {
+	spec := &def
+	fls.StringVar(&spec.Mode, "fabric", def.Mode, "fabric role: off (single-node) or coordinator (lease chunks to campaignworker nodes)")
+	fls.StringVar(&spec.Blob, "blob", def.Blob, "checkpoint blob store: dir (local), mem (in-memory), or an http(s) URL of a blobd")
+	fls.DurationVar(&spec.LeaseTTL, "lease", def.LeaseTTL, "chunk lease TTL before the coordinator re-issues it to another worker (0 = default)")
+	fls.IntVar(&spec.RetainBlobs, "retain-blobs", def.RetainBlobs, "retention: keep at most N checkpoint blobs (0 = unlimited)")
+	fls.DurationVar(&spec.RetainAge, "retain-age", def.RetainAge, "retention: expire checkpoint blobs older than this (0 = never)")
+	return spec
+}

@@ -1,0 +1,272 @@
+// Package fabric is the distributed campaign layer: a coordinator that
+// leases sweep chunks to remote worker nodes with deadline-based
+// work-stealing, the worker agent those nodes run, and the pluggable
+// content-addressed blob store both sides checkpoint through. The design
+// follows two disciplines from the related work: checkpoints are validated,
+// content-hashed, and retention-managed (the rad_ml CheckpointManager
+// pattern), and nothing a worker claims is trusted — every chunk result is
+// re-fetched from the store and hash-verified before it commits, the lease
+// protocol's analogue of readback-verified scrubbing.
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BlobStore is a content-addressed checkpoint store. Keys are derived from
+// blob bytes (HashKey), so a Put of identical content is an idempotent
+// no-op and a Get can always validate what it read against the key it asked
+// for — corruption at rest or in transit is detected, never silently
+// returned.
+type BlobStore interface {
+	// Put stores b and returns its content-hash key.
+	Put(b []byte) (string, error)
+	// Get returns the blob's bytes, hash-validated against key.
+	Get(key string) ([]byte, error)
+	// List enumerates stored blobs, oldest first.
+	List() ([]BlobInfo, error)
+	// Delete removes a blob. Deleting a missing blob is not an error.
+	Delete(key string) error
+}
+
+// BlobInfo describes one stored blob.
+type BlobInfo struct {
+	Key     string    `json:"key"`
+	Size    int64     `json:"size"`
+	ModTime time.Time `json:"mod_time"`
+}
+
+// HashKey returns the content-addressed key of b: "sha256-" plus the hex
+// digest. The prefix keys the algorithm so a future store can hold mixed
+// generations.
+func HashKey(b []byte) string {
+	sum := sha256.Sum256(b)
+	return "sha256-" + hex.EncodeToString(sum[:])
+}
+
+var keyRE = regexp.MustCompile(`^sha256-[0-9a-f]{64}$`)
+
+// ValidKey reports whether key has the content-hash form HashKey produces.
+// Stores reject anything else up front — a malformed key is never a lookup
+// miss, and (for the directory backend) never a path.
+func ValidKey(key string) bool { return keyRE.MatchString(key) }
+
+// verifyBlob checks b against its claimed key, counting a validation
+// failure on mismatch.
+func verifyBlob(key string, b []byte) error {
+	if got := HashKey(b); got != key {
+		storeValidationFailures.Add(1)
+		return fmt.Errorf("fabric: blob %s failed hash validation (content is %s)", key, got)
+	}
+	return nil
+}
+
+// Process-wide blob-store activity counters, exported on the campaignd
+// /metrics plane like the seu kernel counters. Diagnostics only.
+var (
+	storePuts               atomic.Uint64
+	storeGets               atomic.Uint64
+	storeDeletes            atomic.Uint64
+	storeValidationFailures atomic.Uint64
+	retentionDeletes        atomic.Uint64
+)
+
+// StoreStats snapshots the process-wide blob-store counters: puts, gets,
+// deletes, hash-validation failures, and blobs deleted by retention sweeps.
+func StoreStats() (puts, gets, deletes, validationFailures, retained uint64) {
+	return storePuts.Load(), storeGets.Load(), storeDeletes.Load(),
+		storeValidationFailures.Load(), retentionDeletes.Load()
+}
+
+// DirStore is the local-directory backend: one file per blob, named by its
+// key, written atomically. This is the default checkpoint backend of a
+// single-node campaignd.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (or creates) a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (s *DirStore) path(key string) string { return filepath.Join(s.dir, key) }
+
+// Put stores b under its content hash. Re-putting existing content leaves
+// the stored file untouched (same bytes by construction).
+func (s *DirStore) Put(b []byte) (string, error) {
+	key := HashKey(b)
+	storePuts.Add(1)
+	if _, err := os.Stat(s.path(key)); err == nil {
+		return key, nil
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return "", err
+	}
+	if err := os.Rename(name, s.path(key)); err != nil {
+		os.Remove(name)
+		return "", err
+	}
+	return key, nil
+}
+
+func (s *DirStore) Get(key string) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, fmt.Errorf("fabric: malformed blob key %q", key)
+	}
+	storeGets.Add(1)
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyBlob(key, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (s *DirStore) List() ([]BlobInfo, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []BlobInfo
+	for _, e := range entries {
+		if !ValidKey(e.Name()) {
+			continue // temp files mid-write, strays
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, BlobInfo{Key: e.Name(), Size: fi.Size(), ModTime: fi.ModTime()})
+	}
+	sortBlobInfos(out)
+	return out, nil
+}
+
+func (s *DirStore) Delete(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("fabric: malformed blob key %q", key)
+	}
+	storeDeletes.Add(1)
+	err := os.Remove(s.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// MemStore is the in-memory backend: the substrate of the S3-style blob
+// server (cmd/blobd without -dir) and of tests.
+type MemStore struct {
+	mu    sync.Mutex
+	blobs map[string]memBlob
+}
+
+type memBlob struct {
+	data []byte
+	at   time.Time
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[string]memBlob)}
+}
+
+func (s *MemStore) Put(b []byte) (string, error) {
+	key := HashKey(b)
+	storePuts.Add(1)
+	s.mu.Lock()
+	if _, ok := s.blobs[key]; !ok {
+		s.blobs[key] = memBlob{data: append([]byte(nil), b...), at: time.Now()}
+	}
+	s.mu.Unlock()
+	return key, nil
+}
+
+func (s *MemStore) Get(key string) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, fmt.Errorf("fabric: malformed blob key %q", key)
+	}
+	storeGets.Add(1)
+	s.mu.Lock()
+	mb, ok := s.blobs[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: blob %s not found", key)
+	}
+	b := append([]byte(nil), mb.data...)
+	if err := verifyBlob(key, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (s *MemStore) List() ([]BlobInfo, error) {
+	s.mu.Lock()
+	out := make([]BlobInfo, 0, len(s.blobs))
+	for k, mb := range s.blobs {
+		out = append(out, BlobInfo{Key: k, Size: int64(len(mb.data)), ModTime: mb.at})
+	}
+	s.mu.Unlock()
+	sortBlobInfos(out)
+	return out, nil
+}
+
+func (s *MemStore) Delete(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("fabric: malformed blob key %q", key)
+	}
+	storeDeletes.Add(1)
+	s.mu.Lock()
+	delete(s.blobs, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// CorruptForTest overwrites a stored blob's bytes without touching its key,
+// so Get must fail hash validation. Test hook only.
+func (s *MemStore) CorruptForTest(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mb, ok := s.blobs[key]
+	if !ok || len(mb.data) == 0 {
+		return false
+	}
+	mb.data[0] ^= 0xff
+	s.blobs[key] = mb
+	return true
+}
+
+func sortBlobInfos(infos []BlobInfo) {
+	sort.Slice(infos, func(i, j int) bool {
+		if !infos[i].ModTime.Equal(infos[j].ModTime) {
+			return infos[i].ModTime.Before(infos[j].ModTime)
+		}
+		return infos[i].Key < infos[j].Key
+	})
+}

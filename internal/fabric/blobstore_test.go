@@ -1,0 +1,185 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// stores under test: every BlobStore backend must behave identically.
+func testStores(t *testing.T) map[string]BlobStore {
+	t.Helper()
+	dir, err := NewDirStore(filepath.Join(t.TempDir(), "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemStore()
+	srv := httptest.NewServer(BlobHandler(NewMemStore()))
+	t.Cleanup(srv.Close)
+	return map[string]BlobStore{
+		"dir":  dir,
+		"mem":  mem,
+		"http": NewHTTPStore(srv.URL),
+	}
+}
+
+func TestBlobStoreRoundTrip(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			payload := []byte(`{"hello":"fabric"}`)
+			key, err := s.Put(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := HashKey(payload); key != want {
+				t.Fatalf("Put key = %s, want %s", key, want)
+			}
+			if !ValidKey(key) {
+				t.Fatalf("Put returned malformed key %q", key)
+			}
+			// Idempotent re-put of identical content.
+			key2, err := s.Put(payload)
+			if err != nil || key2 != key {
+				t.Fatalf("re-Put = (%s, %v), want (%s, nil)", key2, err, key)
+			}
+			got, err := s.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("Get = %q, want %q", got, payload)
+			}
+			infos, err := s.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(infos) != 1 || infos[0].Key != key || infos[0].Size != int64(len(payload)) {
+				t.Fatalf("List = %+v, want one entry for %s", infos, key)
+			}
+			if err := s.Delete(key); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(key); err != nil {
+				t.Fatalf("deleting a missing blob should be a no-op, got %v", err)
+			}
+			if _, err := s.Get(key); err == nil {
+				t.Fatal("Get after Delete succeeded")
+			}
+		})
+	}
+}
+
+func TestBlobStoreRejectsMalformedKeys(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, key := range []string{"", "sha256-xyz", "../../etc/passwd", "sha256-" + "0"} {
+				if _, err := s.Get(key); err == nil {
+					t.Fatalf("Get(%q) succeeded", key)
+				}
+			}
+		})
+	}
+}
+
+func TestBlobStoreListOldestFirst(t *testing.T) {
+	s := NewMemStore()
+	var keys []string
+	for i := 0; i < 5; i++ {
+		key, err := s.Put([]byte(fmt.Sprintf("blob %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+		time.Sleep(2 * time.Millisecond)
+	}
+	infos, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(keys) {
+		t.Fatalf("List returned %d blobs, want %d", len(infos), len(keys))
+	}
+	for i, bi := range infos {
+		if bi.Key != keys[i] {
+			t.Fatalf("List[%d] = %s, want %s (oldest first)", i, bi.Key, keys[i])
+		}
+	}
+}
+
+// A corrupted blob must fail hash validation on Get — for every backend the
+// corruption can reach.
+func TestBlobStoreDetectsCorruption(t *testing.T) {
+	t.Run("mem", func(t *testing.T) {
+		s := NewMemStore()
+		key, err := s.Put([]byte("precious checkpoint"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.CorruptForTest(key) {
+			t.Fatal("CorruptForTest found no blob")
+		}
+		if _, err := s.Get(key); err == nil {
+			t.Fatal("Get returned corrupted bytes without error")
+		}
+	})
+	t.Run("dir", func(t *testing.T) {
+		root := filepath.Join(t.TempDir(), "blobs")
+		s, err := NewDirStore(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := s.Put([]byte("precious checkpoint"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(root, key), []byte("bitrot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(key); err == nil {
+			t.Fatal("Get returned corrupted bytes without error")
+		}
+	})
+	t.Run("http", func(t *testing.T) {
+		// Server-side corruption: the HTTP client must re-validate what the
+		// wire delivered, not trust the server.
+		backend := NewMemStore()
+		srv := httptest.NewServer(BlobHandler(backend))
+		defer srv.Close()
+		s := NewHTTPStore(srv.URL)
+		key, err := s.Put([]byte("precious checkpoint"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !backend.CorruptForTest(key) {
+			t.Fatal("CorruptForTest found no blob")
+		}
+		if _, err := s.Get(key); err == nil {
+			t.Fatal("Get returned corrupted bytes without error")
+		}
+	})
+}
+
+func TestStoreStatsCounters(t *testing.T) {
+	puts0, gets0, _, bad0, _ := StoreStats()
+	s := NewMemStore()
+	key, err := s.Put([]byte("counted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	s.CorruptForTest(key)
+	if _, err := s.Get(key); err == nil {
+		t.Fatal("corrupt Get succeeded")
+	}
+	puts, gets, _, bad, _ := StoreStats()
+	if puts-puts0 < 1 || gets-gets0 < 2 || bad-bad0 < 1 {
+		t.Fatalf("counters did not advance: puts +%d gets +%d validation failures +%d",
+			puts-puts0, gets-gets0, bad-bad0)
+	}
+}

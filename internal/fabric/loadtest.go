@@ -1,0 +1,242 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadTest drives a campaignd API with many concurrent synthetic clients —
+// the production-scale question is not whether one client can submit a
+// sweep but whether hundreds polling status, streaming progress, and
+// scraping metrics starve the scheduler. Each client submits the (single,
+// content-addressed, hence idempotent) job once, then cycles through the
+// read-path operations; the report aggregates latency percentiles and
+// error rates per operation.
+
+// LoadTestOptions sizes a load-test run.
+type LoadTestOptions struct {
+	// Server is the campaignd base URL. Required.
+	Server string
+	// Clients is the number of concurrent clients (<= 0 = 50).
+	Clients int
+	// Requests is how many operations each client performs (<= 0 = 100).
+	Requests int
+	// SubmitBody, when set, is a JobSpec JSON each client POSTs as its
+	// first operation (idempotent: every client names the same job).
+	SubmitBody []byte
+	// Timeout bounds one request (<= 0 = 10s).
+	Timeout time.Duration
+}
+
+// OpStats aggregates one operation's latency distribution.
+type OpStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// LoadTestReport is the run's aggregate outcome.
+type LoadTestReport struct {
+	Server          string              `json:"server"`
+	Clients         int                 `json:"clients"`
+	Requests        int                 `json:"requests"`
+	Errors          int                 `json:"errors"`
+	ErrorRate       float64             `json:"error_rate"`
+	DurationSeconds float64             `json:"duration_seconds"`
+	RequestsPerSec  float64             `json:"requests_per_second"`
+	P50Ms           float64             `json:"p50_ms"`
+	P99Ms           float64             `json:"p99_ms"`
+	ByOp            map[string]*OpStats `json:"by_op"`
+}
+
+type opSample struct {
+	op  string
+	dur time.Duration
+	err bool
+}
+
+// LoadTest runs the harness until every client finishes or ctx ends.
+func LoadTest(ctx context.Context, opt LoadTestOptions) (*LoadTestReport, error) {
+	if opt.Server == "" {
+		return nil, fmt.Errorf("fabric: LoadTestOptions.Server is required")
+	}
+	if opt.Clients <= 0 {
+		opt.Clients = 50
+	}
+	if opt.Requests <= 0 {
+		opt.Requests = 100
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 10 * time.Second
+	}
+	base := strings.TrimRight(opt.Server, "/")
+	client := &http.Client{Timeout: opt.Timeout}
+
+	// One probe up front: a load test against a dead server should be an
+	// error, not a report of 100% failures.
+	if _, err := client.Get(base + "/healthz"); err != nil {
+		return nil, fmt.Errorf("fabric: server unreachable: %w", err)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []opSample
+	)
+	start := time.Now()
+	for i := 0; i < opt.Clients; i++ {
+		wg.Add(1)
+		go func(client_ int) {
+			defer wg.Done()
+			local := runLoadClient(ctx, client, base, opt)
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadTestReport{
+		Server:          opt.Server,
+		Clients:         opt.Clients,
+		DurationSeconds: elapsed.Seconds(),
+		ByOp:            make(map[string]*OpStats),
+	}
+	var all []time.Duration
+	byOp := make(map[string][]time.Duration)
+	for _, s := range samples {
+		rep.Requests++
+		st := rep.ByOp[s.op]
+		if st == nil {
+			st = &OpStats{}
+			rep.ByOp[s.op] = st
+		}
+		st.Requests++
+		if s.err {
+			rep.Errors++
+			st.Errors++
+			continue
+		}
+		all = append(all, s.dur)
+		byOp[s.op] = append(byOp[s.op], s.dur)
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+		rep.RequestsPerSec = float64(rep.Requests) / elapsed.Seconds()
+	}
+	rep.P50Ms, rep.P99Ms = percentileMs(all, 0.50), percentileMs(all, 0.99)
+	for op, durs := range byOp {
+		st := rep.ByOp[op]
+		st.P50Ms, st.P99Ms = percentileMs(durs, 0.50), percentileMs(durs, 0.99)
+		st.MaxMs = percentileMs(durs, 1.0)
+	}
+	return rep, nil
+}
+
+// runLoadClient performs one client's operation sequence.
+func runLoadClient(ctx context.Context, client *http.Client, base string, opt LoadTestOptions) []opSample {
+	samples := make([]opSample, 0, opt.Requests)
+	do := func(op string, fn func() error) {
+		t0 := time.Now()
+		err := fn()
+		samples = append(samples, opSample{op: op, dur: time.Since(t0), err: err != nil})
+	}
+	get := func(path string) error {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("%s: %s", path, resp.Status)
+		}
+		return nil
+	}
+
+	jobID := ""
+	n := 0
+	if len(opt.SubmitBody) > 0 {
+		do("submit", func() error {
+			resp, err := client.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(opt.SubmitBody))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode/100 != 2 {
+				return fmt.Errorf("submit: %s", resp.Status)
+			}
+			if i := bytes.Index(body, []byte(`"id": "`)); i >= 0 {
+				rest := body[i+len(`"id": "`):]
+				if j := bytes.IndexByte(rest, '"'); j > 0 {
+					jobID = string(rest[:j])
+				}
+			}
+			return nil
+		})
+		n++
+	}
+	for ; n < opt.Requests && ctx.Err() == nil; n++ {
+		switch n % 5 {
+		case 0:
+			do("list", func() error { return get("/api/v1/jobs") })
+		case 1:
+			if jobID == "" {
+				do("health", func() error { return get("/healthz") })
+				continue
+			}
+			do("status", func() error { return get("/api/v1/jobs/" + jobID) })
+		case 2:
+			do("metrics", func() error { return get("/metrics") })
+		case 3:
+			if jobID == "" {
+				do("health", func() error { return get("/healthz") })
+				continue
+			}
+			// Stream: read the first NDJSON event, then hang up — the
+			// worst-case connection churn pattern for the broker.
+			do("stream", func() error {
+				resp, err := client.Get(base + "/api/v1/jobs/" + jobID + "/stream")
+				if err != nil {
+					return err
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					return fmt.Errorf("stream: %s", resp.Status)
+				}
+				sc := bufio.NewScanner(resp.Body)
+				if !sc.Scan() {
+					return fmt.Errorf("stream: no first event")
+				}
+				return nil
+			})
+		default:
+			do("health", func() error { return get("/healthz") })
+		}
+	}
+	return samples
+}
+
+// percentileMs returns the q-quantile of durs in milliseconds (0 when
+// empty). q = 1.0 is the maximum.
+func percentileMs(durs []time.Duration, q float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx].Microseconds()) / 1000
+}

@@ -1,0 +1,64 @@
+package fabric
+
+import "time"
+
+// RetentionPolicy bounds a blob store's growth, in the CheckpointManager
+// spirit: checkpoints are disposable once nothing can resume from them, and
+// a store left unswept on a long-lived node would otherwise accumulate
+// every chunk of every campaign it ever hosted.
+type RetentionPolicy struct {
+	// MaxBlobs caps the store's blob count; the oldest unpinned blobs are
+	// deleted first. 0 = unlimited.
+	MaxBlobs int
+	// MaxAge deletes unpinned blobs older than this. 0 = no age limit.
+	MaxAge time.Duration
+	// MinAge protects young blobs regardless of pressure — the window
+	// between a worker's Put and the coordinator's manifest commit, during
+	// which a blob is live but not yet referenced anywhere.
+	MinAge time.Duration
+	// SweepEvery is the background sweep cadence (0 = no background sweep;
+	// SweepRetention may still be called directly).
+	SweepEvery time.Duration
+}
+
+// Enabled reports whether the policy deletes anything at all.
+func (p RetentionPolicy) Enabled() bool { return p.MaxBlobs > 0 || p.MaxAge > 0 }
+
+// SweepRetention applies pol to s and returns how many blobs it deleted.
+// pinned (may be nil) is consulted immediately before each deletion — a
+// blob referenced by any live job's checkpoint manifest must never be
+// deleted, and callers whose manifests move concurrently should make pinned
+// share the lock their manifest writes hold, closing the race between "not
+// pinned when listed" and "pinned by the time we delete".
+func SweepRetention(s BlobStore, pol RetentionPolicy, pinned func(key string) bool) (int, error) {
+	if !pol.Enabled() {
+		return 0, nil
+	}
+	infos, err := s.List()
+	if err != nil {
+		return 0, err
+	}
+	now := time.Now()
+	deletable := func(bi BlobInfo) bool {
+		if pol.MinAge > 0 && now.Sub(bi.ModTime) < pol.MinAge {
+			return false
+		}
+		return pinned == nil || !pinned(bi.Key)
+	}
+	deleted := 0
+	remaining := len(infos)
+	for _, bi := range infos { // oldest first, per List's contract
+		over := (pol.MaxAge > 0 && now.Sub(bi.ModTime) > pol.MaxAge) ||
+			(pol.MaxBlobs > 0 && remaining > pol.MaxBlobs)
+		if !over || !deletable(bi) {
+			continue
+		}
+		if err := s.Delete(bi.Key); err != nil {
+			return deleted, err
+		}
+		retentionDeletes.Add(1)
+		deleted++
+		remaining--
+	}
+	return deleted, nil
+}

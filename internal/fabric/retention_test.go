@@ -1,0 +1,178 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fill puts n distinct blobs, oldest first, and returns their keys.
+func fill(t *testing.T, s BlobStore, n int) []string {
+	t.Helper()
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		key, err := s.Put([]byte(fmt.Sprintf("retained blob %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+		time.Sleep(2 * time.Millisecond) // distinct ModTimes for ordering
+	}
+	return keys
+}
+
+func count(t *testing.T, s BlobStore) int {
+	t.Helper()
+	infos, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(infos)
+}
+
+func TestSweepRetentionDisabledByDefault(t *testing.T) {
+	s := NewMemStore()
+	fill(t, s, 3)
+	n, err := SweepRetention(s, RetentionPolicy{}, nil)
+	if err != nil || n != 0 {
+		t.Fatalf("zero policy swept %d blobs (err %v), want 0", n, err)
+	}
+	if got := count(t, s); got != 3 {
+		t.Fatalf("store has %d blobs, want 3", got)
+	}
+}
+
+func TestSweepRetentionMaxBlobsOldestFirst(t *testing.T) {
+	s := NewMemStore()
+	keys := fill(t, s, 5)
+	n, err := SweepRetention(s, RetentionPolicy{MaxBlobs: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("swept %d blobs, want 3", n)
+	}
+	for _, key := range keys[:3] {
+		if _, err := s.Get(key); err == nil {
+			t.Fatalf("oldest blob %s survived a MaxBlobs sweep", key)
+		}
+	}
+	for _, key := range keys[3:] {
+		if _, err := s.Get(key); err != nil {
+			t.Fatalf("newest blob %s was swept: %v", key, err)
+		}
+	}
+}
+
+func TestSweepRetentionMaxAge(t *testing.T) {
+	s := NewMemStore()
+	keys := fill(t, s, 2)
+	time.Sleep(20 * time.Millisecond)
+	fresh, err := s.Put([]byte("fresh blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := SweepRetention(s, RetentionPolicy{MaxAge: 15 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("swept %d blobs, want the 2 aged ones", n)
+	}
+	for _, key := range keys {
+		if _, err := s.Get(key); err == nil {
+			t.Fatalf("aged blob %s survived", key)
+		}
+	}
+	if _, err := s.Get(fresh); err != nil {
+		t.Fatalf("fresh blob was swept: %v", err)
+	}
+}
+
+func TestSweepRetentionMinAgeProtectsYoungBlobs(t *testing.T) {
+	s := NewMemStore()
+	fill(t, s, 4)
+	// Everything is over the MaxBlobs cap but younger than MinAge — the
+	// Put→manifest-commit window must never be collected.
+	n, err := SweepRetention(s, RetentionPolicy{MaxBlobs: 1, MinAge: time.Hour}, nil)
+	if err != nil || n != 0 {
+		t.Fatalf("swept %d young blobs (err %v), want 0", n, err)
+	}
+	if got := count(t, s); got != 4 {
+		t.Fatalf("store has %d blobs, want 4", got)
+	}
+}
+
+func TestSweepRetentionSkipsPinned(t *testing.T) {
+	s := NewMemStore()
+	keys := fill(t, s, 4)
+	pinned := map[string]bool{keys[0]: true, keys[2]: true}
+	n, err := SweepRetention(s, RetentionPolicy{MaxAge: time.Nanosecond},
+		func(key string) bool { return pinned[key] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("swept %d blobs, want 2 (the unpinned ones)", n)
+	}
+	for key := range pinned {
+		if _, err := s.Get(key); err != nil {
+			t.Fatalf("pinned blob %s was deleted: %v", key, err)
+		}
+	}
+}
+
+// Pins moving concurrently with sweeps must never lose a pinned blob: the
+// pinned callback is consulted immediately before each delete, so a key
+// pinned at any point before its deletion survives.
+func TestSweepRetentionRacesPinning(t *testing.T) {
+	s := NewMemStore()
+	var mu sync.Mutex
+	pins := make(map[string]bool)
+	isPinned := func(key string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return pins[key]
+	}
+	pin := func(key string) {
+		mu.Lock()
+		pins[key] = true
+		mu.Unlock()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				SweepRetention(s, RetentionPolicy{MaxAge: time.Nanosecond}, isPinned)
+			}
+		}
+	}()
+
+	var protected []string
+	for i := 0; i < 50; i++ {
+		b := []byte(fmt.Sprintf("raced blob %d", i))
+		// Pin before Put: the sweep goroutine can list the blob the moment it
+		// lands, and must already see it pinned.
+		pin(HashKey(b))
+		key, err := s.Put(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protected = append(protected, key)
+	}
+	close(stop)
+	wg.Wait()
+	for _, key := range protected {
+		if _, err := s.Get(key); err != nil {
+			t.Fatalf("pinned blob %s lost to a concurrent sweep: %v", key, err)
+		}
+	}
+}

@@ -2,6 +2,9 @@ package seu
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -99,6 +102,29 @@ func (acc *shardAccum) result(index int) *ChunkResult {
 		cr.FailuresByKind[k] = n
 	}
 	return cr
+}
+
+// CanonicalJSON returns the result's canonical serialized form — the bytes
+// checkpoint stores persist and content-hash. Determinism holds because
+// every field marshals order-independently: KindCounts renders with sorted
+// keys and Bits is emitted in ascending address order by the accumulator,
+// so the same chunk of the same campaign always serializes to the same
+// bytes, on any node.
+func (cr *ChunkResult) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(cr)
+}
+
+// Hash is the content hash (hex SHA-256) of CanonicalJSON — the identity a
+// chunk result commits under. Duplicate completions of a chunk (e.g. after
+// a lease steal re-issued it) hash identically, which is what lets a
+// distributed commit be first-valid-wins with byte-identical no-ops.
+func (cr *ChunkResult) Hash() (string, error) {
+	b, err := cr.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // ChunkRunner executes chunks of one campaign on one board replica. The
