@@ -23,12 +23,14 @@ import (
 )
 
 // BlobStore is a content-addressed checkpoint store. Keys are derived from
-// blob bytes (HashKey), so a Put of identical content is an idempotent
-// no-op and a Get can always validate what it read against the key it asked
-// for — corruption at rest or in transit is detected, never silently
-// returned.
+// blob bytes (HashKey), so a Put of identical content is idempotent and a
+// Get can always validate what it read against the key it asked for —
+// corruption at rest or in transit is detected, never silently returned.
 type BlobStore interface {
-	// Put stores b and returns its content-hash key.
+	// Put stores b and returns its content-hash key. Re-putting existing
+	// content is self-healing: the stored copy is verified and overwritten
+	// if corrupt, and its timestamp refreshed so RetentionPolicy.MinAge
+	// covers every Put-to-commit window.
 	Put(b []byte) (string, error)
 	// Get returns the blob's bytes, hash-validated against key.
 	Get(key string) ([]byte, error)
@@ -104,12 +106,19 @@ func NewDirStore(dir string) (*DirStore, error) {
 
 func (s *DirStore) path(key string) string { return filepath.Join(s.dir, key) }
 
-// Put stores b under its content hash. Re-putting existing content leaves
-// the stored file untouched (same bytes by construction).
+// Put stores b under its content hash. On a re-Put the stored file is
+// verified, not trusted: valid content just gets its mtime refreshed (so
+// retention's MinAge window restarts), while a copy corrupted at rest is
+// overwritten — re-Putting a recomputed result repairs the store instead
+// of livelocking on a poisoned entry.
 func (s *DirStore) Put(b []byte) (string, error) {
 	key := HashKey(b)
 	storePuts.Add(1)
-	if _, err := os.Stat(s.path(key)); err == nil {
+	if cur, err := os.ReadFile(s.path(key)); err == nil && verifyBlob(key, cur) == nil {
+		now := time.Now()
+		if err := os.Chtimes(s.path(key), now, now); err != nil {
+			return "", err
+		}
 		return key, nil
 	}
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
@@ -201,7 +210,12 @@ func (s *MemStore) Put(b []byte) (string, error) {
 	key := HashKey(b)
 	storePuts.Add(1)
 	s.mu.Lock()
-	if _, ok := s.blobs[key]; !ok {
+	// Verify-then-overwrite, like DirStore.Put: a re-Put repairs a corrupt
+	// entry and refreshes the timestamp either way.
+	if mb, ok := s.blobs[key]; ok && verifyBlob(key, mb.data) == nil {
+		mb.at = time.Now()
+		s.blobs[key] = mb
+	} else {
 		s.blobs[key] = memBlob{data: append([]byte(nil), b...), at: time.Now()}
 	}
 	s.mu.Unlock()

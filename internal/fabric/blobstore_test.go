@@ -163,6 +163,104 @@ func TestBlobStoreDetectsCorruption(t *testing.T) {
 	})
 }
 
+// A re-Put of valid content must repair a blob corrupted at rest: without
+// verify-then-overwrite, a recomputed identical result hashes to the
+// already-present key, Put no-ops, Get keeps failing validation, and the
+// chunk livelocks forever.
+func TestRePutRepairsCorruptBlob(t *testing.T) {
+	payload := []byte("precious checkpoint")
+	t.Run("mem", func(t *testing.T) {
+		s := NewMemStore()
+		key, err := s.Put(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.CorruptForTest(key) {
+			t.Fatal("CorruptForTest found no blob")
+		}
+		if key2, err := s.Put(payload); err != nil || key2 != key {
+			t.Fatalf("repair Put = (%s, %v), want (%s, nil)", key2, err, key)
+		}
+		got, err := s.Get(key)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("Get after repair = (%q, %v), want the original bytes", got, err)
+		}
+	})
+	t.Run("dir", func(t *testing.T) {
+		root := filepath.Join(t.TempDir(), "blobs")
+		s, err := NewDirStore(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := s.Put(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(root, key), []byte("bitrot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if key2, err := s.Put(payload); err != nil || key2 != key {
+			t.Fatalf("repair Put = (%s, %v), want (%s, nil)", key2, err, key)
+		}
+		got, err := s.Get(key)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("Get after repair = (%q, %v), want the original bytes", got, err)
+		}
+	})
+}
+
+// A duplicate Put refreshes the blob's timestamp, so RetentionPolicy.MinAge
+// protects the Put-to-commit window of a re-Put old blob too — retention
+// must not delete it between a new job's Put and its manifest commit.
+func TestRePutRefreshesModTime(t *testing.T) {
+	payload := []byte("long-lived checkpoint")
+	modTime := func(t *testing.T, s BlobStore, key string) time.Time {
+		t.Helper()
+		infos, err := s.List()
+		if err != nil || len(infos) != 1 || infos[0].Key != key {
+			t.Fatalf("List = (%+v, %v), want one entry for %s", infos, err, key)
+		}
+		return infos[0].ModTime
+	}
+	t.Run("mem", func(t *testing.T) {
+		s := NewMemStore()
+		key, err := s.Put(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := modTime(t, s, key)
+		time.Sleep(5 * time.Millisecond)
+		if _, err := s.Put(payload); err != nil {
+			t.Fatal(err)
+		}
+		if after := modTime(t, s, key); !after.After(before) {
+			t.Fatalf("re-Put left ModTime at %v", after)
+		}
+	})
+	t.Run("dir", func(t *testing.T) {
+		root := filepath.Join(t.TempDir(), "blobs")
+		s, err := NewDirStore(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := s.Put(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Back-date the file past any MinAge window, then re-Put.
+		old := time.Now().Add(-24 * time.Hour)
+		if err := os.Chtimes(filepath.Join(root, key), old, old); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put(payload); err != nil {
+			t.Fatal(err)
+		}
+		if after := modTime(t, s, key); time.Since(after) > time.Minute {
+			t.Fatalf("re-Put left mtime stale at %v", after)
+		}
+	})
+}
+
 func TestStoreStatsCounters(t *testing.T) {
 	puts0, gets0, _, bad0, _ := StoreStats()
 	s := NewMemStore()

@@ -65,8 +65,10 @@ type CoordConfig struct {
 	// without a heartbeat. <= 0 means 3×LeaseTTL.
 	WorkerTTL time.Duration
 	// MaxAttempts fails the job after a chunk accumulates this many
-	// worker-reported errors (a deterministic failure would otherwise
-	// re-issue forever). <= 0 means 3.
+	// worker-reported errors plus validation rejections (a deterministic
+	// failure — crashing worker, corrupt store entry, a build that keeps
+	// producing mismatched payloads — would otherwise re-issue forever).
+	// <= 0 means 3.
 	MaxAttempts int
 	// SweepEvery is the lease/worker expiry scan cadence. <= 0 means
 	// LeaseTTL/4.
@@ -331,7 +333,18 @@ func (c *Coordinator) Complete(worker, leaseID, blobKey, workerErr string) (Comp
 		return CompleteReply{Stale: true}, nil
 	}
 	if verr != nil {
+		// Rejections spend the same failure budget as worker errors: a
+		// deterministic validation failure must fail the job, not re-issue
+		// the chunk forever.
 		c.rejects++
+		j.failures[ls.key.index]++
+		if j.failures[ls.key.index] >= c.cfg.MaxAttempts {
+			err := fmt.Errorf("fabric: chunk %d failed %d times, last rejected from %s: %w",
+				ls.key.index, j.failures[ls.key.index], worker, verr)
+			c.mu.Unlock()
+			j.finish(err)
+			return CompleteReply{Rejected: true, Reason: verr.Error()}, nil
+		}
 		c.queue = append(c.queue, ls.key)
 		c.mu.Unlock()
 		return CompleteReply{Rejected: true, Reason: verr.Error()}, nil
@@ -348,8 +361,6 @@ func (c *Coordinator) Complete(worker, leaseID, blobKey, workerErr string) (Comp
 		return reply, nil
 	}
 	j.committed[ls.key.index] = blobKey
-	j.remaining--
-	last := j.remaining == 0
 	commit := j.commit
 	c.committed++
 	c.mu.Unlock()
@@ -358,6 +369,14 @@ func (c *Coordinator) Complete(worker, leaseID, blobKey, workerErr string) (Comp
 		j.finish(fmt.Errorf("fabric: committing chunk %d: %w", chunk.Index, err))
 		return CompleteReply{Accepted: true}, nil
 	}
+	// remaining counts down only after the commit callback returns, so the
+	// goroutine landing the final chunk cannot finish(nil) while another
+	// chunk's commit (manifest write) is still in flight — RunJob's caller
+	// must observe every committed result.
+	c.mu.Lock()
+	j.remaining--
+	last := j.remaining == 0
+	c.mu.Unlock()
 	if last {
 		j.finish(nil)
 	}

@@ -274,10 +274,12 @@ func TestSilentWorkerDropped(t *testing.T) {
 
 // The coordinator never trusts a worker's claim: a blob that fails hash
 // validation, or answers a different chunk than leased, is rejected and the
-// chunk re-issued.
+// chunk re-issued. MaxAttempts is raised above the reject count here —
+// rejections spend the failure budget, and this test wants the chunk to
+// survive all of them and still complete.
 func TestCompleteRejectsInvalidResults(t *testing.T) {
 	mem := NewMemStore()
-	c, _ := testCoord(t, CoordConfig{Store: mem, LeaseTTL: time.Minute})
+	c, _ := testCoord(t, CoordConfig{Store: mem, LeaseTTL: time.Minute, MaxAttempts: 10})
 	chunks := testChunks(1)
 	jr := startJob(c, "j1", chunks)
 	waitQueue(t, c, len(chunks))
@@ -310,17 +312,14 @@ func TestCompleteRejectsInvalidResults(t *testing.T) {
 		if err != nil || !reply.Rejected {
 			t.Fatalf("%s: complete = (%+v, %v), want rejected", tc.name, reply, err)
 		}
-		// The corrupt-blob case poisons the store entry for the valid bytes;
-		// delete it so the final honest completion can re-Put them.
-		if tc.name == "corrupt blob" {
-			mem.Delete(HashKey(mustPayload(t, lease.Task.Chunk)))
-		}
 	}
 	if got := c.Stats().CommitRejects; got != uint64(len(cases)) {
 		t.Fatalf("CommitRejects = %d, want %d", got, len(cases))
 	}
 
-	// After every rejection the chunk is still completable.
+	// After every rejection the chunk is still completable. Note the honest
+	// re-Put repairs the entry the corrupt-blob case poisoned — same bytes,
+	// same key, verify-then-overwrite — with no manual store surgery.
 	lease, err := c.Lease(reg.Worker)
 	if err != nil || lease == nil {
 		t.Fatalf("final lease = (%v, %v)", lease, err)
@@ -332,13 +331,33 @@ func TestCompleteRejectsInvalidResults(t *testing.T) {
 	jr.wait(t)
 }
 
-func mustPayload(t *testing.T, cs seu.ChunkSpec) []byte {
-	t.Helper()
-	b, err := json.Marshal(ChunkPayload{Spec: cs, Result: fakeResult(cs)})
-	if err != nil {
-		t.Fatal(err)
+// A chunk whose results keep failing validation — a worker build that
+// consistently produces mismatched payloads, say — fails the job once the
+// rejections exhaust MaxAttempts, instead of re-issuing forever.
+func TestRepeatedValidationRejectsFailJob(t *testing.T) {
+	c, store := testCoord(t, CoordConfig{LeaseTTL: time.Minute, MaxAttempts: 2})
+	jr := startJob(c, "j1", testChunks(1))
+	waitQueue(t, c, 1)
+	reg := c.Register("node", 1, nil)
+	wrong := seu.ChunkSpec{Index: 99, Lo: 0, Hi: 1}
+	for i := 0; i < 2; i++ {
+		lease, err := c.Lease(reg.Worker)
+		if err != nil || lease == nil {
+			t.Fatalf("lease %d: (%v, %v)", i, lease, err)
+		}
+		key := putResult(t, store, wrong, fakeResult(wrong))
+		if reply, err := c.Complete(reg.Worker, lease.ID, key, ""); err != nil || !reply.Rejected {
+			t.Fatalf("reject %d: (%+v, %v)", i, reply, err)
+		}
 	}
-	return b
+	select {
+	case err := <-jr.done:
+		if err == nil || !strings.Contains(err.Error(), "rejected") {
+			t.Fatalf("RunJob error = %v, want a validation-reject failure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job did not fail after MaxAttempts validation rejects")
+	}
 }
 
 // A chunk that keeps failing on workers fails the job after MaxAttempts —
